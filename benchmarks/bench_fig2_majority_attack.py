@@ -1,0 +1,85 @@
+"""Figure 2 -- resilience when 90% of the workers are Byzantine.
+
+The paper's headline robustness claim: with nine Byzantine workers for every
+honest one, the protocol's accuracy still tracks the Reference Accuracy for
+epsilon >= 0.5.  We reproduce the shape with the Local-Model-Poisoning
+attacker (the strongest crafted attack; the label-flipping variant behaves
+the same but costs ten times more compute because every Byzantine worker
+runs the full local protocol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.tables import format_series
+from repro.experiments import benchmark_preset, run_grid
+from repro.experiments.sweep import accuracy_grid, series_from_grid
+
+EPSILONS = (0.5, 2.0)
+DATASET = "mnist_like"
+CHANCE = 0.1
+
+
+@pytest.mark.benchmark(group="figure2")
+def bench_fig2_ninety_percent_byzantine(benchmark, record_table):
+    grid = {}
+    for epsilon in EPSILONS:
+        grid[("ours", epsilon)] = benchmark_preset(
+            dataset=DATASET,
+            byzantine_fraction=0.9,
+            attack="lmp",
+            defense="two_stage",
+            epsilon=epsilon,
+            n_honest=6,
+            epochs=8,
+        )
+        grid[("undefended", epsilon)] = benchmark_preset(
+            dataset=DATASET,
+            byzantine_fraction=0.9,
+            attack="lmp",
+            defense="mean",
+            epsilon=epsilon,
+            n_honest=6,
+            epochs=8,
+        )
+        grid[("reference", epsilon)] = benchmark_preset(
+            dataset=DATASET, epsilon=epsilon, defense="mean", n_honest=6, epochs=8
+        )
+
+    def run():
+        return accuracy_grid(run_grid(grid))
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_series(
+        "epsilon",
+        list(EPSILONS),
+        {
+            "paper (ours, 90% byz.)": [paper.FIGURE2_MAJORITY[DATASET][eps] for eps in EPSILONS],
+            "measured ours": series_from_grid(measured, EPSILONS, lambda eps: ("ours", eps)),
+            "measured undefended mean": series_from_grid(
+                measured, EPSILONS, lambda eps: ("undefended", eps)
+            ),
+            "measured reference": series_from_grid(
+                measured, EPSILONS, lambda eps: ("reference", eps)
+            ),
+        },
+        title=f"Figure 2 (shape), {DATASET}: 90% Byzantine workers (Local Model Poisoning)",
+    )
+    record_table("fig2_majority_attack", text)
+
+    for epsilon in EPSILONS:
+        ours = measured[("ours", epsilon)]
+        undefended = measured[("undefended", epsilon)]
+        # Shape: a 90% Byzantine majority annihilates plain averaging; the
+        # protocol keeps learning (slowly at tight epsilon -- its update is
+        # averaged over ten times more workers than the reference run).
+        assert undefended < CHANCE + 0.1
+        assert ours > undefended + 0.05
+    loosest = max(EPSILONS)
+    assert measured[("ours", loosest)] > CHANCE + 0.25 * (
+        measured[("reference", loosest)] - CHANCE
+    )
+    assert measured[("ours", loosest)] > measured[("undefended", loosest)] + 0.15

@@ -1,0 +1,71 @@
+"""Figure 3 -- efficient hyper-parameter tuning (Claim 6).
+
+With normalisation, the learning rate transfers across privacy levels as
+``eta = eta_b * sigma_b / sigma``: the *base* learning rate that is optimal
+at one epsilon is also optimal at every other epsilon.  The paper sweeps the
+base learning rate at epsilon in {2, 0.5, 0.125} and finds the same optimum
+(0.2) everywhere.  We reproduce the shape: the argmax over the base-rate
+grid agrees (within one grid step) across privacy levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.tables import format_series
+from repro.experiments import benchmark_preset, run_grid
+from repro.experiments.sweep import accuracy_grid, series_from_grid
+
+BASE_LRS = (0.08, 0.2, 0.5, 1.0)
+EPSILONS = (1.0, 2.0)
+CHANCE = 0.1
+
+
+@pytest.mark.benchmark(group="figure3")
+def bench_fig3_learning_rate_transfer(benchmark, record_table):
+    grid = {}
+    for epsilon in EPSILONS:
+        for base_lr in BASE_LRS:
+            grid[(epsilon, base_lr)] = benchmark_preset(
+                dataset="mnist_like",
+                byzantine_fraction=0.4,
+                attack="label_flip",
+                defense="two_stage",
+                epsilon=epsilon,
+                base_lr=base_lr,
+                epochs=5,
+            )
+
+    def run():
+        return accuracy_grid(run_grid(grid))
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    series = {
+        f"measured (eps={epsilon})": series_from_grid(
+            measured, BASE_LRS, lambda lr, e=epsilon: (e, lr)
+        )
+        for epsilon in EPSILONS
+    }
+    text = format_series(
+        "base learning rate",
+        list(BASE_LRS),
+        series,
+        title=(
+            "Figure 3 (shape): base-learning-rate sweep under 40% Label-flipping attack\n"
+            f"paper: the optimum is the same base rate ({paper.FIGURE3_OPTIMAL_BASE_LR['mnist_like']}) "
+            "at every privacy level"
+        ),
+    )
+    record_table("fig3_lr_transfer", text)
+
+    # Shape: the optimal base learning rate is stable across privacy levels
+    # (within one grid step), which is exactly what makes the transfer rule
+    # save the quadratic tuning effort.
+    argmaxes = []
+    for epsilon in EPSILONS:
+        values = [measured[(epsilon, lr)] for lr in BASE_LRS]
+        argmaxes.append(max(range(len(BASE_LRS)), key=lambda i: values[i]))
+        assert max(values) > CHANCE + 0.1
+    assert abs(argmaxes[0] - argmaxes[1]) <= 1

@@ -1,0 +1,65 @@
+"""Figure 4 -- convergence curves under the Label-flipping attack.
+
+The paper plots per-epoch test accuracy for 20% and 60% Byzantine workers
+(epsilon = 1) against the Reference Accuracy and observes that training
+converges within the first few epochs and tracks the reference closely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_series
+from repro.experiments import benchmark_preset, run_experiment
+
+CHANCE = 0.1
+
+
+@pytest.mark.benchmark(group="figure4")
+def bench_fig4_convergence_curves(benchmark, record_table):
+    attacked_20 = benchmark_preset(
+        byzantine_fraction=0.2, attack="label_flip", defense="two_stage",
+        epsilon=1.0, epochs=6, eval_every=10,
+    )
+    attacked_60 = benchmark_preset(
+        byzantine_fraction=0.6, attack="label_flip", defense="two_stage",
+        epsilon=1.0, epochs=6, eval_every=10,
+    )
+    reference = benchmark_preset(epsilon=1.0, defense="mean", epochs=6, eval_every=10)
+
+    def run():
+        return {
+            "reference": run_experiment(reference),
+            "20% byz.": run_experiment(attacked_20),
+            "60% byz.": run_experiment(attacked_60),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rounds = results["reference"].history.rounds
+    series = {}
+    for name, result in results.items():
+        history = dict(zip(result.history.rounds, result.history.test_accuracy))
+        series[name] = [history.get(r, float("nan")) for r in rounds]
+    text = format_series(
+        "round",
+        rounds,
+        series,
+        title="Figure 4 (shape): convergence under Label-flipping attack (epsilon = 1)",
+    )
+    record_table("fig4_convergence", text)
+
+    # Shape 1: every curve ends above where it starts (training converges).
+    for name, result in results.items():
+        curve = result.history.test_accuracy
+        assert curve[-1] >= curve[0] - 0.02, name
+        assert result.history.best_accuracy > CHANCE + 0.1, name
+
+    # Shape 2: the lightly-attacked run tracks the reference more closely
+    # than chance, and the 60% run still learns.
+    assert results["20% byz."].final_accuracy > CHANCE + 0.5 * (
+        results["reference"].final_accuracy - CHANCE
+    )
+    assert results["60% byz."].final_accuracy > CHANCE + 0.3 * (
+        results["reference"].final_accuracy - CHANCE
+    )

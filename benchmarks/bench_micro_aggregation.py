@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the aggregation rules and the first-stage tests.
+
+These time the per-round server-side cost of each aggregation rule (the
+quantity that determines how the protocol scales with the number of workers
+and the model size), independent of any training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.first_stage import FirstStageFilter
+from repro.core.second_stage import SecondStageSelector
+from repro.data.synthetic import make_classification
+from repro.defenses.base import AggregationContext
+from repro.defenses.registry import build_defense
+from repro.nn.layers import Linear
+from repro.nn.network import Sequential
+
+DIMENSION = 5000
+N_WORKERS = 30
+NOISE_STD = 0.1
+
+
+@pytest.fixture(scope="module")
+def uploads():
+    rng = np.random.default_rng(0)
+    return [rng.normal(0.0, NOISE_STD, size=DIMENSION) for _ in range(N_WORKERS)]
+
+
+@pytest.fixture(scope="module")
+def context():
+    """A minimal aggregation context (only rules that ignore it are timed here)."""
+    rng = np.random.default_rng(0)
+    dataset = make_classification(60, 8, 3, nonlinear=False, rng=rng, name="micro")
+    model = Sequential([Linear(8, 3, rng)])
+    return AggregationContext(
+        model=model,
+        auxiliary=dataset.subset(np.arange(12)),
+        upload_noise_std=NOISE_STD,
+        honest_fraction=0.5,
+        round_index=0,
+        rng=np.random.default_rng(1),
+    )
+
+
+@pytest.mark.benchmark(group="micro-aggregation")
+@pytest.mark.parametrize("defense", ["mean", "median", "trimmed_mean", "krum", "rfa", "signsgd"])
+def bench_micro_baseline_aggregators(benchmark, defense, uploads, context):
+    aggregator = build_defense(defense)
+    result = benchmark(aggregator.aggregate, uploads, context)
+    assert result.shape == (DIMENSION,)
+
+
+@pytest.mark.benchmark(group="micro-first-stage")
+def bench_micro_first_stage_filter(benchmark, uploads):
+    first_stage = FirstStageFilter(sigma=NOISE_STD, dimension=DIMENSION)
+    filtered = benchmark(first_stage.filter_all, uploads)
+    assert len(filtered) == N_WORKERS
+
+
+@pytest.mark.benchmark(group="micro-second-stage")
+def bench_micro_second_stage_selection(benchmark, uploads):
+    rng = np.random.default_rng(1)
+    selector = SecondStageSelector(n_workers=N_WORKERS, gamma=0.5)
+    server_gradient = rng.normal(size=DIMENSION)
+    report = benchmark(selector.select, uploads, server_gradient)
+    assert len(report.selected) == selector.keep

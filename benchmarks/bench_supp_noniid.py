@@ -1,0 +1,73 @@
+"""Supplementary figures 24-32 -- the non-i.i.d. setting.
+
+The paper's supplementary material repeats every attack/defense evaluation
+under the Algorithm-4 non-i.i.d. partition and reports essentially the same
+behaviour as the i.i.d. case: the protocol tracks the Reference Accuracy and
+the attack fails.  This benchmark reruns the core comparison (Label-flipping,
+60% Byzantine workers) under both partitioning modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import benchmark_preset, run_grid
+from repro.experiments.sweep import accuracy_grid
+
+CHANCE = 0.1
+
+
+@pytest.mark.benchmark(group="supplementary")
+def bench_supp_noniid_setting(benchmark, record_table):
+    grid = {}
+    for iid in (True, False):
+        grid[("reference", iid)] = benchmark_preset(defense="mean", iid=iid, epochs=6)
+        grid[("ours", iid)] = benchmark_preset(
+            byzantine_fraction=0.6, attack="label_flip", defense="two_stage",
+            iid=iid, epochs=6,
+        )
+        grid[("undefended", iid)] = benchmark_preset(
+            byzantine_fraction=0.6, attack="label_flip", defense="mean",
+            iid=iid, epochs=6,
+        )
+
+    def run():
+        return accuracy_grid(run_grid(grid))
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for iid in (True, False):
+        label = "i.i.d." if iid else "non-i.i.d."
+        rows.append(
+            [
+                label,
+                measured[("reference", iid)],
+                measured[("undefended", iid)],
+                measured[("ours", iid)],
+            ]
+        )
+    record_table(
+        "supp_noniid",
+        format_table(
+            ["partition", "Reference Accuracy", "undefended under attack", "ours under attack"],
+            rows,
+            title=(
+                "Supplementary (shape): Label-flipping, 60% Byzantine workers, "
+                "i.i.d. vs Algorithm-4 non-i.i.d. partitioning"
+            ),
+        ),
+    )
+
+    for iid in (True, False):
+        reference = measured[("reference", iid)]
+        ours = measured[("ours", iid)]
+        undefended = measured[("undefended", iid)]
+        # Shape: in both settings the protocol beats the undefended mean and
+        # keeps a meaningful share of the reference accuracy.
+        assert ours > undefended + 0.1
+        assert ours > CHANCE + 0.35 * (reference - CHANCE)
+    # Shape: the non-i.i.d. setting behaves like the i.i.d. one (the paper's
+    # supplementary observation) -- the protocol does not collapse.
+    assert abs(measured[("ours", True)] - measured[("ours", False)]) < 0.3

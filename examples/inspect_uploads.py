@@ -1,0 +1,128 @@
+"""Looking inside the protocol: what the server actually sees and filters.
+
+This example drives the low-level API directly (no experiment runner):
+
+1. builds a model and a handful of honest workers running Algorithm 1;
+2. crafts Byzantine uploads with three different attacks;
+3. runs FirstAGG (norm test + KS test) on every upload and prints the
+   per-upload report;
+4. runs the second-stage inner-product selection and prints the scores.
+
+It is the programmatic version of the paper's Section 4.3-4.5 narrative and
+doubles as a tutorial for anyone building a new attack or defense.
+
+Run with::
+
+    python examples/inspect_uploads.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.byzantine.base import AttackContext
+from repro.byzantine.gaussian import GaussianAttack
+from repro.byzantine.lmp import LocalModelPoisoningAttack
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import upload_noise_std
+from repro.core.first_stage import FirstStageFilter
+from repro.core.second_stage import SecondStageSelector
+from repro.data.auxiliary import sample_auxiliary
+from repro.data.partition import partition_iid
+from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.federated.worker import HonestWorker
+from repro.nn.models import build_model
+
+N_HONEST = 6
+N_BYZANTINE = 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    train, test = load_dataset("mnist_like", scale=0.3, seed=0)
+    spec = DATASET_SPECS["mnist_like"]
+    model = build_model("mlp_small", spec.n_features, spec.n_classes, rng)
+    dp_config = DPConfig(batch_size=16, sigma=3.0, momentum=0.1)
+
+    print(f"Model size d = {model.num_parameters}, upload noise std = "
+          f"{upload_noise_std(dp_config):.4f} (sigma / batch size)\n")
+
+    # 1. Honest uploads via Algorithm 1.
+    shards = partition_iid(train, N_HONEST, rng=rng)
+    workers = [
+        HonestWorker(shard, dp_config, np.random.default_rng(100 + i))
+        for i, shard in enumerate(shards)
+    ]
+    honest_uploads = np.vstack([worker.compute_upload(model) for worker in workers])
+
+    # 2. Byzantine uploads from two crafted attacks plus an obviously broken one.
+    context = AttackContext(
+        honest_uploads=honest_uploads,
+        n_byzantine=N_BYZANTINE,
+        upload_noise_std=upload_noise_std(dp_config),
+        round_index=0,
+        total_rounds=10,
+        rng=np.random.default_rng(7),
+    )
+    gaussian = GaussianAttack().craft(context)[:2]
+    lmp = LocalModelPoisoningAttack().craft(context)[:1]
+    naive = np.ones((1, model.num_parameters)) * 5.0  # ignores the protocol entirely
+
+    uploads = list(honest_uploads) + list(gaussian) + list(lmp) + list(naive)
+    labels = (
+        [f"honest {i}" for i in range(N_HONEST)]
+        + ["gaussian attack"] * 2
+        + ["LMP attack"]
+        + ["naive large upload"]
+    )
+
+    # 3. First-stage aggregation.
+    first_stage = FirstStageFilter(
+        sigma=upload_noise_std(dp_config), dimension=model.num_parameters
+    )
+    rows = []
+    for label, upload in zip(labels, uploads):
+        report = first_stage.inspect(np.asarray(upload))
+        rows.append(
+            [
+                label,
+                float(np.linalg.norm(upload)),
+                "pass" if report.norm_ok else "reject",
+                report.ks_pvalue,
+                "pass" if report.ks_ok else "reject",
+                "KEPT" if report.accepted else "ZEROED",
+            ]
+        )
+    print(format_table(
+        ["upload", "l2 norm", "norm test", "KS p-value", "KS test", "FirstAGG"],
+        rows,
+        title="First-stage aggregation (Algorithm 2) on one round of uploads",
+    ))
+
+    # 4. Second-stage aggregation on the filtered uploads.
+    filtered = first_stage.filter_all([np.asarray(u) for u in uploads])
+    auxiliary = sample_auxiliary(test, per_class=2, rng=rng)
+    _, server_gradient = model.mean_gradient(auxiliary.features, auxiliary.labels)
+    selector = SecondStageSelector(n_workers=len(filtered), gamma=N_HONEST / len(filtered))
+    report = selector.select(filtered, server_gradient)
+
+    rows = [
+        [labels[i], report.scores[i], "selected" if i in report.selected else "dropped"]
+        for i in range(len(labels))
+    ]
+    print()
+    print(format_table(
+        ["upload", "inner-product score", "second stage"],
+        rows,
+        title="Second-stage aggregation (Algorithm 3, lines 4-14)",
+    ))
+    print(
+        "\nReading guide: the naive upload is zeroed by FirstAGG; the crafted attacks "
+        "pass the statistical tests but receive low (negative) scores against the "
+        "server's auxiliary-data gradient and are dropped by the selection."
+    )
+
+
+if __name__ == "__main__":
+    main()

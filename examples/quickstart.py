@@ -1,0 +1,68 @@
+"""Quickstart: private and Byzantine-resilient federated learning in one script.
+
+Trains a federated model with the paper's protocol while 60% of the workers
+mount a Label-flipping attack, and compares three runs:
+
+1. Reference Accuracy -- DP federated averaging, no attack, no defense;
+2. undefended        -- the same attack against plain averaging;
+3. protected         -- the same attack against the two-stage protocol.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments import benchmark_preset, reference_accuracy, run_experiment
+
+
+def main() -> None:
+    # One configuration object describes the whole experiment: the dataset,
+    # the worker population, the privacy budget, the attack and the defense.
+    attacked = benchmark_preset(
+        dataset="mnist_like",
+        byzantine_fraction=0.6,
+        attack="label_flip",
+        defense="two_stage",
+        epsilon=2.0,
+        epochs=6,
+    )
+
+    print("Running the Reference Accuracy baseline (no attack, no defense)...")
+    reference = reference_accuracy(attacked)
+
+    print("Running the undefended run (60% Label-flipping, plain averaging)...")
+    undefended = run_experiment(attacked.replace(defense="mean"))
+
+    print("Running the protected run (60% Label-flipping, two-stage protocol)...")
+    protected = run_experiment(attacked)
+
+    rows = [
+        ["Reference Accuracy (no attack)", reference.final_accuracy],
+        ["Plain averaging under attack", undefended.final_accuracy],
+        ["Two-stage protocol under attack", protected.final_accuracy],
+    ]
+    print()
+    print(
+        format_table(
+            ["run", "test accuracy"],
+            rows,
+            title=(
+                f"MNIST-like data, epsilon = {attacked.epsilon}, "
+                f"{attacked.n_byzantine} Byzantine / {attacked.n_honest} honest workers"
+            ),
+        )
+    )
+    print()
+    print(
+        "Privacy accounting: each worker's uploads satisfy "
+        f"({protected.epsilon}, {protected.metadata['delta']:.2e})-DP "
+        f"with noise multiplier sigma = {protected.sigma:.2f} over "
+        f"{protected.metadata['total_rounds']} rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro -- reproduction of "Practical Differentially Private and
+Byzantine-resilient Federated Learning" (Xiang, Wang, Lin, Wang; SIGMOD 2023).
+
+The package is organised as:
+
+- :mod:`repro.core` -- the paper's contribution: the refactored DP protocol
+  (normalisation + small batches + per-slot momentum) and the two-stage
+  Byzantine-resilient aggregation (FirstAGG + FilterGradient).
+- :mod:`repro.nn` -- NumPy neural networks with per-example gradients.
+- :mod:`repro.privacy` -- RDP accountant, noise calibration, mechanisms.
+- :mod:`repro.stats` -- KS test and chi-square norm test.
+- :mod:`repro.data` -- synthetic stand-in datasets, partitioning, auxiliary data.
+- :mod:`repro.federated` -- workers, server and the training loop.
+- :mod:`repro.byzantine` -- the attacks evaluated in the paper.
+- :mod:`repro.defenses` -- baseline robust aggregation rules.
+- :mod:`repro.experiments` -- the shared experiment runner used by the
+  examples and the benchmark harness.
+- :mod:`repro.analysis` -- result summaries and table formatting.
+
+Quick start::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        dataset="mnist_like", scale=0.2, epsilon=1.0,
+        byzantine_fraction=0.6, attack="label_flip", defense="two_stage",
+    )
+    result = run_experiment(config)
+    print(result.final_accuracy)
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment, run_seeds
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "run_experiment", "run_seeds", "__version__"]

@@ -1,0 +1,17 @@
+"""Result containers, aggregation over seeds and text-table formatting."""
+
+from repro.analysis import paper
+from repro.analysis.io import load_results, save_results
+from repro.analysis.results import RunResult, SeedSummary, summarize_runs
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "RunResult",
+    "SeedSummary",
+    "summarize_runs",
+    "format_table",
+    "format_series",
+    "paper",
+    "save_results",
+    "load_results",
+]

@@ -1,0 +1,56 @@
+"""Containers for experiment outcomes and multi-seed summaries.
+
+The paper reports every cell as min/mean/max over three random seeds; these
+helpers reproduce that reporting convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federated.history import TrainingHistory
+
+__all__ = ["RunResult", "SeedSummary", "summarize_runs"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one federated training run."""
+
+    final_accuracy: float
+    history: TrainingHistory
+    sigma: float
+    learning_rate: float
+    epsilon: float | None
+    seed: int
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Min / mean / max of the final accuracy across seeds."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    n_runs: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} (min {self.minimum:.3f}, max {self.maximum:.3f})"
+
+
+def summarize_runs(runs: list[RunResult]) -> SeedSummary:
+    """Aggregate the final accuracies of several runs."""
+    if not runs:
+        raise ValueError("cannot summarise an empty list of runs")
+    accuracies = np.array([run.final_accuracy for run in runs], dtype=np.float64)
+    return SeedSummary(
+        mean=float(accuracies.mean()),
+        minimum=float(accuracies.min()),
+        maximum=float(accuracies.max()),
+        std=float(accuracies.std()),
+        n_runs=len(runs),
+    )

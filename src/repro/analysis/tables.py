@@ -1,0 +1,70 @@
+"""Plain-text tables used by the benchmark harness.
+
+Every benchmark prints the paper's reported numbers alongside the measured
+ones; these helpers keep that output aligned and readable without pulling in
+a tabulation dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are printed with three decimals.
+    title:
+        Optional title printed above the table.
+    """
+    string_rows = [[_stringify(value) for value in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one value per header")
+    widths = [
+        max(len(header), *(len(row[i]) for row in string_rows)) if string_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render one or more named series against a shared x-axis as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

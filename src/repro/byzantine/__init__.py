@@ -1,0 +1,44 @@
+"""Byzantine attacks.
+
+The attacks considered in the paper's evaluation:
+
+- :class:`~repro.byzantine.gaussian.GaussianAttack` -- upload pure Gaussian
+  noise (Guideline 1 / [52, 77]).
+- :class:`~repro.byzantine.label_flip.LabelFlipAttack` -- poison the local
+  dataset by flipping label ``I`` to ``H - 1 - I`` and then follow the
+  protocol honestly ([11, 22]).
+- :class:`~repro.byzantine.lmp.LocalModelPoisoningAttack` -- the Optimized
+  Local Model Poisoning attack instantiated against the paper's protocol
+  (Equations 8-10).
+- :class:`~repro.byzantine.alittle.ALittleAttack` -- "A little is enough"
+  (Baruch et al., 2019).
+- :class:`~repro.byzantine.inner.InnerProductAttack` -- inner-product
+  manipulation / "Fall of empires" (Xie et al., 2020).
+- :class:`~repro.byzantine.adaptive.AdaptiveAttack` -- behave honestly until
+  a chosen fraction of training (TTBB), then switch to any wrapped attack.
+
+All attackers are *omniscient*: they see the honest uploads of the current
+round, the DP noise level and the aggregation rule (Section 3.1).
+"""
+
+from repro.byzantine.adaptive import AdaptiveAttack
+from repro.byzantine.alittle import ALittleAttack
+from repro.byzantine.base import Attack, AttackContext
+from repro.byzantine.gaussian import GaussianAttack
+from repro.byzantine.inner import InnerProductAttack
+from repro.byzantine.label_flip import LabelFlipAttack
+from repro.byzantine.lmp import LocalModelPoisoningAttack
+from repro.byzantine.registry import available_attacks, build_attack
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "GaussianAttack",
+    "LabelFlipAttack",
+    "LocalModelPoisoningAttack",
+    "ALittleAttack",
+    "InnerProductAttack",
+    "AdaptiveAttack",
+    "available_attacks",
+    "build_attack",
+]

@@ -1,0 +1,52 @@
+""""A little is enough" attack (Baruch et al., 2019).
+
+The omniscient attacker estimates the coordinate-wise mean ``mu`` and
+standard deviation ``s`` of the benign uploads and uploads ``mu - z * s``,
+with ``z`` chosen just small enough that the malicious uploads stay within
+the benign spread and evade distance/median-based defenses while still
+biasing the aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.byzantine.base import Attack, AttackContext
+from repro.stats.distributions import normal_ppf
+
+__all__ = ["ALittleAttack"]
+
+
+class ALittleAttack(Attack):
+    """Shift the benign coordinate-wise mean by ``z`` standard deviations.
+
+    Parameters
+    ----------
+    z:
+        Shift magnitude; ``None`` uses the original paper's rule based on
+        the number of honest and Byzantine workers.
+    """
+
+    def __init__(self, z: float | None = None) -> None:
+        self.z = z
+
+    def _default_z(self, n_total: int, n_byzantine: int) -> float:
+        # s = floor(n/2 + 1) - m supporters needed; pick z at the quantile
+        # (n - m - s) / (n - m) of the standard normal (Baruch et al.).
+        supporters = int(np.floor(n_total / 2.0 + 1)) - n_byzantine
+        benign = n_total - n_byzantine
+        if benign <= 0:
+            return 1.0
+        probability = (benign - supporters) / benign
+        probability = min(max(probability, 1e-3), 1.0 - 1e-3)
+        return abs(normal_ppf(probability))
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        if context.n_honest == 0:
+            return np.zeros((context.n_byzantine, context.dimension))
+        mean = context.honest_uploads.mean(axis=0)
+        std = context.honest_uploads.std(axis=0)
+        n_total = context.n_honest + context.n_byzantine
+        z = self.z if self.z is not None else self._default_z(n_total, context.n_byzantine)
+        single = mean - z * std
+        return np.tile(single, (context.n_byzantine, 1))

@@ -1,0 +1,87 @@
+"""Attack interface and the information available to an omniscient attacker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["AttackContext", "Attack"]
+
+
+@dataclass
+class AttackContext:
+    """Everything the (omniscient) Byzantine attacker can see in one round.
+
+    Attributes
+    ----------
+    honest_uploads:
+        Array of shape ``(n_honest, d)`` -- the uploads of all honest
+        workers this round (the attacker is omniscient).
+    n_byzantine:
+        Number of Byzantine uploads to produce.
+    upload_noise_std:
+        Per-coordinate standard deviation of the DP noise in an honest
+        upload; the attacker knows the public protocol parameters.
+    round_index, total_rounds:
+        Progress of training (used by the adaptive attack).
+    rng:
+        Generator for the attacker's own randomness.
+    """
+
+    honest_uploads: np.ndarray
+    n_byzantine: int
+    upload_noise_std: float
+    round_index: int
+    total_rounds: int
+    rng: np.random.Generator
+
+    @property
+    def dimension(self) -> int:
+        """Model size ``d``."""
+        return int(self.honest_uploads.shape[1])
+
+    @property
+    def n_honest(self) -> int:
+        """Number of honest workers this round."""
+        return int(self.honest_uploads.shape[0])
+
+
+class Attack:
+    """Base class for Byzantine attacks.
+
+    Two families are supported:
+
+    - *data poisoning* attacks (``follows_protocol = True``): the Byzantine
+      worker poisons its local dataset via :meth:`poison_dataset` and then
+      runs the honest DP protocol on it (e.g. label flipping);
+    - *upload crafting* attacks (``follows_protocol = False``): the attacker
+      fabricates the Byzantine uploads directly via :meth:`craft`.
+
+    :meth:`is_active` lets an attack stay dormant for part of training
+    (used by :class:`~repro.byzantine.adaptive.AdaptiveAttack`).
+    """
+
+    #: True if Byzantine workers run the honest protocol on poisoned data.
+    follows_protocol: bool = False
+
+    def poison_dataset(self, dataset: Dataset) -> Dataset:
+        """Return the poisoned local dataset (default: unchanged)."""
+        return dataset
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        """Fabricate the Byzantine uploads, shape ``(n_byzantine, d)``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not craft uploads directly"
+        )
+
+    def is_active(self, round_index: int, total_rounds: int) -> bool:
+        """Whether the attacker misbehaves in this round (default: always)."""
+        return True
+
+    @property
+    def name(self) -> str:
+        """Human-readable attack name."""
+        return type(self).__name__

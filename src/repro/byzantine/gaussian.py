@@ -1,0 +1,44 @@
+"""Gaussian attack: upload pure noise.
+
+Each Byzantine upload is drawn from ``N(0, scale^2 I)``.  By default the
+scale matches the protocol's own upload noise level, which means the
+uploads sail through the first-stage tests (they *are* the null
+distribution) but carry no signal -- the "Guideline 1" attack of
+Section 4.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.byzantine.base import Attack, AttackContext
+
+__all__ = ["GaussianAttack"]
+
+
+class GaussianAttack(Attack):
+    """Upload ``N(0, scale^2 I)`` noise.
+
+    Parameters
+    ----------
+    scale:
+        Noise standard deviation; ``None`` (default) uses the protocol's
+        upload noise level from the attack context, falling back to the
+        empirical coordinate std of the honest uploads when DP is off.
+    """
+
+    def __init__(self, scale: float | None = None) -> None:
+        if scale is not None and scale <= 0:
+            raise ValueError("scale must be positive when given")
+        self.scale = scale
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        if self.scale is not None:
+            scale = self.scale
+        elif context.upload_noise_std > 0:
+            scale = context.upload_noise_std
+        else:
+            scale = float(np.std(context.honest_uploads)) or 1.0
+        return context.rng.normal(
+            0.0, scale, size=(context.n_byzantine, context.dimension)
+        )

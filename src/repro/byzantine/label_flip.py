@@ -1,0 +1,23 @@
+"""Label-flipping attack.
+
+The Byzantine worker poisons its local dataset by flipping every label
+``I`` to ``H - 1 - I`` (``H`` = number of classes) and then follows the FL
+protocol honestly, so its uploads have the same statistical shape as benign
+ones (passing the first stage) but point the model towards wrong labels.
+"""
+
+from __future__ import annotations
+
+from repro.byzantine.base import Attack
+from repro.data.dataset import Dataset
+
+__all__ = ["LabelFlipAttack"]
+
+
+class LabelFlipAttack(Attack):
+    """Poison the local dataset with flipped labels and behave honestly."""
+
+    follows_protocol = True
+
+    def poison_dataset(self, dataset: Dataset) -> Dataset:
+        return dataset.with_flipped_labels()

@@ -1,0 +1,53 @@
+"""Name-based construction of attacks (used by experiment configs)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.byzantine.adaptive import AdaptiveAttack
+from repro.byzantine.alittle import ALittleAttack
+from repro.byzantine.base import Attack
+from repro.byzantine.gaussian import GaussianAttack
+from repro.byzantine.inner import InnerProductAttack
+from repro.byzantine.label_flip import LabelFlipAttack
+from repro.byzantine.lmp import LocalModelPoisoningAttack
+
+__all__ = ["available_attacks", "build_attack"]
+
+_BUILDERS: dict[str, Callable[..., Attack]] = {
+    "none": lambda **kw: _NoAttack(),
+    "gaussian": GaussianAttack,
+    "label_flip": LabelFlipAttack,
+    "lmp": LocalModelPoisoningAttack,
+    "alittle": ALittleAttack,
+    "inner": InnerProductAttack,
+}
+
+
+class _NoAttack(Attack):
+    """Placeholder attack: Byzantine workers behave exactly like honest ones.
+
+    Used by the "side-effect" experiment (Table 4) where 60% of workers are
+    nominally Byzantine but never misbehave.
+    """
+
+    follows_protocol = True
+
+
+def available_attacks() -> list[str]:
+    """Names accepted by :func:`build_attack` (adaptive variants via ``adaptive_<name>``)."""
+    return sorted(_BUILDERS) + [f"adaptive_{name}" for name in sorted(_BUILDERS) if name != "none"]
+
+
+def build_attack(name: str, ttbb: float = 0.0, **kwargs) -> Attack:
+    """Instantiate an attack by name.
+
+    ``adaptive_<base>`` wraps the base attack in an
+    :class:`~repro.byzantine.adaptive.AdaptiveAttack` with the given ``ttbb``.
+    """
+    if name.startswith("adaptive_"):
+        base = build_attack(name[len("adaptive_") :], **kwargs)
+        return AdaptiveAttack(base, ttbb=ttbb)
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown attack {name!r}; available: {available_attacks()}")
+    return _BUILDERS[name](**kwargs)

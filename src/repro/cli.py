@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Three subcommands cover the common workflows:
+
+- ``run``     -- run a single experiment and print the outcome;
+- ``compare`` -- run the protocol, the undefended mean and the Reference
+  Accuracy for one attack scenario and print them side by side;
+- ``list``    -- show the registered datasets, attacks, defenses and models.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run --dataset mnist_like --attack label_flip \
+        --defense two_stage --byzantine 0.6 --epsilon 1.0
+    python -m repro compare --attack lmp --byzantine 0.9 --save results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.io import save_results
+from repro.analysis.tables import format_table
+from repro.byzantine.registry import available_attacks
+from repro.data.registry import available_datasets
+from repro.defenses.registry import available_defenses
+from repro.experiments.presets import benchmark_preset, paper_preset
+from repro.experiments.reference import reference_accuracy
+from repro.experiments.runner import run_experiment
+from repro.nn.models import available_models
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private and Byzantine-resilient federated learning.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_experiment_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", default="mnist_like", choices=available_datasets())
+        sub.add_argument("--attack", default="label_flip")
+        sub.add_argument("--defense", default="two_stage", choices=available_defenses())
+        sub.add_argument("--byzantine", type=float, default=0.6,
+                         help="fraction of the total worker population that is Byzantine")
+        sub.add_argument("--epsilon", type=float, default=2.0,
+                         help="per-worker privacy budget (use --no-dp to disable DP)")
+        sub.add_argument("--no-dp", action="store_true", help="disable differential privacy")
+        sub.add_argument("--gamma", type=float, default=None,
+                         help="server belief about the honest fraction (default: exact)")
+        sub.add_argument("--epochs", type=int, default=6)
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument("--ttbb", type=float, default=0.0,
+                         help="activation point of adaptive_* attacks")
+        sub.add_argument("--noniid", action="store_true", help="non-i.i.d. partitioning")
+        sub.add_argument("--paper-scale", action="store_true",
+                         help="use the paper's full-scale settings (slow on CPU)")
+        sub.add_argument("--save", default=None, help="write results to this JSON file")
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    add_experiment_arguments(run_parser)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run protocol vs undefended vs Reference Accuracy"
+    )
+    add_experiment_arguments(compare_parser)
+
+    subparsers.add_parser("list", help="list datasets, attacks, defenses and models")
+    return parser
+
+
+def _config_from_arguments(arguments: argparse.Namespace):
+    preset = paper_preset if arguments.paper_scale else benchmark_preset
+    return preset(
+        dataset=arguments.dataset,
+        byzantine_fraction=arguments.byzantine,
+        attack=arguments.attack,
+        defense=arguments.defense,
+        epsilon=None if arguments.no_dp else arguments.epsilon,
+        gamma=arguments.gamma,
+        seed=arguments.seed,
+        ttbb=arguments.ttbb,
+        iid=not arguments.noniid,
+        **({} if arguments.paper_scale else {"epochs": arguments.epochs}),
+    )
+
+
+def _command_list() -> int:
+    print(format_table(["kind", "registered names"], [
+        ["datasets", ", ".join(available_datasets())],
+        ["attacks", ", ".join(available_attacks())],
+        ["defenses", ", ".join(available_defenses())],
+        ["models", ", ".join(available_models())],
+    ]))
+    return 0
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    config = _config_from_arguments(arguments)
+    result = run_experiment(config)
+    print(format_table(["field", "value"], [
+        ["dataset", config.dataset],
+        ["attack / defense", f"{config.attack} / {config.defense}"],
+        ["workers (honest + byzantine)", f"{config.n_honest} + {config.n_byzantine}"],
+        ["epsilon", "non-private" if config.epsilon is None else config.epsilon],
+        ["noise multiplier sigma", result.sigma],
+        ["learning rate", result.learning_rate],
+        ["rounds", result.metadata["total_rounds"]],
+        ["final test accuracy", result.final_accuracy],
+    ], title="Experiment result"))
+    if arguments.save:
+        save_results({"run": result}, arguments.save)
+        print(f"\nresults written to {arguments.save}")
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    config = _config_from_arguments(arguments)
+    reference = reference_accuracy(config)
+    undefended = run_experiment(config.replace(defense="mean"))
+    protected = run_experiment(config)
+    print(format_table(["run", "test accuracy"], [
+        ["Reference Accuracy (no attack, no defense)", reference.final_accuracy],
+        [f"undefended mean under {config.attack}", undefended.final_accuracy],
+        [f"{config.defense} under {config.attack}", protected.final_accuracy],
+    ], title=(
+        f"{config.dataset}: {int(arguments.byzantine * 100)}% Byzantine workers, "
+        f"epsilon = {'non-private' if config.epsilon is None else config.epsilon}"
+    )))
+    if arguments.save:
+        save_results(
+            {"reference": reference, "undefended": undefended, "protected": protected},
+            arguments.save,
+        )
+        print(f"\nresults written to {arguments.save}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments)
+    if arguments.command == "compare":
+        return _command_compare(arguments)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

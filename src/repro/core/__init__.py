@@ -1,0 +1,38 @@
+"""The paper's primary contribution: co-designed DP protocol + two-stage aggregation.
+
+- :mod:`repro.core.config` -- typed configuration for the client-side DP
+  protocol and the server-side aggregation.
+- :mod:`repro.core.dp_protocol` -- the refactored DP-SGD of Algorithm 1
+  (normalisation instead of clipping, per-slot momentum, small batch size).
+- :mod:`repro.core.first_stage` -- FirstAGG (Algorithm 2): norm test + KS test.
+- :mod:`repro.core.second_stage` -- the inner-product score filter of
+  Algorithm 3 (lines 4-14).
+- :mod:`repro.core.protocol` -- :class:`TwoStageAggregator`, tying both
+  stages into a server-side aggregation rule, with switches for ablations.
+- :mod:`repro.core.hyperparams` -- the learning-rate transfer rule
+  (Equation 4 / Claim 6) and the Theorem 1 convergence bound.
+"""
+
+from repro.core.config import DPConfig, ProtocolConfig
+from repro.core.dp_protocol import LocalDPState, local_update
+from repro.core.first_stage import FirstStageFilter
+from repro.core.hyperparams import (
+    optimal_learning_rate,
+    theorem1_bound,
+    transfer_learning_rate,
+)
+from repro.core.protocol import TwoStageAggregator
+from repro.core.second_stage import SecondStageSelector
+
+__all__ = [
+    "DPConfig",
+    "ProtocolConfig",
+    "LocalDPState",
+    "local_update",
+    "FirstStageFilter",
+    "SecondStageSelector",
+    "TwoStageAggregator",
+    "transfer_learning_rate",
+    "optimal_learning_rate",
+    "theorem1_bound",
+]

@@ -1,0 +1,112 @@
+"""Client-side DP protocol (Algorithm 1, lines 4-12).
+
+Each iteration an honest worker:
+
+1. samples a mini-batch of size ``b_c``;
+2. computes per-example gradients ``g_j``;
+3. updates a per-slot momentum list ``phi[j] = (1 - beta) g_j + beta phi[j]``;
+4. normalises every momentum slot to unit l2-norm (this paper) or clips it
+   (vanilla DP-SGD baseline);
+5. averages the slots and adds Gaussian noise ``N(0, sigma^2 I)``;
+6. uploads the result and overwrites every momentum slot with the upload.
+
+The upload of an honest worker therefore has the form ``g = g_tilde + z``
+with ``||g_tilde|| <= 1`` and ``z ~ N(0, sigma^2 I)`` -- the statistical
+structure both aggregation stages rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DPConfig
+from repro.data.dataset import Dataset
+from repro.nn.network import Sequential
+from repro.privacy.mechanisms import (
+    clip_gradients,
+    gaussian_noise,
+    normalize_gradients,
+)
+
+__all__ = ["LocalDPState", "local_update", "noise_to_signal_ratio", "upload_noise_std"]
+
+
+@dataclass
+class LocalDPState:
+    """Per-worker state carried across iterations: the momentum list ``phi``.
+
+    ``phi`` has shape ``(batch_size, d)``; slot ``j`` holds the momentum of
+    the ``j``-th position in the local mini-batch (Algorithm 1, line 1).
+    """
+
+    momentum: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+    def ensure_shape(self, batch_size: int, dimension: int) -> None:
+        """(Re)initialise the momentum list if the shape does not match."""
+        if self.momentum.shape != (batch_size, dimension):
+            self.momentum = np.zeros((batch_size, dimension), dtype=np.float64)
+
+
+def local_update(
+    model: Sequential,
+    dataset: Dataset,
+    state: LocalDPState,
+    config: DPConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One local iteration of Algorithm 1; returns the worker's upload.
+
+    The caller is responsible for having loaded the current global
+    parameters into ``model`` (model broadcasting, line 3).
+    """
+    dimension = model.num_parameters
+    state.ensure_shape(config.batch_size, dimension)
+
+    batch = dataset.sample_batch(config.batch_size, rng)
+    _, per_example = model.per_example_gradients(batch.features, batch.labels)
+
+    # Momentum update per slot (line 8).
+    state.momentum = (1.0 - config.momentum) * per_example + config.momentum * state.momentum
+
+    # Bound sensitivity: normalise (paper) or clip (vanilla DP-SGD baseline).
+    if config.bounding == "normalize":
+        bounded = normalize_gradients(state.momentum)
+    else:
+        bounded = clip_gradients(state.momentum, config.clip_norm)
+
+    # Average the slots and add Gaussian noise (line 10).
+    noise = gaussian_noise(dimension, config.sigma, rng)
+    upload = (bounded.sum(axis=0) + noise) / config.batch_size
+
+    # Line 11: every momentum slot is overwritten with the upload.
+    state.momentum = np.tile(upload, (config.batch_size, 1))
+    return upload
+
+
+def noise_to_signal_ratio(config: DPConfig, dimension: int) -> float:
+    """Expected ratio ``||z|| / ||g_tilde||`` for an honest upload.
+
+    ``||z|| ≈ sigma * sqrt(d)`` while ``g_tilde`` is a sum of ``b_c``
+    unit-norm vectors, so ``||g_tilde|| <= b_c``.  The first-stage
+    aggregation assumes this ratio is much larger than 1; the paper controls
+    it by using a small batch size or a bigger model (Section 4.3,
+    "Ensuring ||z|| >> ||g_tilde||").
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    if config.sigma == 0:
+        return 0.0
+    return config.sigma * np.sqrt(dimension) / config.batch_size
+
+
+def upload_noise_std(config: DPConfig) -> float:
+    """Per-coordinate standard deviation of the DP noise in an *upload*.
+
+    Algorithm 1 adds ``N(0, sigma^2 I)`` to the slot sum and then divides by
+    the batch size, so each coordinate of the uploaded vector carries noise
+    with standard deviation ``sigma / b_c``.  This is the sigma the server's
+    first-stage tests (norm test and KS test) must be run against.
+    """
+    return config.sigma / config.batch_size

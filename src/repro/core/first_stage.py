@@ -1,0 +1,143 @@
+"""First-stage aggregation: FirstAGG (Algorithm 2).
+
+An upload is accepted only if it is statistically indistinguishable from a
+vector dominated by the protocol's DP noise:
+
+1. **Norm test** -- its squared l2-norm must lie inside the 3-sigma
+   chi-square interval around ``sigma^2 d`` (Section 4.3).
+2. **KS test** -- treating the coordinates as samples, a one-sample
+   Kolmogorov-Smirnov test against ``N(0, sigma^2)`` must not reject at the
+   configured significance level (0.05).
+
+Rejected uploads are replaced by the zero vector, exactly as in Algorithm 2
+(``g <- 0``), which removes their influence from the averaged update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.ks import critical_statistic, ks_test, theorem2_interval
+from repro.stats.norm_test import squared_norm_interval
+
+__all__ = ["FirstStageFilter", "FirstStageReport"]
+
+
+@dataclass(frozen=True)
+class FirstStageReport:
+    """Outcome of running FirstAGG on one upload."""
+
+    accepted: bool
+    norm_ok: bool
+    ks_ok: bool
+    squared_norm: float
+    ks_pvalue: float
+
+
+class FirstStageFilter:
+    """FirstAGG: the norm test plus the KS test.
+
+    Parameters
+    ----------
+    sigma:
+        Per-coordinate standard deviation of the DP noise *in the upload*
+        (``sigma_protocol / b_c``; see
+        :func:`repro.core.dp_protocol.upload_noise_std`).
+    dimension:
+        Model size ``d``.
+    significance:
+        KS-test rejection threshold on the p-value (paper: 0.05).
+    norm_k:
+        Width of the norm acceptance interval in standard deviations
+        (paper: 3).
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        dimension: int,
+        significance: float = 0.05,
+        norm_k: float = 3.0,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive (FirstAGG requires DP noise)")
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.sigma = float(sigma)
+        self.dimension = int(dimension)
+        self.significance = float(significance)
+        self.norm_k = float(norm_k)
+        self._norm_bounds = squared_norm_interval(self.sigma, self.dimension, self.norm_k)
+
+    # ------------------------------------------------------------------ #
+    # individual tests
+    # ------------------------------------------------------------------ #
+    def norm_bounds(self) -> tuple[float, float]:
+        """Acceptance interval for the squared norm of an upload."""
+        return self._norm_bounds
+
+    def passes_norm_test(self, upload: np.ndarray) -> bool:
+        """True if the upload's squared norm is inside the chi-square interval."""
+        squared = float(np.dot(upload, upload))
+        low, high = self._norm_bounds
+        return low <= squared <= high
+
+    def ks_pvalue(self, upload: np.ndarray) -> float:
+        """KS-test p-value of the upload's coordinates against ``N(0, sigma^2)``."""
+        return ks_test(upload, self.sigma).pvalue
+
+    def passes_ks_test(self, upload: np.ndarray) -> bool:
+        """True if the KS test does not reject at the configured significance."""
+        return self.ks_pvalue(upload) >= self.significance
+
+    # ------------------------------------------------------------------ #
+    # FirstAGG
+    # ------------------------------------------------------------------ #
+    def inspect(self, upload: np.ndarray) -> FirstStageReport:
+        """Run both tests and return a detailed report."""
+        upload = np.asarray(upload, dtype=np.float64)
+        if upload.shape != (self.dimension,):
+            raise ValueError(
+                f"upload must have shape ({self.dimension},), got {upload.shape}"
+            )
+        squared = float(np.dot(upload, upload))
+        low, high = self._norm_bounds
+        norm_ok = low <= squared <= high
+        pvalue = self.ks_pvalue(upload)
+        ks_ok = pvalue >= self.significance
+        return FirstStageReport(
+            accepted=norm_ok and ks_ok,
+            norm_ok=norm_ok,
+            ks_ok=ks_ok,
+            squared_norm=squared,
+            ks_pvalue=pvalue,
+        )
+
+    def accepts(self, upload: np.ndarray) -> bool:
+        """True if the upload passes FirstAGG."""
+        return self.inspect(upload).accepted
+
+    def apply(self, upload: np.ndarray) -> np.ndarray:
+        """Algorithm 2: return the upload unchanged if accepted, else the zero vector."""
+        if self.accepts(upload):
+            return np.asarray(upload, dtype=np.float64)
+        return np.zeros(self.dimension, dtype=np.float64)
+
+    def filter_all(self, uploads: list[np.ndarray]) -> list[np.ndarray]:
+        """Apply FirstAGG to every upload (Algorithm 3, lines 1-3)."""
+        return [self.apply(upload) for upload in uploads]
+
+    # ------------------------------------------------------------------ #
+    # Theorem 2 helpers
+    # ------------------------------------------------------------------ #
+    def critical_ks_statistic(self) -> float:
+        """Largest KS statistic that still passes at the configured significance."""
+        return critical_statistic(self.dimension, self.significance)
+
+    def coordinate_interval(self, k: int) -> tuple[float, float]:
+        """Theorem 2: interval the k-th order statistic of an accepted upload must lie in."""
+        return theorem2_interval(
+            k, self.dimension, self.sigma, self.critical_ks_statistic()
+        )

@@ -1,0 +1,134 @@
+"""The paper's full server-side aggregation rule (Algorithm 3).
+
+:class:`TwoStageAggregator` composes the first-stage statistical filter
+(FirstAGG) with the second-stage inner-product selection, then averages the
+selected uploads over the *total* number of workers ``n`` (Algorithm 1,
+line 14).  Both stages can be switched off individually for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.first_stage import FirstStageFilter
+from repro.core.second_stage import SecondStageSelector
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["TwoStageAggregator"]
+
+
+class TwoStageAggregator(Aggregator):
+    """Private-and-secure aggregation: FirstAGG + FilterGradient.
+
+    Parameters
+    ----------
+    config:
+        Protocol configuration (``gamma``, KS significance, norm width and
+        the ablation switches).
+
+    Notes
+    -----
+    - The first stage needs the DP noise level of an upload; it is read from
+      ``context.upload_noise_std`` each round and the filter is rebuilt when
+      the value (or the model size) changes.  When the context reports zero
+      noise (non-private runs) the first stage is skipped because its null
+      hypothesis is undefined.
+    - The second stage maintains the accumulated score list ``S`` across
+      rounds, so a single aggregator instance must be used for a whole
+      training run; call :meth:`reset` to start a new run.
+    """
+
+    requires_auxiliary = True
+
+    def __init__(self, config: ProtocolConfig | None = None) -> None:
+        self.config = config if config is not None else ProtocolConfig()
+        self._first_stage: FirstStageFilter | None = None
+        self._second_stage: SecondStageSelector | None = None
+        self.last_selected: np.ndarray | None = None
+        self.last_first_stage_accepted: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget all cross-round state (score list and cached filters)."""
+        self._first_stage = None
+        self._second_stage = None
+        self.last_selected = None
+        self.last_first_stage_accepted = None
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _first_stage_filter(
+        self, dimension: int, noise_std: float
+    ) -> FirstStageFilter:
+        rebuild = (
+            self._first_stage is None
+            or self._first_stage.dimension != dimension
+            or not math.isclose(self._first_stage.sigma, noise_std, rel_tol=1e-9)
+        )
+        if rebuild:
+            self._first_stage = FirstStageFilter(
+                sigma=noise_std,
+                dimension=dimension,
+                significance=self.config.ks_significance,
+                norm_k=self.config.norm_k,
+            )
+        return self._first_stage
+
+    def _second_stage_selector(self, n_workers: int) -> SecondStageSelector:
+        if self._second_stage is None or self._second_stage.n_workers != n_workers:
+            self._second_stage = SecondStageSelector(
+                n_workers=n_workers, gamma=self.config.gamma
+            )
+        return self._second_stage
+
+    def _server_gradient(self, context: AggregationContext) -> np.ndarray:
+        if context.auxiliary is None:
+            raise ValueError("TwoStageAggregator requires server auxiliary data")
+        auxiliary = context.auxiliary
+        if (
+            self.config.auxiliary_batch is not None
+            and len(auxiliary) > self.config.auxiliary_batch
+        ):
+            auxiliary = auxiliary.sample_batch(self.config.auxiliary_batch, context.rng)
+        _, gradient = context.model.mean_gradient(auxiliary.features, auxiliary.labels)
+        return gradient
+
+    # ------------------------------------------------------------------ #
+    # Aggregator interface
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        n_workers, dimension = stacked.shape
+
+        # Stage 1: FirstAGG on every upload (Algorithm 3, lines 1-3).
+        apply_first = self.config.use_first_stage and context.upload_noise_std > 0
+        if apply_first:
+            first_stage = self._first_stage_filter(dimension, context.upload_noise_std)
+            filtered = [first_stage.apply(upload) for upload in stacked]
+            self.last_first_stage_accepted = np.array(
+                [bool(np.any(upload)) for upload in filtered]
+            )
+        else:
+            filtered = [upload for upload in stacked]
+            self.last_first_stage_accepted = np.ones(n_workers, dtype=bool)
+
+        # Stage 2: inner-product selection (Algorithm 3, lines 4-14).
+        if self.config.use_second_stage:
+            selector = self._second_stage_selector(n_workers)
+            server_gradient = self._server_gradient(context)
+            report = selector.select(filtered, server_gradient)
+            self.last_selected = report.selected
+            selected_uploads = [filtered[index] for index in report.selected]
+        else:
+            self.last_selected = np.arange(n_workers)
+            selected_uploads = filtered
+
+        # Model update term (Algorithm 1, line 14): average over all n workers.
+        total = np.sum(selected_uploads, axis=0)
+        return total / n_workers

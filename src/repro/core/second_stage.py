@@ -1,0 +1,108 @@
+"""Second-stage aggregation (Algorithm 3, lines 4-14).
+
+The server estimates the true gradient from its tiny auxiliary dataset,
+scores every (first-stage-filtered) upload by its **inner product** with
+that estimate, suppresses scores below the mean of the top-``ceil(gamma n)``
+scores, accumulates the surviving scores in a per-worker list ``S`` across
+rounds, and finally selects the uploads of the ``ceil(gamma n)`` workers
+with the highest accumulated score.  Selected uploads enter the model update
+with weight 1; everything else is discarded (binary weights -- a deliberate
+difference from FLTrust-style real-valued weighting, Section 4.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SecondStageSelector", "SecondStageReport"]
+
+
+@dataclass(frozen=True)
+class SecondStageReport:
+    """Outcome of one round of the second-stage selection."""
+
+    scores: np.ndarray
+    threshold: float
+    selected: np.ndarray
+    accumulated: np.ndarray
+
+
+class SecondStageSelector:
+    """Inner-product score filter with an accumulated score list.
+
+    Parameters
+    ----------
+    n_workers:
+        Total number of workers ``n``.
+    gamma:
+        Server's belief of the honest fraction; ``ceil(gamma * n)`` uploads
+        are kept every round.
+    """
+
+    def __init__(self, n_workers: int, gamma: float) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.n_workers = int(n_workers)
+        self.gamma = float(gamma)
+        self.keep = max(1, math.ceil(self.gamma * self.n_workers))
+        # Server-maintained score list S (Algorithm 3 input).
+        self.accumulated_scores = np.zeros(self.n_workers, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Clear the accumulated score list (start of a fresh training run)."""
+        self.accumulated_scores[:] = 0.0
+
+    def select(
+        self, uploads: list[np.ndarray], server_gradient: np.ndarray
+    ) -> SecondStageReport:
+        """Run lines 5-14 of Algorithm 3 for one round.
+
+        Parameters
+        ----------
+        uploads:
+            The ``n`` uploads *after* first-stage filtering (rejected uploads
+            are zero vectors and therefore score 0).
+        server_gradient:
+            The server's gradient estimate ``g_s`` computed on its auxiliary
+            data at the current model.
+
+        Returns
+        -------
+        A :class:`SecondStageReport` whose ``selected`` field contains the
+        indices of the workers whose uploads enter the model update.
+        """
+        if len(uploads) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} uploads, got {len(uploads)}"
+            )
+        server_gradient = np.asarray(server_gradient, dtype=np.float64)
+
+        # Lines 5-8: inner-product scores.
+        scores = np.array(
+            [float(np.dot(upload, server_gradient)) for upload in uploads],
+            dtype=np.float64,
+        )
+
+        # Line 9: mean of the top ceil(gamma n) scores is the threshold.
+        top = np.sort(scores)[::-1][: self.keep]
+        threshold = float(np.mean(top))
+
+        # Lines 10-13: suppress scores below the threshold, accumulate.
+        round_scores = np.where(scores < threshold, 0.0, scores)
+        self.accumulated_scores += round_scores
+
+        # Line 14: select the workers with the highest accumulated scores.
+        order = np.argsort(-self.accumulated_scores, kind="stable")
+        selected = np.sort(order[: self.keep])
+
+        return SecondStageReport(
+            scores=scores,
+            threshold=threshold,
+            selected=selected,
+            accumulated=self.accumulated_scores.copy(),
+        )

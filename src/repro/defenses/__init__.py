@@ -1,0 +1,46 @@
+"""Robust aggregation baselines.
+
+These are the aggregation rules the paper compares against (Table 1 and the
+related-work discussion):
+
+- :class:`~repro.defenses.mean.MeanAggregator` -- plain FedAvg, no defense.
+- :class:`~repro.defenses.krum.KrumAggregator` -- Krum / Multi-Krum.
+- :class:`~repro.defenses.median.CoordinateMedianAggregator`.
+- :class:`~repro.defenses.trimmed_mean.TrimmedMeanAggregator`.
+- :class:`~repro.defenses.rfa.GeometricMedianAggregator` -- RFA (Weiszfeld).
+- :class:`~repro.defenses.bulyan.BulyanAggregator` -- Bulyan (iterated Krum + trimmed mean).
+- :class:`~repro.defenses.fltrust.FLTrustAggregator` -- cosine-similarity
+  trust bootstrapping with server auxiliary data.
+- :class:`~repro.defenses.signsgd.SignAggregator` -- sign-SGD majority vote,
+  modelling the DP sign-compression line of work ([77], [43]).
+
+All of them implement :class:`~repro.defenses.base.Aggregator`, so any
+attack can be evaluated against any defense, including the paper's
+:class:`~repro.core.protocol.TwoStageAggregator`.
+"""
+
+from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.bulyan import BulyanAggregator
+from repro.defenses.fltrust import FLTrustAggregator
+from repro.defenses.krum import KrumAggregator
+from repro.defenses.mean import MeanAggregator
+from repro.defenses.median import CoordinateMedianAggregator
+from repro.defenses.registry import available_defenses, build_defense
+from repro.defenses.rfa import GeometricMedianAggregator
+from repro.defenses.signsgd import SignAggregator
+from repro.defenses.trimmed_mean import TrimmedMeanAggregator
+
+__all__ = [
+    "Aggregator",
+    "AggregationContext",
+    "MeanAggregator",
+    "KrumAggregator",
+    "BulyanAggregator",
+    "CoordinateMedianAggregator",
+    "TrimmedMeanAggregator",
+    "GeometricMedianAggregator",
+    "FLTrustAggregator",
+    "SignAggregator",
+    "available_defenses",
+    "build_defense",
+]

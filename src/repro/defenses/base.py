@@ -1,0 +1,83 @@
+"""Aggregator interface shared by all defenses and by the paper's protocol.
+
+An aggregator consumes the ``n`` uploads of one round plus an
+:class:`AggregationContext` describing what the server legitimately knows
+(its own model copy, its auxiliary data, the protocol's noise level, its
+belief about the honest fraction) and returns the vector used in the model
+update ``w <- w - eta * aggregate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.network import Sequential
+
+__all__ = ["AggregationContext", "Aggregator"]
+
+
+@dataclass
+class AggregationContext:
+    """Information available to the server when aggregating one round.
+
+    Attributes
+    ----------
+    model:
+        The current global model (parameters already set to ``w_{t-1}``).
+    auxiliary:
+        The server's tiny labelled auxiliary dataset, or ``None`` if the
+        defense does not use one.
+    upload_noise_std:
+        Per-coordinate standard deviation of the DP noise carried by an
+        honest upload (``sigma / b_c``); 0 for non-private runs.
+    honest_fraction:
+        The server's belief ``gamma`` about the fraction of honest workers.
+    round_index:
+        0-based index of the current aggregation round.
+    rng:
+        Generator for any randomness the aggregator needs.
+    """
+
+    model: Sequential
+    auxiliary: Dataset | None
+    upload_noise_std: float
+    honest_fraction: float
+    round_index: int
+    rng: np.random.Generator
+
+    def server_gradient(self) -> np.ndarray:
+        """Gradient of the loss on the auxiliary data at the current model."""
+        if self.auxiliary is None:
+            raise ValueError("this aggregation rule requires server auxiliary data")
+        _, gradient = self.model.mean_gradient(
+            self.auxiliary.features, self.auxiliary.labels
+        )
+        return gradient
+
+
+class Aggregator:
+    """Base class: turn the round's uploads into a single update vector."""
+
+    #: whether the rule needs ``context.auxiliary`` to be populated
+    requires_auxiliary: bool = False
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any cross-round state (default: stateless)."""
+
+    @staticmethod
+    def _validate(uploads: list[np.ndarray]) -> np.ndarray:
+        """Stack uploads into an ``(n, d)`` array, checking consistency."""
+        if not uploads:
+            raise ValueError("cannot aggregate an empty list of uploads")
+        stacked = np.vstack([np.asarray(u, dtype=np.float64) for u in uploads])
+        if stacked.ndim != 2:
+            raise ValueError("uploads must be flat vectors")
+        return stacked

@@ -1,0 +1,63 @@
+"""Bulyan (Guerraoui et al., 2018), one of the Table 1 baselines.
+
+Bulyan runs a Krum-style selection repeatedly to build a selection set of
+``n - 2f`` uploads and then aggregates them with a per-coordinate trimmed
+mean around the coordinate-wise median.  Like Krum it assumes a Byzantine
+*minority* (it needs ``n >= 4f + 3``); under a Byzantine majority the
+selection set is dominated by colluding uploads and the rule fails, which is
+exactly the limitation the paper's Table 1 records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.krum import krum_scores
+
+__all__ = ["BulyanAggregator"]
+
+
+class BulyanAggregator(Aggregator):
+    """Bulyan: iterated Krum selection followed by a trimmed coordinate mean.
+
+    Parameters
+    ----------
+    byzantine_fraction:
+        Assumed fraction of Byzantine workers ``f / n``.  Used both to size
+        the Krum neighbourhood and to decide how many coordinates are
+        trimmed around the median.
+    """
+
+    def __init__(self, byzantine_fraction: float = 0.2) -> None:
+        if not 0.0 <= byzantine_fraction < 1.0:
+            raise ValueError("byzantine_fraction must be in [0, 1)")
+        self.byzantine_fraction = byzantine_fraction
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        n = stacked.shape[0]
+        f = int(round(self.byzantine_fraction * n))
+
+        # Selection phase: repeatedly pick the Krum winner among the
+        # remaining uploads until n - 2f (at least 1) uploads are selected.
+        target = max(1, n - 2 * f)
+        remaining = list(range(n))
+        selected: list[int] = []
+        while remaining and len(selected) < target:
+            scores = krum_scores(stacked[remaining], n_byzantine=f)
+            winner_position = int(np.argmin(scores))
+            selected.append(remaining.pop(winner_position))
+        chosen = stacked[selected]
+
+        # Aggregation phase: per coordinate, average the beta = m - 2f values
+        # closest to the coordinate-wise median (m = size of the selection set).
+        m = chosen.shape[0]
+        beta = max(1, m - 2 * f)
+        median = np.median(chosen, axis=0)
+        distance_to_median = np.abs(chosen - median)
+        order = np.argsort(distance_to_median, axis=0)
+        closest = np.take_along_axis(chosen, order[:beta], axis=0)
+        return closest.mean(axis=0)

@@ -1,0 +1,42 @@
+"""FLTrust-style trust bootstrapping (Cao et al., 2020).
+
+The server computes a gradient on its own auxiliary data, assigns each
+upload a trust score ``relu(cosine(upload, server_gradient))``, rescales
+every upload to the server gradient's norm and takes the trust-weighted
+average.  This is the "real-valued weights + cosine similarity" family the
+paper contrasts its binary inner-product selection against (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["FLTrustAggregator"]
+
+
+class FLTrustAggregator(Aggregator):
+    """Cosine-similarity weighted aggregation against a server gradient."""
+
+    requires_auxiliary = True
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        server_gradient = context.server_gradient()
+        server_norm = float(np.linalg.norm(server_gradient))
+        if server_norm == 0.0:
+            return stacked.mean(axis=0)
+
+        upload_norms = np.linalg.norm(stacked, axis=1)
+        safe_norms = np.maximum(upload_norms, 1e-12)
+        cosines = (stacked @ server_gradient) / (safe_norms * server_norm)
+        trust = np.maximum(cosines, 0.0)
+
+        if trust.sum() == 0.0:
+            return np.zeros_like(server_gradient)
+
+        rescaled = stacked * (server_norm / safe_norms)[:, None]
+        return (trust[:, None] * rescaled).sum(axis=0) / trust.sum()

@@ -1,0 +1,62 @@
+"""Krum and Multi-Krum (Blanchard et al., 2017).
+
+Krum selects the upload whose summed squared distance to its
+``n - f - 2`` nearest neighbours is smallest, where ``f`` is the assumed
+number of Byzantine workers.  Multi-Krum averages the ``m`` best-scoring
+uploads.  Krum tolerates fewer than 50% Byzantine workers by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["KrumAggregator", "krum_scores"]
+
+
+def krum_scores(stacked: np.ndarray, n_byzantine: int) -> np.ndarray:
+    """Krum score of every upload (lower is better)."""
+    n = stacked.shape[0]
+    # pairwise squared distances
+    squared_norms = np.sum(stacked**2, axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * stacked @ stacked.T
+    np.fill_diagonal(distances, np.inf)
+    distances = np.maximum(distances, 0.0)
+
+    neighbours = max(1, n - n_byzantine - 2)
+    neighbours = min(neighbours, n - 1)
+    sorted_distances = np.sort(distances, axis=1)
+    return sorted_distances[:, :neighbours].sum(axis=1)
+
+
+class KrumAggregator(Aggregator):
+    """Krum (``multi=1``) or Multi-Krum (``multi > 1``).
+
+    Parameters
+    ----------
+    byzantine_fraction:
+        Assumed fraction of Byzantine workers ``f / n``; used to size the
+        neighbourhood.
+    multi:
+        Number of top-scoring uploads averaged (1 = classic Krum).
+    """
+
+    def __init__(self, byzantine_fraction: float = 0.2, multi: int = 1) -> None:
+        if not 0.0 <= byzantine_fraction < 1.0:
+            raise ValueError("byzantine_fraction must be in [0, 1)")
+        if multi < 1:
+            raise ValueError("multi must be at least 1")
+        self.byzantine_fraction = byzantine_fraction
+        self.multi = multi
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        n = stacked.shape[0]
+        n_byzantine = int(round(self.byzantine_fraction * n))
+        scores = krum_scores(stacked, n_byzantine)
+        order = np.argsort(scores, kind="stable")
+        chosen = order[: min(self.multi, n)]
+        return stacked[chosen].mean(axis=0)

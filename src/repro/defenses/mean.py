@@ -1,0 +1,20 @@
+"""Plain averaging (FedAvg) -- the undefended baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["MeanAggregator"]
+
+
+class MeanAggregator(Aggregator):
+    """Average all uploads.  No Byzantine resilience; used for the
+    "Reference Accuracy" runs (DP only, no attack, no defense)."""
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        return stacked.mean(axis=0)

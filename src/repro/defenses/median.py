@@ -1,0 +1,19 @@
+"""Coordinate-wise median aggregation (Yin et al., 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["CoordinateMedianAggregator"]
+
+
+class CoordinateMedianAggregator(Aggregator):
+    """Take the median of every coordinate across uploads."""
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        return np.median(stacked, axis=0)

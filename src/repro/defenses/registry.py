@@ -1,0 +1,67 @@
+"""Name-based construction of defenses (used by experiment configs)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.defenses.base import Aggregator
+from repro.defenses.bulyan import BulyanAggregator
+from repro.defenses.fltrust import FLTrustAggregator
+from repro.defenses.krum import KrumAggregator
+from repro.defenses.mean import MeanAggregator
+from repro.defenses.median import CoordinateMedianAggregator
+from repro.defenses.rfa import GeometricMedianAggregator
+from repro.defenses.signsgd import SignAggregator
+from repro.defenses.trimmed_mean import TrimmedMeanAggregator
+
+__all__ = ["available_defenses", "build_defense"]
+
+
+def _build_two_stage(**kwargs) -> Aggregator:
+    # Imported lazily to avoid a circular import with repro.core.
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import TwoStageAggregator
+
+    return TwoStageAggregator(ProtocolConfig(**kwargs))
+
+
+def _build_first_stage_only(**kwargs) -> Aggregator:
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import TwoStageAggregator
+
+    return TwoStageAggregator(ProtocolConfig(use_second_stage=False, **kwargs))
+
+
+def _build_second_stage_only(**kwargs) -> Aggregator:
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import TwoStageAggregator
+
+    return TwoStageAggregator(ProtocolConfig(use_first_stage=False, **kwargs))
+
+
+_BUILDERS: dict[str, Callable[..., Aggregator]] = {
+    "mean": MeanAggregator,
+    "krum": KrumAggregator,
+    "bulyan": BulyanAggregator,
+    "multi_krum": lambda **kw: KrumAggregator(multi=kw.pop("multi", 3), **kw),
+    "median": CoordinateMedianAggregator,
+    "trimmed_mean": TrimmedMeanAggregator,
+    "rfa": GeometricMedianAggregator,
+    "fltrust": FLTrustAggregator,
+    "signsgd": SignAggregator,
+    "two_stage": _build_two_stage,
+    "first_stage_only": _build_first_stage_only,
+    "second_stage_only": _build_second_stage_only,
+}
+
+
+def available_defenses() -> list[str]:
+    """Names accepted by :func:`build_defense`."""
+    return sorted(_BUILDERS)
+
+
+def build_defense(name: str, **kwargs) -> Aggregator:
+    """Instantiate a defense by name, forwarding keyword arguments."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown defense {name!r}; available: {available_defenses()}")
+    return _BUILDERS[name](**kwargs)

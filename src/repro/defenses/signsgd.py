@@ -1,0 +1,39 @@
+"""Sign-based aggregation (majority vote of coordinate signs).
+
+Models the robust stochastic sign-SGD line of work the paper compares with
+([77] Zhu & Ling, [43] Ma et al.): every upload is compressed to its
+coordinate-wise sign and the server takes the sign of the coordinate-wise
+sum, scaled by a server learning-rate factor.  Effective only below 50%
+Byzantine workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["SignAggregator"]
+
+
+class SignAggregator(Aggregator):
+    """Majority vote over the signs of the uploads.
+
+    Parameters
+    ----------
+    scale:
+        Magnitude given to the aggregated sign vector; plays the role of the
+        per-coordinate step of sign-SGD.
+    """
+
+    def __init__(self, scale: float = 1e-3) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        votes = np.sign(stacked)
+        return self.scale * np.sign(votes.sum(axis=0))

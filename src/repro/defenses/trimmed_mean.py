@@ -1,0 +1,34 @@
+"""Coordinate-wise trimmed mean aggregation (Yin et al., 2018).
+
+For every coordinate, drop the ``k`` largest and ``k`` smallest values
+(``k = floor(trim_fraction * n)``) and average the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import AggregationContext, Aggregator
+
+__all__ = ["TrimmedMeanAggregator"]
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Trimmed mean with a symmetric trim fraction per side."""
+
+    def __init__(self, trim_fraction: float = 0.2) -> None:
+        if not 0.0 <= trim_fraction < 0.5:
+            raise ValueError("trim_fraction must be in [0, 0.5)")
+        self.trim_fraction = trim_fraction
+
+    def aggregate(
+        self, uploads: list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        n = stacked.shape[0]
+        k = int(np.floor(self.trim_fraction * n))
+        if 2 * k >= n:
+            k = (n - 1) // 2
+        ordered = np.sort(stacked, axis=0)
+        kept = ordered[k : n - k] if k > 0 else ordered
+        return kept.mean(axis=0)

@@ -1,0 +1,119 @@
+"""Experiment configuration.
+
+A single dataclass captures everything that varies across the paper's
+tables and figures: the dataset, the worker population, the attack, the
+defense, the privacy level and the training schedule.  The defaults follow
+the paper's system settings (Section 6.1): batch size 16, momentum 0.1,
+base learning rate 0.2 tuned at epsilon = 2, gamma = 0.5, two auxiliary
+samples per class, delta = 1 / |D_i|^1.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full specification of one federated-learning experiment.
+
+    Attributes
+    ----------
+    dataset:
+        Registered dataset name (``mnist_like``, ``fashion_like``,
+        ``usps_like``, ``colorectal_like``).
+    scale:
+        Dataset size multiplier; benchmarks use small values so sweeps run
+        quickly on CPU, examples use larger ones.
+    n_honest:
+        Number of honest workers (20 for MNIST/Fashion, 10 for
+        Colorectal/USPS in the paper).
+    byzantine_fraction:
+        Fraction of the *total* worker population that is Byzantine (the
+        paper's 0%, 20%, ..., 90%).  The number of honest workers stays
+        fixed, so ``n_byzantine = round(f / (1 - f) * n_honest)``.
+    attack, attack_kwargs, ttbb:
+        Attack name (see :func:`repro.byzantine.available_attacks`),
+        constructor arguments, and the adaptive attack's activation point.
+    defense, defense_kwargs:
+        Defense name (see :func:`repro.defenses.available_defenses`) and
+        constructor arguments.
+    epsilon:
+        Per-worker privacy budget; ``None`` disables DP (Tables 15-16
+        "Non-DP" rows).
+    delta:
+        Privacy parameter delta; ``None`` uses ``1 / |D_i|^1.1``.
+    gamma:
+        Server's belief about the honest fraction.
+    iid:
+        i.i.d. (True) or Algorithm-4 non-i.i.d. (False) partitioning.
+    epochs:
+        Local epochs; the number of rounds is ``ceil(epochs * |D_i| / b_c)``.
+    batch_size, momentum, bounding, clip_norm:
+        Client-side DP protocol settings.
+    base_lr, base_epsilon:
+        Learning-rate transfer rule inputs: ``base_lr`` is tuned once at
+        ``base_epsilon`` and transferred to other privacy levels via
+        ``eta = eta_b * sigma_b / sigma``.
+    aux_per_class, aux_mismatched:
+        Server auxiliary data settings (Table 17 uses ``aux_mismatched``).
+    model:
+        Model registry name, or ``None`` for the dataset default.
+    eval_every:
+        Evaluation cadence in rounds (``None``: about 8 points per run).
+    seed:
+        Base random seed.
+    """
+
+    dataset: str = "mnist_like"
+    scale: float = 1.0
+    n_honest: int = 20
+    byzantine_fraction: float = 0.0
+    attack: str = "none"
+    attack_kwargs: dict = field(default_factory=dict)
+    ttbb: float = 0.0
+    defense: str = "two_stage"
+    defense_kwargs: dict = field(default_factory=dict)
+    epsilon: float | None = 1.0
+    delta: float | None = None
+    gamma: float = 0.5
+    iid: bool = True
+    epochs: int = 4
+    batch_size: int = 16
+    momentum: float = 0.1
+    bounding: str = "normalize"
+    clip_norm: float = 1.0
+    base_lr: float = 0.2
+    base_epsilon: float = 2.0
+    aux_per_class: int = 2
+    aux_mismatched: bool = False
+    model: str | None = None
+    eval_every: int | None = None
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.byzantine_fraction < 1.0:
+            raise ValueError("byzantine_fraction must be in [0, 1)")
+        if self.n_honest <= 0:
+            raise ValueError("n_honest must be positive")
+        if self.epsilon is not None and self.epsilon <= 0:
+            raise ValueError("epsilon must be positive or None")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+
+    @property
+    def n_byzantine(self) -> int:
+        """Number of Byzantine workers implied by ``byzantine_fraction``."""
+        if self.byzantine_fraction == 0.0:
+            return 0
+        ratio = self.byzantine_fraction / (1.0 - self.byzantine_fraction)
+        return max(1, int(round(ratio * self.n_honest)))
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """Copy of the config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

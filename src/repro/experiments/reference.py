@@ -1,0 +1,30 @@
+"""Reference Accuracy (Section 6.1).
+
+The Reference Accuracy is the test accuracy of federated DP training with
+no Byzantine workers and no Byzantine defense (plain averaging).  Every
+table and figure of the paper compares the protocol's accuracy against it
+to measure "side-effect" (no attackers) and "efficacy" (under attack).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import RunResult
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+__all__ = ["reference_config", "reference_accuracy"]
+
+
+def reference_config(config: ExperimentConfig) -> ExperimentConfig:
+    """The reference counterpart of ``config``: no attack, no defense."""
+    return config.replace(
+        byzantine_fraction=0.0,
+        attack="none",
+        defense="mean",
+        defense_kwargs={},
+    )
+
+
+def reference_accuracy(config: ExperimentConfig, seed: int | None = None) -> RunResult:
+    """Run the reference experiment matching ``config``."""
+    return run_experiment(reference_config(config), seed=seed)

@@ -1,0 +1,151 @@
+"""Build and run one federated experiment from an :class:`ExperimentConfig`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.results import RunResult, SeedSummary, summarize_runs
+from repro.byzantine.registry import build_attack
+from repro.core.config import DPConfig
+from repro.core.hyperparams import protocol_sigma, transfer_learning_rate
+from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
+from repro.data.partition import partition_iid, partition_noniid
+from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.defenses.base import Aggregator
+from repro.defenses.registry import build_defense
+from repro.experiments.configs import ExperimentConfig
+from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.nn.models import build_model, model_for_dataset
+
+__all__ = ["run_experiment", "run_seeds"]
+
+
+def _build_defense_for(config: ExperimentConfig) -> Aggregator:
+    """Instantiate the configured defense, forwarding the relevant settings."""
+    kwargs = dict(config.defense_kwargs)
+    if config.defense in ("two_stage", "first_stage_only", "second_stage_only"):
+        kwargs.setdefault("gamma", config.gamma)
+    if config.defense in ("krum", "multi_krum", "bulyan"):
+        kwargs.setdefault("byzantine_fraction", config.byzantine_fraction)
+    if config.defense == "trimmed_mean":
+        kwargs.setdefault("trim_fraction", min(0.45, config.byzantine_fraction / 2 + 0.1))
+    return build_defense(config.defense, **kwargs)
+
+
+def _privacy_parameters(
+    config: ExperimentConfig, local_size: int, total_rounds: int
+) -> tuple[float, float, float | None]:
+    """Noise level sigma, learning rate and delta for the run."""
+    if config.epsilon is None:
+        return 0.0, config.base_lr, None
+
+    sampling_rate = min(1.0, config.batch_size / local_size)
+    delta = config.delta if config.delta is not None else 1.0 / local_size**1.1
+    sigma = protocol_sigma(config.epsilon, delta, sampling_rate, total_rounds)
+    base_sigma = protocol_sigma(config.base_epsilon, delta, sampling_rate, total_rounds)
+    learning_rate = transfer_learning_rate(config.base_lr, base_sigma, sigma)
+    return sigma, learning_rate, delta
+
+
+def run_experiment(config: ExperimentConfig, seed: int | None = None) -> RunResult:
+    """Run one federated training experiment.
+
+    Parameters
+    ----------
+    config:
+        The experiment specification.
+    seed:
+        Override for ``config.seed`` (used when sweeping seeds).
+    """
+    seed = config.seed if seed is None else seed
+    rng = np.random.default_rng(seed)
+
+    # Data: load, partition across honest workers, sample auxiliary data.
+    train, test = load_dataset(config.dataset, scale=config.scale, seed=seed)
+    partition = partition_iid if config.iid else partition_noniid
+    shards = partition(train, config.n_honest, rng=rng)
+    local_size = min(len(shard) for shard in shards)
+
+    if config.aux_mismatched:
+        auxiliary = sample_mismatched_auxiliary(test, per_class=config.aux_per_class, rng=rng)
+    else:
+        auxiliary = sample_auxiliary(test, per_class=config.aux_per_class, rng=rng)
+
+    # Training schedule and privacy calibration.
+    total_rounds = max(1, math.ceil(config.epochs * local_size / config.batch_size))
+    sigma, learning_rate, delta = _privacy_parameters(config, local_size, total_rounds)
+
+    dp_config = DPConfig(
+        batch_size=config.batch_size,
+        sigma=sigma,
+        momentum=config.momentum,
+        bounding=config.bounding,
+        clip_norm=config.clip_norm,
+    )
+
+    # Model, attack, defense.
+    spec = DATASET_SPECS[config.dataset]
+    if config.model is None:
+        model = model_for_dataset(config.dataset, spec.n_features, spec.n_classes, rng)
+    else:
+        model = build_model(config.model, spec.n_features, spec.n_classes, rng)
+
+    attack = None
+    if config.n_byzantine > 0:
+        attack = build_attack(config.attack, ttbb=config.ttbb, **config.attack_kwargs)
+    defense = _build_defense_for(config)
+
+    eval_every = (
+        config.eval_every
+        if config.eval_every is not None
+        else max(1, total_rounds // 8)
+    )
+    settings = SimulationSettings(
+        total_rounds=total_rounds,
+        learning_rate=learning_rate,
+        gamma=config.gamma,
+        eval_every=eval_every,
+    )
+
+    simulation = FederatedSimulation(
+        model=model,
+        honest_datasets=shards,
+        n_byzantine=config.n_byzantine,
+        attack=attack,
+        aggregator=defense,
+        dp_config=dp_config,
+        auxiliary=auxiliary,
+        test_dataset=test,
+        settings=settings,
+        seed=seed,
+    )
+    history = simulation.run()
+
+    return RunResult(
+        final_accuracy=history.final_accuracy,
+        history=history,
+        sigma=sigma,
+        learning_rate=learning_rate,
+        epsilon=config.epsilon,
+        seed=seed,
+        metadata={
+            "total_rounds": total_rounds,
+            "delta": delta,
+            "n_byzantine": config.n_byzantine,
+            "n_honest": config.n_honest,
+            "local_dataset_size": local_size,
+            "model_size": model.num_parameters,
+        },
+    )
+
+
+def run_seeds(
+    config: ExperimentConfig, seeds: list[int] | None = None
+) -> tuple[SeedSummary, list[RunResult]]:
+    """Run the experiment for several seeds and summarise (paper: seeds 1-3)."""
+    if seeds is None:
+        seeds = [1, 2, 3]
+    runs = [run_experiment(config, seed=seed) for seed in seeds]
+    return summarize_runs(runs), runs

@@ -1,0 +1,80 @@
+"""Grid execution helpers used by the benchmark harness and the examples.
+
+A "sweep" is a mapping from a descriptive key (any hashable, typically a
+tuple like ``(dataset, epsilon, byzantine_fraction)``) to an
+:class:`~repro.experiments.configs.ExperimentConfig`.  :func:`run_grid`
+executes every cell and returns the results under the same keys, so the
+benchmark code stays declarative: build the grid, run it, format the table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+
+from repro.analysis.results import RunResult
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+__all__ = ["run_grid", "accuracy_grid", "series_from_grid"]
+
+
+def run_grid(
+    grid: Mapping[Hashable, ExperimentConfig],
+    seeds: Iterable[int] | None = None,
+    progress: Callable[[Hashable, RunResult], None] | None = None,
+) -> dict[Hashable, list[RunResult]]:
+    """Run every configuration in ``grid``.
+
+    Parameters
+    ----------
+    grid:
+        Mapping from cell key to configuration.
+    seeds:
+        Seeds to run per cell (default: just the config's own seed).
+    progress:
+        Optional callback invoked after each run with ``(key, result)``;
+        benchmarks use it to stream progress lines.
+
+    Returns
+    -------
+    Mapping from the same keys to the list of per-seed results.
+    """
+    results: dict[Hashable, list[RunResult]] = {}
+    for key, config in grid.items():
+        cell: list[RunResult] = []
+        cell_seeds = list(seeds) if seeds is not None else [config.seed]
+        for seed in cell_seeds:
+            result = run_experiment(config, seed=seed)
+            cell.append(result)
+            if progress is not None:
+                progress(key, result)
+        results[key] = cell
+    return results
+
+
+def accuracy_grid(
+    results: Mapping[Hashable, list[RunResult]],
+) -> dict[Hashable, float]:
+    """Mean final accuracy of every cell."""
+    return {
+        key: sum(run.final_accuracy for run in cell) / len(cell)
+        for key, cell in results.items()
+        if cell
+    }
+
+
+def series_from_grid(
+    accuracies: Mapping[Hashable, float],
+    x_values: Iterable[Hashable],
+    key_for: Callable[[Hashable], Hashable],
+) -> list[float]:
+    """Extract an ordered series from a cell->accuracy mapping.
+
+    ``key_for(x)`` maps an x-axis value to the grid key holding its result;
+    missing cells yield ``nan`` so partially-run sweeps still format cleanly.
+    """
+    series: list[float] = []
+    for x in x_values:
+        key = key_for(x)
+        series.append(accuracies.get(key, float("nan")))
+    return series

@@ -1,0 +1,24 @@
+"""Federated-learning simulation.
+
+- :class:`~repro.federated.worker.HonestWorker` -- runs the client-side DP
+  protocol of Algorithm 1 on its local shard.
+- :class:`~repro.federated.server.Server` -- owns the global model, the
+  aggregation rule and the server auxiliary data.
+- :class:`~repro.federated.simulation.FederatedSimulation` -- the training
+  loop (broadcast, local computation, Byzantine crafting, aggregation,
+  model update, evaluation).
+- :class:`~repro.federated.history.TrainingHistory` -- per-round records.
+"""
+
+from repro.federated.history import TrainingHistory
+from repro.federated.server import Server
+from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.federated.worker import HonestWorker
+
+__all__ = [
+    "HonestWorker",
+    "Server",
+    "FederatedSimulation",
+    "SimulationSettings",
+    "TrainingHistory",
+]

@@ -1,0 +1,49 @@
+"""Per-round training records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Accuracy/diagnostic history of one federated training run."""
+
+    rounds: list[int] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    byzantine_selected_fraction: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        round_index: int,
+        accuracy: float,
+        byzantine_selected: float = 0.0,
+    ) -> None:
+        """Append one evaluation point."""
+        self.rounds.append(round_index)
+        self.test_accuracy.append(accuracy)
+        self.byzantine_selected_fraction.append(byzantine_selected)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy at the last recorded evaluation point."""
+        if not self.test_accuracy:
+            raise ValueError("history is empty")
+        return self.test_accuracy[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy seen during training."""
+        if not self.test_accuracy:
+            raise ValueError("history is empty")
+        return max(self.test_accuracy)
+
+    def as_dict(self) -> dict[str, list[float]]:
+        """Plain-dict view (for serialisation or tabulation)."""
+        return {
+            "rounds": list(self.rounds),
+            "test_accuracy": list(self.test_accuracy),
+            "byzantine_selected_fraction": list(self.byzantine_selected_fraction),
+        }

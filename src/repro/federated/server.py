@@ -1,0 +1,98 @@
+"""The central server: global model, aggregation rule, auxiliary data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dp_protocol import upload_noise_std
+from repro.core.config import DPConfig
+from repro.data.dataset import Dataset
+from repro.defenses.base import AggregationContext, Aggregator
+from repro.nn.metrics import accuracy
+from repro.nn.network import Sequential
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Aggregates uploads and maintains the global model.
+
+    Parameters
+    ----------
+    model:
+        The global model; its parameters are updated in place.
+    aggregator:
+        Any :class:`~repro.defenses.base.Aggregator` (the paper's
+        :class:`~repro.core.protocol.TwoStageAggregator` or a baseline).
+    learning_rate:
+        Server learning rate ``eta``.
+    dp_config:
+        The client-side DP configuration; the server knows the public
+        protocol parameters and derives the upload noise level from them.
+    auxiliary:
+        The server's tiny labelled dataset (or ``None`` for defenses that do
+        not use one).
+    gamma:
+        Server's belief about the honest fraction, surfaced to the
+        aggregation context.
+    rng:
+        Generator for any server-side randomness.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        aggregator: Aggregator,
+        learning_rate: float,
+        dp_config: DPConfig,
+        auxiliary: Dataset | None,
+        gamma: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if aggregator.requires_auxiliary and auxiliary is None:
+            raise ValueError(
+                f"{type(aggregator).__name__} requires server auxiliary data"
+            )
+        self.model = model
+        self.aggregator = aggregator
+        self.learning_rate = learning_rate
+        self.dp_config = dp_config
+        self.auxiliary = auxiliary
+        self.gamma = gamma
+        self.rng = rng
+        self.round_index = 0
+
+    def broadcast(self) -> np.ndarray:
+        """The current global parameters ``w_{t-1}`` (model broadcasting)."""
+        return self.model.get_flat_parameters()
+
+    def aggregation_context(self) -> AggregationContext:
+        """Context object handed to the aggregation rule for this round."""
+        return AggregationContext(
+            model=self.model,
+            auxiliary=self.auxiliary,
+            upload_noise_std=upload_noise_std(self.dp_config),
+            honest_fraction=self.gamma,
+            round_index=self.round_index,
+            rng=self.rng,
+        )
+
+    def update(self, uploads: list[np.ndarray]) -> np.ndarray:
+        """Aggregate the round's uploads and apply the model update.
+
+        Returns the aggregated vector actually applied (useful for tests and
+        diagnostics).
+        """
+        context = self.aggregation_context()
+        aggregated = self.aggregator.aggregate(uploads, context)
+        parameters = self.model.get_flat_parameters()
+        self.model.set_flat_parameters(parameters - self.learning_rate * aggregated)
+        self.round_index += 1
+        return aggregated
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Test accuracy of the current global model on ``dataset``."""
+        predictions = self.model.predict(dataset.features)
+        return accuracy(predictions, dataset.labels)

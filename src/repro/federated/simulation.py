@@ -1,0 +1,239 @@
+"""The federated training loop with Byzantine workers.
+
+One round of :class:`FederatedSimulation` performs:
+
+1. model broadcasting (all workers see ``w_{t-1}``);
+2. every honest worker computes its DP upload (Algorithm 1, lines 4-12);
+3. the Byzantine attacker produces its uploads -- either by running the
+   honest protocol on poisoned data (label flipping) or by crafting vectors
+   from its omniscient view of the honest uploads;
+4. the server aggregates with its configured rule and updates the model;
+5. periodically, the global model is evaluated on the held-out test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.byzantine.adaptive import AdaptiveAttack
+from repro.byzantine.base import Attack, AttackContext
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import upload_noise_std
+from repro.data.dataset import Dataset
+from repro.defenses.base import Aggregator
+from repro.federated.history import TrainingHistory
+from repro.federated.server import Server
+from repro.federated.worker import HonestWorker
+from repro.nn.network import Sequential
+
+__all__ = ["SimulationSettings", "FederatedSimulation"]
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Static settings of one federated training run.
+
+    Attributes
+    ----------
+    total_rounds:
+        Number of aggregation rounds ``T``.
+    learning_rate:
+        Server learning rate ``eta``.
+    gamma:
+        Server's belief about the honest worker fraction.
+    eval_every:
+        Evaluate the global model on the test set every this many rounds
+        (the final round is always evaluated).
+    """
+
+    total_rounds: int
+    learning_rate: float
+    gamma: float = 0.5
+    eval_every: int = 10
+
+    def __post_init__(self) -> None:
+        if self.total_rounds <= 0:
+            raise ValueError("total_rounds must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+
+
+class FederatedSimulation:
+    """Simulate federated training under a Byzantine attack.
+
+    Parameters
+    ----------
+    model:
+        The global model (updated in place).
+    honest_datasets:
+        One local dataset per honest worker.
+    n_byzantine:
+        Number of Byzantine workers controlled by the attacker.
+    attack:
+        The attack instance, or ``None`` for no Byzantine workers.
+    aggregator:
+        Server-side aggregation rule.
+    dp_config:
+        Client-side DP protocol settings (shared by all protocol-following
+        workers, honest or Byzantine).
+    auxiliary:
+        Server auxiliary dataset (``None`` for defenses that don't need it).
+    test_dataset:
+        Held-out dataset for evaluation.
+    settings:
+        Loop settings (rounds, learning rate, gamma, evaluation cadence).
+    seed:
+        Base seed; every worker and the server get independent generators
+        derived from it.
+    byzantine_datasets:
+        Local datasets for protocol-following Byzantine workers.  If
+        omitted, bootstrap copies of randomly chosen honest shards are used
+        (the omniscient attacker knows the honest data anyway).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        honest_datasets: list[Dataset],
+        n_byzantine: int,
+        attack: Attack | None,
+        aggregator: Aggregator,
+        dp_config: DPConfig,
+        auxiliary: Dataset | None,
+        test_dataset: Dataset,
+        settings: SimulationSettings,
+        seed: int = 0,
+        byzantine_datasets: list[Dataset] | None = None,
+    ) -> None:
+        if not honest_datasets:
+            raise ValueError("at least one honest worker is required")
+        if n_byzantine < 0:
+            raise ValueError("n_byzantine must be non-negative")
+        if n_byzantine > 0 and attack is None:
+            raise ValueError("an attack must be provided when n_byzantine > 0")
+
+        self.model = model
+        self.attack = attack
+        self.n_byzantine = n_byzantine
+        self.settings = settings
+        self.test_dataset = test_dataset
+        self.dp_config = dp_config
+
+        seed_sequence = np.random.SeedSequence(seed)
+        worker_seeds = seed_sequence.spawn(len(honest_datasets) + n_byzantine + 2)
+        self._server_rng = np.random.default_rng(worker_seeds[0])
+        self._attack_rng = np.random.default_rng(worker_seeds[1])
+
+        self.honest_workers = [
+            HonestWorker(dataset, dp_config, np.random.default_rng(worker_seeds[2 + i]))
+            for i, dataset in enumerate(honest_datasets)
+        ]
+
+        self.byzantine_workers: list[HonestWorker] = []
+        if n_byzantine > 0 and attack is not None and attack.follows_protocol:
+            offset = 2 + len(honest_datasets)
+            for i in range(n_byzantine):
+                if byzantine_datasets is not None:
+                    local = byzantine_datasets[i % len(byzantine_datasets)]
+                else:
+                    local = honest_datasets[i % len(honest_datasets)]
+                poisoned = attack.poison_dataset(local)
+                self.byzantine_workers.append(
+                    HonestWorker(
+                        poisoned, dp_config, np.random.default_rng(worker_seeds[offset + i])
+                    )
+                )
+
+        self.server = Server(
+            model=model,
+            aggregator=aggregator,
+            learning_rate=settings.learning_rate,
+            dp_config=dp_config,
+            auxiliary=auxiliary,
+            gamma=settings.gamma,
+            rng=self._server_rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # round logic
+    # ------------------------------------------------------------------ #
+    @property
+    def n_honest(self) -> int:
+        """Number of honest workers."""
+        return len(self.honest_workers)
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of workers (honest + Byzantine)."""
+        return self.n_honest + self.n_byzantine
+
+    def _honest_uploads(self) -> np.ndarray:
+        uploads = [worker.compute_upload(self.model) for worker in self.honest_workers]
+        return np.vstack(uploads)
+
+    def _byzantine_uploads(
+        self, honest_uploads: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        if self.n_byzantine == 0 or self.attack is None:
+            return np.zeros((0, honest_uploads.shape[1]))
+
+        attack = self.attack
+        active = attack.is_active(round_index, self.settings.total_rounds)
+
+        context = AttackContext(
+            honest_uploads=honest_uploads,
+            n_byzantine=self.n_byzantine,
+            upload_noise_std=upload_noise_std(self.dp_config),
+            round_index=round_index,
+            total_rounds=self.settings.total_rounds,
+            rng=self._attack_rng,
+        )
+
+        if not active:
+            if isinstance(attack, AdaptiveAttack):
+                return attack.copy_honest(context)
+            indices = self._attack_rng.integers(
+                0, honest_uploads.shape[0], size=self.n_byzantine
+            )
+            return honest_uploads[indices].copy()
+
+        if attack.follows_protocol:
+            uploads = [
+                worker.compute_upload(self.model) for worker in self.byzantine_workers
+            ]
+            return np.vstack(uploads)
+        return np.asarray(attack.craft(context), dtype=np.float64)
+
+    def run_round(self, round_index: int) -> dict[str, float]:
+        """Execute one aggregation round; returns per-round diagnostics."""
+        honest_uploads = self._honest_uploads()
+        byzantine_uploads = self._byzantine_uploads(honest_uploads, round_index)
+        uploads = [row for row in honest_uploads] + [row for row in byzantine_uploads]
+        self.server.update(uploads)
+
+        byz_selected = 0.0
+        selected = getattr(self.server.aggregator, "last_selected", None)
+        if selected is not None and self.n_byzantine > 0:
+            byz_selected = float(np.mean(np.asarray(selected) >= self.n_honest))
+        return {"byzantine_selected_fraction": byz_selected}
+
+    def run(self) -> TrainingHistory:
+        """Run the full training loop and return the recorded history."""
+        history = TrainingHistory()
+        for round_index in range(self.settings.total_rounds):
+            diagnostics = self.run_round(round_index)
+            is_last = round_index == self.settings.total_rounds - 1
+            if (round_index + 1) % self.settings.eval_every == 0 or is_last:
+                accuracy = self.server.evaluate(self.test_dataset)
+                history.record(
+                    round_index=round_index,
+                    accuracy=accuracy,
+                    byzantine_selected=diagnostics["byzantine_selected_fraction"],
+                )
+        return history

@@ -1,0 +1,63 @@
+"""Workers that follow the client-side protocol.
+
+An :class:`HonestWorker` holds a local dataset, the DP configuration and
+its momentum state, and produces one upload per round via
+:func:`repro.core.dp_protocol.local_update`.  Byzantine workers that follow
+the protocol on poisoned data (e.g. label flipping) reuse the same class
+with a poisoned dataset; upload-crafting attacks are handled collectively by
+the simulation (the attacker controls all its fake workers at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import LocalDPState, local_update
+from repro.data.dataset import Dataset
+from repro.nn.network import Sequential
+
+__all__ = ["HonestWorker"]
+
+
+class HonestWorker:
+    """A protocol-following worker.
+
+    Parameters
+    ----------
+    dataset:
+        The worker's private local dataset.
+    dp_config:
+        Client-side DP settings (batch size, noise multiplier, momentum,
+        sensitivity bounding mode).
+    rng:
+        The worker's private random generator (mini-batch sampling and DP
+        noise).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dp_config: DPConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("worker dataset must not be empty")
+        self.dataset = dataset
+        self.dp_config = dp_config
+        self.rng = rng
+        self.state = LocalDPState()
+
+    def compute_upload(self, model: Sequential) -> np.ndarray:
+        """One local iteration of Algorithm 1 at the current global model."""
+        return local_update(
+            model=model,
+            dataset=self.dataset,
+            state=self.state,
+            config=self.dp_config,
+            rng=self.rng,
+        )
+
+    def reset(self) -> None:
+        """Clear the momentum state (start of a fresh training run)."""
+        self.state = LocalDPState()

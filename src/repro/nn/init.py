@@ -1,0 +1,37 @@
+"""Parameter initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible end-to-end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix.
+
+    Draws from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in + fan_out))``,
+    which keeps activation variance roughly constant across layers for
+    tanh/ELU-style activations.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal initialisation, suited to ReLU-family activations."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,182 @@
+"""Feed-forward layers with per-example parameter gradients.
+
+Every layer implements the protocol
+
+- ``forward(x)``: compute the layer output for a batch ``x`` of shape
+  ``(batch, ...)`` and cache whatever the backward pass needs.
+- ``backward(grad_output)``: given the loss gradient with respect to the
+  layer output, return the loss gradient with respect to the layer input and,
+  for layers with parameters, store the **per-example** parameter gradients.
+
+Per-example gradients are the central requirement of the paper's DP protocol
+(each example's gradient is normalised to unit norm before averaging), so the
+backward pass never collapses the batch dimension for parameter gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, zeros
+
+__all__ = ["Layer", "Linear", "ReLU", "ELU", "Tanh", "Flatten"]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Layers without parameters only implement :meth:`forward` and
+    :meth:`backward`.  Layers with parameters additionally expose
+    ``parameters`` (list of arrays), ``per_example_grads`` (list of arrays
+    with a leading batch axis, filled in by ``backward``) and
+    ``set_parameters``.
+    """
+
+    #: arrays owned by the layer; empty for activation layers
+    parameters: list[np.ndarray]
+    #: per-example gradients matching ``parameters``; ``None`` before backward
+    per_example_grads: list[np.ndarray] | None
+
+    def __init__(self) -> None:
+        self.parameters = []
+        self.per_example_grads = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters owned by the layer."""
+        return int(sum(p.size for p in self.parameters))
+
+    def set_parameters(self, new_parameters: list[np.ndarray]) -> None:
+        """Replace the layer parameters with ``new_parameters`` (same shapes)."""
+        if len(new_parameters) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} parameter arrays, "
+                f"got {len(new_parameters)}"
+            )
+        for current, new in zip(self.parameters, new_parameters):
+            if current.shape != new.shape:
+                raise ValueError(
+                    f"parameter shape mismatch: {current.shape} vs {new.shape}"
+                )
+            current[...] = new
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    rng:
+        Generator used for Glorot initialisation of the weight matrix.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = glorot_uniform(rng, in_features, out_features)
+        self.bias = zeros((out_features,))
+        self.parameters = [self.weight, self.bias]
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        # per-example weight gradient: outer product of input and output grads
+        grad_weight = np.einsum("bi,bo->bio", x, grad_output)
+        grad_bias = grad_output.copy()
+        self.per_example_grads = [grad_weight, grad_bias]
+        return grad_output @ self.weight.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class ELU(Layer):
+    """Exponential linear unit, matching the paper's model architectures."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return np.where(x > 0, x, self.alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        derivative = np.where(x > 0, 1.0, self.alpha * np.exp(np.minimum(x, 0.0)))
+        return grad_output * derivative
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Flatten(Layer):
+    """Flatten all but the leading (batch) dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)

@@ -1,0 +1,71 @@
+"""Loss functions for classification.
+
+Only softmax cross-entropy is needed for the paper's experiments, but the
+implementation is kept generic: the function returns both the per-example
+loss values and the gradient of the mean loss with respect to the logits of
+every example, which feeds the per-example backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "one_hot"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer ``labels`` into ``(batch, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient with respect to the logits.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(batch, num_classes)``.
+    labels:
+        Integer class labels of shape ``(batch,)``.
+
+    Returns
+    -------
+    losses:
+        Per-example loss values, shape ``(batch,)``.
+    grad_logits:
+        Gradient of each example's *own* loss with respect to its logits,
+        shape ``(batch, num_classes)``.  (Not divided by the batch size; the
+        caller decides how to reduce across the batch.)
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("logits and labels must have the same batch size")
+
+    probabilities = softmax(logits)
+    batch_indices = np.arange(logits.shape[0])
+    # clip to avoid log(0) for confidently-wrong predictions
+    picked = np.clip(probabilities[batch_indices, labels], 1e-12, 1.0)
+    losses = -np.log(picked)
+
+    grad_logits = probabilities.copy()
+    grad_logits[batch_indices, labels] -= 1.0
+    return losses, grad_logits

@@ -1,0 +1,32 @@
+"""Evaluation metrics used by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correctly classified examples."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = number of class-``i`` examples predicted as ``j``."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, predicted in zip(labels, predictions):
+        matrix[true, predicted] += 1
+    return matrix

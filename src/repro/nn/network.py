@@ -1,0 +1,143 @@
+"""Sequential network container with flat-parameter and per-example gradient APIs.
+
+The federated-learning code treats a model as
+
+- a flat parameter vector (``get_flat_parameters`` / ``set_flat_parameters``)
+  that the server broadcasts and updates, and
+- a gradient oracle producing either the mean gradient or per-example
+  gradients as flat vectors.
+
+Keeping everything as flat ``float64`` vectors makes the aggregation rules,
+attacks and statistical tests straightforward array code.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import softmax, softmax_cross_entropy
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of :class:`~repro.nn.layers.Layer` objects."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------ #
+    # forward / prediction
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network forward and return the logits."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return the predicted class index for each example."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Return softmax class probabilities for each example."""
+        return softmax(self.forward(x))
+
+    # ------------------------------------------------------------------ #
+    # parameter handling
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars (the model size ``d``)."""
+        return int(sum(layer.num_parameters for layer in self.layers))
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """Concatenate every parameter array into one flat ``float64`` vector."""
+        chunks = [
+            parameter.reshape(-1)
+            for layer in self.layers
+            for parameter in layer.parameters
+        ]
+        if not chunks:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(chunks).astype(np.float64)
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat_parameters`."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim != 1 or flat.size != self.num_parameters:
+            raise ValueError(
+                f"expected a flat vector of length {self.num_parameters}, "
+                f"got shape {flat.shape}"
+            )
+        offset = 0
+        for layer in self.layers:
+            for parameter in layer.parameters:
+                size = parameter.size
+                parameter[...] = flat[offset : offset + size].reshape(parameter.shape)
+                offset += size
+
+    def clone(self) -> "Sequential":
+        """Deep copy of the network (structure and parameters)."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------ #
+    # gradients
+    # ------------------------------------------------------------------ #
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean softmax cross-entropy loss on a batch."""
+        losses, _ = softmax_cross_entropy(self.forward(x), y)
+        return float(np.mean(losses))
+
+    def _backward(self, grad_logits: np.ndarray) -> None:
+        grad = grad_logits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def per_example_gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-example flat gradients of the loss.
+
+        Returns
+        -------
+        losses:
+            Per-example loss values, shape ``(batch,)``.
+        gradients:
+            Array of shape ``(batch, d)`` whose ``i``-th row is the gradient
+            of example ``i``'s loss with respect to the flat parameters.
+        """
+        logits = self.forward(x)
+        losses, grad_logits = softmax_cross_entropy(logits, y)
+        self._backward(grad_logits)
+
+        batch = x.shape[0]
+        pieces: list[np.ndarray] = []
+        for layer in self.layers:
+            if not layer.parameters:
+                continue
+            if layer.per_example_grads is None:
+                raise RuntimeError("layer backward did not populate per-example grads")
+            for grad in layer.per_example_grads:
+                pieces.append(grad.reshape(batch, -1))
+        gradients = (
+            np.concatenate(pieces, axis=1)
+            if pieces
+            else np.zeros((batch, 0), dtype=np.float64)
+        )
+        return losses, gradients
+
+    def mean_gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        """Mean loss and mean flat gradient over the batch."""
+        losses, gradients = self.per_example_gradients(x, y)
+        return float(np.mean(losses)), gradients.mean(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}], d={self.num_parameters})"

@@ -1,0 +1,81 @@
+"""Sensitivity bounding and the Gaussian mechanism.
+
+The paper contrasts two ways of bounding the per-example gradient
+sensitivity before noise is added:
+
+- **clipping** (vanilla DP-SGD, Abadi et al. 2016): multiply each gradient by
+  ``min(1, C / ||g||)`` so that its norm is at most ``C``;
+- **normalisation** (this paper): multiply by ``1 / ||g||`` so that every
+  gradient has unit norm.
+
+With normalisation the l2-sensitivity of the *sum* of per-example gradients
+is exactly 2 (replacing one example changes the sum by at most two unit
+vectors), which is what the paper's Theorem 3 uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clip_gradients",
+    "normalize_gradients",
+    "gaussian_noise",
+    "l2_sensitivity_of_sum",
+]
+
+#: Norm floor protecting against division by zero for (near-)zero gradients.
+_NORM_FLOOR = 1e-12
+
+
+def clip_gradients(gradients: np.ndarray, clip_norm: float) -> np.ndarray:
+    """Clip each row of ``gradients`` to have l2-norm at most ``clip_norm``."""
+    if clip_norm <= 0:
+        raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+    gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
+    norms = np.linalg.norm(gradients, axis=1, keepdims=True)
+    factors = np.minimum(1.0, clip_norm / np.maximum(norms, _NORM_FLOOR))
+    return gradients * factors
+
+
+def normalize_gradients(gradients: np.ndarray) -> np.ndarray:
+    """Normalise each row of ``gradients`` to unit l2-norm.
+
+    Rows that are exactly zero are left at zero (their direction is
+    undefined); this never happens in practice for cross-entropy gradients
+    of a non-degenerate model.
+    """
+    gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
+    norms = np.linalg.norm(gradients, axis=1, keepdims=True)
+    safe_norms = np.where(norms > _NORM_FLOOR, norms, 1.0)
+    normalized = gradients / safe_norms
+    normalized[np.squeeze(norms, axis=1) <= _NORM_FLOOR] = 0.0
+    return normalized
+
+
+def l2_sensitivity_of_sum(bounding: str, clip_norm: float | None = None) -> float:
+    """l2-sensitivity of the summed per-example gradients.
+
+    ``bounding`` is ``"normalize"`` (sensitivity 2: one example's unit vector
+    swapped for another) or ``"clip"`` (sensitivity ``2 * clip_norm``).
+    """
+    if bounding == "normalize":
+        return 2.0
+    if bounding == "clip":
+        if clip_norm is None or clip_norm <= 0:
+            raise ValueError("clip bounding requires a positive clip_norm")
+        return 2.0 * clip_norm
+    raise ValueError(f"unknown bounding mode {bounding!r}")
+
+
+def gaussian_noise(
+    dimension: int, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw the DP noise vector ``z ~ N(0, sigma^2 I_d)``."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        return np.zeros(dimension, dtype=np.float64)
+    return rng.normal(0.0, sigma, size=dimension)

@@ -1,0 +1,133 @@
+"""Rényi differential privacy of the subsampled Gaussian mechanism.
+
+This module implements the standard analysis used by DP-SGD accountants
+(Mironov, Talwar, Zhang, "Rényi Differential Privacy of the Sampled Gaussian
+Mechanism", 2019): for an integer Rényi order ``alpha``, sampling rate ``q``
+and noise multiplier ``sigma``, one step of the mechanism satisfies
+``(alpha, rdp)``-RDP with
+
+    rdp = 1 / (alpha - 1) * log( sum_{k=0}^{alpha} C(alpha, k)
+                                  (1 - q)^(alpha - k) q^k
+                                  exp(k (k - 1) / (2 sigma^2)) )
+
+RDP composes additively over steps, and converts to (ε, δ)-DP via
+
+    epsilon = rdp_total + log(1 / delta) / (alpha - 1)
+
+minimised over the candidate orders.  The bound is an upper bound
+(conservative), which is what a privacy guarantee requires.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["DEFAULT_ORDERS", "compute_rdp", "rdp_to_epsilon"]
+
+#: Integer Rényi orders scanned by default.  The low orders matter in the
+#: high-noise regime (small epsilon), the high orders in the low-noise regime.
+DEFAULT_ORDERS: tuple[int, ...] = tuple(range(2, 64)) + (
+    64,
+    80,
+    96,
+    128,
+    192,
+    256,
+    384,
+    512,
+)
+
+
+def _log_add(log_a: float, log_b: float) -> float:
+    """Numerically stable ``log(exp(log_a) + exp(log_b))``."""
+    if log_a == -math.inf:
+        return log_b
+    if log_b == -math.inf:
+        return log_a
+    high, low = max(log_a, log_b), min(log_a, log_b)
+    return high + math.log1p(math.exp(low - high))
+
+
+def _rdp_gaussian(alpha: int, sigma: float) -> float:
+    """RDP of the (non-subsampled) Gaussian mechanism with sensitivity 1."""
+    return alpha / (2.0 * sigma**2)
+
+
+def _rdp_subsampled_gaussian(alpha: int, q: float, sigma: float) -> float:
+    """RDP of one step of the Poisson-subsampled Gaussian mechanism."""
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return _rdp_gaussian(alpha, sigma)
+
+    log_total = -math.inf
+    log_q = math.log(q)
+    log_one_minus_q = math.log1p(-q)
+    for k in range(alpha + 1):
+        log_term = (
+            math.lgamma(alpha + 1)
+            - math.lgamma(k + 1)
+            - math.lgamma(alpha - k + 1)
+            + k * log_q
+            + (alpha - k) * log_one_minus_q
+            + k * (k - 1) / (2.0 * sigma**2)
+        )
+        log_total = _log_add(log_total, log_term)
+    return log_total / (alpha - 1)
+
+
+def compute_rdp(
+    q: float,
+    sigma: float,
+    steps: int,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+) -> list[float]:
+    """RDP values (one per order) after ``steps`` compositions.
+
+    Parameters
+    ----------
+    q:
+        Sampling rate, the batch size divided by the dataset size.
+    sigma:
+        Noise multiplier (noise standard deviation / sensitivity).
+    steps:
+        Number of mechanism invocations (training iterations).
+    orders:
+        Integer Rényi orders to evaluate; each must be >= 2.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"sampling rate q must be in [0, 1], got {q}")
+    if sigma <= 0:
+        raise ValueError(f"noise multiplier sigma must be positive, got {sigma}")
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if any(order < 2 or int(order) != order for order in orders):
+        raise ValueError("all Rényi orders must be integers >= 2")
+    return [steps * _rdp_subsampled_gaussian(int(order), q, sigma) for order in orders]
+
+
+def rdp_to_epsilon(
+    rdp: Sequence[float],
+    orders: Sequence[int],
+    delta: float,
+) -> tuple[float, int]:
+    """Convert accumulated RDP values to an (ε, δ) guarantee.
+
+    Returns the smallest ε over the candidate orders together with the order
+    that achieved it.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if len(rdp) != len(orders):
+        raise ValueError("rdp and orders must have the same length")
+
+    best_epsilon = math.inf
+    best_order = orders[0]
+    log_inverse_delta = math.log(1.0 / delta)
+    for value, order in zip(rdp, orders):
+        epsilon = value + log_inverse_delta / (order - 1)
+        if epsilon < best_epsilon:
+            best_epsilon = epsilon
+            best_order = order
+    return best_epsilon, int(best_order)

@@ -1,0 +1,32 @@
+"""Statistical tests used by the first-stage aggregation.
+
+- :mod:`repro.stats.distributions` -- Gaussian CDF helpers.
+- :mod:`repro.stats.ks` -- one-sample Kolmogorov-Smirnov test (statistic,
+  asymptotic p-value, CDF envelopes from Theorem 2).
+- :mod:`repro.stats.norm_test` -- the chi-square norm-interval test
+  ("Norm test" in Section 4.3).
+"""
+
+from repro.stats.distributions import normal_cdf, normal_ppf
+from repro.stats.ks import (
+    KSResult,
+    kolmogorov_survival,
+    ks_envelopes,
+    ks_statistic,
+    ks_test,
+    theorem2_interval,
+)
+from repro.stats.norm_test import norm_interval, squared_norm_interval
+
+__all__ = [
+    "normal_cdf",
+    "normal_ppf",
+    "KSResult",
+    "kolmogorov_survival",
+    "ks_envelopes",
+    "ks_statistic",
+    "ks_test",
+    "theorem2_interval",
+    "norm_interval",
+    "squared_norm_interval",
+]

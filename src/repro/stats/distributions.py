@@ -1,0 +1,68 @@
+"""Gaussian distribution helpers.
+
+Implemented with :func:`math.erf` / a rational approximation of the inverse
+CDF rather than SciPy so the core library has no hard SciPy dependency;
+SciPy is only used in the test-suite to cross-check these functions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["normal_cdf", "normal_ppf"]
+
+
+def normal_cdf(x: np.ndarray | float, sigma: float = 1.0, mu: float = 0.0) -> np.ndarray:
+    """CDF of ``N(mu, sigma^2)`` evaluated element-wise."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    z = (np.asarray(x, dtype=np.float64) - mu) / (sigma * math.sqrt(2.0))
+    return 0.5 * (1.0 + _erf(z))
+
+
+def _erf(z: np.ndarray) -> np.ndarray:
+    vectorised = np.vectorize(math.erf, otypes=[np.float64])
+    return vectorised(z)
+
+
+def normal_ppf(p: float, sigma: float = 1.0, mu: float = 0.0) -> float:
+    """Inverse CDF (quantile function) of ``N(mu, sigma^2)``.
+
+    Uses the Acklam rational approximation (absolute error < 1.15e-9), which
+    is plenty for computing attack quantiles and Theorem-2 envelopes.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+
+    # Coefficients of the Acklam approximation.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    elif p <= p_high:
+        q = p - 0.5
+        r = q * q
+        z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    return mu + sigma * z

@@ -1,0 +1,159 @@
+"""One-sample Kolmogorov-Smirnov test against a centred Gaussian.
+
+Section 4.3 of the paper treats every coordinate of an upload as a sample
+and tests the null hypothesis that the coordinates are drawn from
+``N(0, sigma^2)``.  The test rejects when the p-value falls below 0.05.
+
+This module provides:
+
+- :func:`ks_statistic` -- the two-sided D statistic
+  ``sup_x |C_d(x) - Phi_sigma(x)|``,
+- :func:`kolmogorov_survival` -- the asymptotic Kolmogorov distribution used
+  to convert D into a p-value,
+- :func:`ks_test` -- statistic + p-value in one call,
+- :func:`ks_envelopes` / :func:`theorem2_interval` -- the CDF band
+  ``[E_l, E_u]`` and the per-order-statistic acceptance interval of
+  Theorem 2, which characterises the subspace an accepted upload must lie in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.distributions import normal_cdf, normal_ppf
+
+__all__ = [
+    "KSResult",
+    "ks_statistic",
+    "kolmogorov_survival",
+    "ks_test",
+    "ks_envelopes",
+    "theorem2_interval",
+    "critical_statistic",
+]
+
+
+@dataclass(frozen=True)
+class KSResult:
+    """Outcome of a one-sample KS test."""
+
+    statistic: float
+    pvalue: float
+    sample_size: int
+
+
+def ks_statistic(samples: np.ndarray, sigma: float) -> float:
+    """Two-sided KS statistic of ``samples`` against ``N(0, sigma^2)``."""
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ValueError("cannot compute a KS statistic on an empty sample")
+    ordered = np.sort(samples)
+    d = ordered.size
+    cdf_values = normal_cdf(ordered, sigma=sigma)
+    upper_steps = np.arange(1, d + 1) / d
+    lower_steps = np.arange(0, d) / d
+    d_plus = np.max(upper_steps - cdf_values)
+    d_minus = np.max(cdf_values - lower_steps)
+    return float(max(d_plus, d_minus))
+
+
+def kolmogorov_survival(lam: float, terms: int = 100) -> float:
+    """Asymptotic Kolmogorov survival function ``Q(lam) = P(K > lam)``.
+
+    ``Q(lam) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lam^2)``; the series
+    converges extremely fast for the values encountered here.
+    """
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, terms + 1):
+        term = ((-1.0) ** (k - 1)) * math.exp(-2.0 * (k**2) * (lam**2))
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return float(min(1.0, max(0.0, 2.0 * total)))
+
+
+def ks_test(samples: np.ndarray, sigma: float) -> KSResult:
+    """One-sample KS test of ``samples`` against ``N(0, sigma^2)``.
+
+    The p-value uses the asymptotic distribution with the standard
+    finite-sample correction ``lam = (sqrt(d) + 0.12 + 0.11 / sqrt(d)) * D``
+    (Stephens 1970), accurate for the dimensionalities (d >= 1000) used here.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    statistic = ks_statistic(samples, sigma)
+    d = samples.size
+    sqrt_d = math.sqrt(d)
+    lam = (sqrt_d + 0.12 + 0.11 / sqrt_d) * statistic
+    pvalue = kolmogorov_survival(lam)
+    return KSResult(statistic=statistic, pvalue=pvalue, sample_size=d)
+
+
+def critical_statistic(sample_size: int, significance: float = 0.05) -> float:
+    """Largest D statistic that still passes at the given significance level.
+
+    Solves ``Q((sqrt(d) + 0.12 + 0.11/sqrt(d)) * D) = significance`` for D via
+    bisection.
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    if not 0.0 < significance < 1.0:
+        raise ValueError("significance must be in (0, 1)")
+    sqrt_d = math.sqrt(sample_size)
+    scale = sqrt_d + 0.12 + 0.11 / sqrt_d
+
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        middle = 0.5 * (low + high)
+        if kolmogorov_survival(scale * middle) > significance:
+            low = middle
+        else:
+            high = middle
+    return high
+
+
+def ks_envelopes(
+    x: np.ndarray, sigma: float, d_ks: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upper and lower CDF envelopes ``E_u``, ``E_l`` from Section 4.3.
+
+    ``E_u(x) = min(1, Phi_sigma(x) + D_KS)`` and
+    ``E_l(x) = max(0, Phi_sigma(x) - D_KS)``.
+    """
+    cdf = normal_cdf(x, sigma=sigma)
+    upper = np.minimum(1.0, cdf + d_ks)
+    lower = np.maximum(0.0, cdf - d_ks)
+    return upper, lower
+
+
+def theorem2_interval(
+    k: int, dimension: int, sigma: float, d_ks: float
+) -> tuple[float, float]:
+    """Acceptance interval for the k-th order statistic (Theorem 2).
+
+    To pass a KS test with critical statistic ``d_ks``, the k-th smallest
+    coordinate (1-indexed) of a d-dimensional upload must fall inside
+    ``[E_u^{-1}(k / d), E_l^{-1}((k - 1) / d)]``.  The inverse envelopes are
+
+    - ``E_u^{-1}(p) = Phi^{-1}(p - D_KS)`` (``-inf`` when ``p <= D_KS``),
+    - ``E_l^{-1}(p) = Phi^{-1}(p + D_KS)`` (``+inf`` when ``p + D_KS >= 1``).
+    """
+    if not 1 <= k <= dimension:
+        raise ValueError(f"k must be in [1, {dimension}], got {k}")
+    if not 0.0 < d_ks < 1.0:
+        raise ValueError("d_ks must be in (0, 1)")
+
+    upper_arg = k / dimension - d_ks
+    lower_arg = (k - 1) / dimension + d_ks
+
+    lower_bound = (
+        -math.inf if upper_arg <= 0.0 else normal_ppf(min(upper_arg, 1.0 - 1e-12), sigma=sigma)
+    )
+    upper_bound = (
+        math.inf if lower_arg >= 1.0 else normal_ppf(max(lower_arg, 1e-12), sigma=sigma)
+    )
+    return lower_bound, upper_bound

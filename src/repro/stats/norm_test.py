@@ -1,0 +1,38 @@
+"""Chi-square norm-interval test ("Norm test", Section 4.3).
+
+If an upload ``g`` is dominated by DP noise, ``||g||^2 / sigma^2`` follows a
+chi-square distribution with ``d`` degrees of freedom.  For large ``d`` the
+central limit theorem gives ``||g||^2 ~ N(sigma^2 d, 2 sigma^4 d)``, so a
+benign upload's squared norm falls inside
+
+    [sigma^2 d - k sigma^2 sqrt(2 d),  sigma^2 d + k sigma^2 sqrt(2 d)]
+
+with probability ~99.7% for ``k = 3`` (the paper's choice).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["squared_norm_interval", "norm_interval"]
+
+
+def squared_norm_interval(
+    sigma: float, dimension: int, k: float = 3.0
+) -> tuple[float, float]:
+    """Acceptance interval for the *squared* l2-norm of a benign upload."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    center = sigma**2 * dimension
+    spread = k * sigma**2 * math.sqrt(2.0 * dimension)
+    return max(0.0, center - spread), center + spread
+
+
+def norm_interval(sigma: float, dimension: int, k: float = 3.0) -> tuple[float, float]:
+    """Acceptance interval for the l2-norm (square root of the squared interval)."""
+    low, high = squared_norm_interval(sigma, dimension, k)
+    return math.sqrt(low), math.sqrt(high)

@@ -1,0 +1,107 @@
+"""Tests for result summaries and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import RunResult, SeedSummary, summarize_runs
+from repro.analysis.tables import format_series, format_table
+from repro.federated.history import TrainingHistory
+
+
+def make_run(accuracy: float, seed: int = 0) -> RunResult:
+    history = TrainingHistory()
+    history.record(0, accuracy)
+    return RunResult(
+        final_accuracy=accuracy,
+        history=history,
+        sigma=1.0,
+        learning_rate=0.2,
+        epsilon=1.0,
+        seed=seed,
+    )
+
+
+class TestSummarizeRuns:
+    def test_statistics(self):
+        summary = summarize_runs([make_run(0.8), make_run(0.9), make_run(0.7)])
+        assert summary.mean == pytest.approx(0.8)
+        assert summary.minimum == pytest.approx(0.7)
+        assert summary.maximum == pytest.approx(0.9)
+        assert summary.std == pytest.approx(np.std([0.8, 0.9, 0.7]))
+        assert summary.n_runs == 3
+
+    def test_single_run(self):
+        summary = summarize_runs([make_run(0.5)])
+        assert summary.mean == summary.minimum == summary.maximum == 0.5
+        assert summary.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_str_contains_mean_min_max(self):
+        text = str(summarize_runs([make_run(0.812), make_run(0.934)]))
+        assert "0.873" in text and "0.812" in text and "0.934" in text
+
+    def test_summary_is_frozen(self):
+        summary = summarize_runs([make_run(0.5)])
+        with pytest.raises(Exception):
+            summary.mean = 1.0  # type: ignore[misc]
+
+    def test_run_result_defaults(self):
+        run = make_run(0.4)
+        assert run.metadata == {}
+        assert isinstance(run, RunResult)
+        assert isinstance(summarize_runs([run]), SeedSummary)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "a" in text and "b" in text
+        assert "2.500" in text and "x" in text
+
+    def test_title_printed_first(self):
+        text = format_table(["col"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_three_decimals(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text and "0.1235" not in text
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer_name", 2]])
+        lines = text.splitlines()
+        # header, separator and both rows share the same width
+        assert len({len(line) for line in lines}) <= 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x_value(self):
+        text = format_series("eps", [0.125, 0.5, 2.0], {"ours": [0.8, 0.85, 0.9]})
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + separator + rows
+
+    def test_multiple_series_become_columns(self):
+        text = format_series(
+            "eps", [1, 2], {"ours": [0.8, 0.9], "reference": [0.82, 0.91]}
+        )
+        assert "ours" in text and "reference" in text
+
+    def test_missing_values_rendered_as_nan(self):
+        text = format_series("x", [1, 2, 3], {"short": [0.5]})
+        assert "nan" in text
+
+    def test_title(self):
+        text = format_series("x", [1], {"y": [2.0]}, title="Figure 1")
+        assert text.startswith("Figure 1")

@@ -1,0 +1,66 @@
+"""Tests for the attack registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byzantine.adaptive import AdaptiveAttack
+from repro.byzantine.gaussian import GaussianAttack
+from repro.byzantine.label_flip import LabelFlipAttack
+from repro.byzantine.lmp import LocalModelPoisoningAttack
+from repro.byzantine.registry import available_attacks, build_attack
+from repro.data.synthetic import make_classification
+
+
+class TestRegistry:
+    def test_paper_attacks_available(self):
+        names = available_attacks()
+        for name in ("gaussian", "label_flip", "lmp", "alittle", "inner", "none"):
+            assert name in names
+
+    def test_adaptive_variants_listed(self):
+        names = available_attacks()
+        assert "adaptive_gaussian" in names
+        assert "adaptive_label_flip" in names
+        assert "adaptive_none" not in names
+
+    @pytest.mark.parametrize("name", ["gaussian", "label_flip", "lmp", "alittle", "inner"])
+    def test_build_each_attack(self, name):
+        attack = build_attack(name)
+        assert attack is not None
+
+    def test_build_gaussian_type(self):
+        assert isinstance(build_attack("gaussian"), GaussianAttack)
+
+    def test_build_label_flip_type(self):
+        assert isinstance(build_attack("label_flip"), LabelFlipAttack)
+
+    def test_build_lmp_type(self):
+        assert isinstance(build_attack("lmp"), LocalModelPoisoningAttack)
+
+    def test_build_adaptive_wraps_base(self):
+        attack = build_attack("adaptive_gaussian", ttbb=0.6)
+        assert isinstance(attack, AdaptiveAttack)
+        assert isinstance(attack.inner, GaussianAttack)
+        assert attack.ttbb == 0.6
+
+    def test_build_forwards_kwargs(self):
+        attack = build_attack("lmp", lambda_override=2.0)
+        assert attack.lambda_override == 2.0
+
+    def test_none_attack_behaves_honestly(self):
+        """The 'none' attack follows the protocol and leaves data untouched."""
+        attack = build_attack("none")
+        assert attack.follows_protocol
+        dataset = make_classification(20, 4, 2, rng=np.random.default_rng(0))
+        poisoned = attack.poison_dataset(dataset)
+        np.testing.assert_array_equal(poisoned.labels, dataset.labels)
+
+    def test_unknown_attack_raises(self):
+        with pytest.raises(KeyError):
+            build_attack("quantum")
+
+    def test_unknown_adaptive_base_raises(self):
+        with pytest.raises(KeyError):
+            build_attack("adaptive_quantum")

@@ -1,0 +1,167 @@
+"""Tests for the client-side DP protocol (Algorithm 1, lines 4-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import (
+    LocalDPState,
+    local_update,
+    noise_to_signal_ratio,
+    upload_noise_std,
+)
+from tests.helpers import make_model_and_data
+
+
+@pytest.fixture
+def model_and_data():
+    return make_model_and_data(seed=0)
+
+
+class TestLocalDPState:
+    def test_initially_empty(self):
+        state = LocalDPState()
+        assert state.momentum.shape == (0, 0)
+
+    def test_ensure_shape_initialises_zeros(self):
+        state = LocalDPState()
+        state.ensure_shape(8, 20)
+        assert state.momentum.shape == (8, 20)
+        np.testing.assert_array_equal(state.momentum, 0.0)
+
+    def test_ensure_shape_keeps_existing_state(self):
+        state = LocalDPState()
+        state.ensure_shape(4, 10)
+        state.momentum += 1.0
+        state.ensure_shape(4, 10)
+        np.testing.assert_array_equal(state.momentum, 1.0)
+
+    def test_ensure_shape_resets_on_mismatch(self):
+        state = LocalDPState()
+        state.ensure_shape(4, 10)
+        state.momentum += 1.0
+        state.ensure_shape(4, 12)
+        np.testing.assert_array_equal(state.momentum, 0.0)
+
+
+class TestLocalUpdate:
+    def test_upload_shape(self, model_and_data):
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=1.0)
+        upload = local_update(model, dataset, LocalDPState(), config, np.random.default_rng(0))
+        assert upload.shape == (model.num_parameters,)
+
+    def test_noiseless_upload_norm_at_most_one(self, model_and_data):
+        """With sigma = 0 the upload is an average of unit vectors."""
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=0.0, momentum=0.0)
+        upload = local_update(model, dataset, LocalDPState(), config, np.random.default_rng(0))
+        assert np.linalg.norm(upload) <= 1.0 + 1e-9
+
+    def test_noiseless_clip_upload_norm_at_most_clip(self, model_and_data):
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=0.0, momentum=0.0, bounding="clip", clip_norm=0.5)
+        upload = local_update(model, dataset, LocalDPState(), config, np.random.default_rng(0))
+        assert np.linalg.norm(upload) <= 0.5 + 1e-9
+
+    def test_upload_statistics_match_dp_noise(self, model_and_data):
+        """With large sigma the upload is approximately N(0, (sigma/b)^2 I)."""
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=16, sigma=20.0, momentum=0.0)
+        rng = np.random.default_rng(1)
+        upload = local_update(model, dataset, LocalDPState(), config, rng)
+        expected_std = upload_noise_std(config)
+        assert upload.std() == pytest.approx(expected_std, rel=0.3)
+
+    def test_momentum_state_updated(self, model_and_data):
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=4, sigma=1.0)
+        state = LocalDPState()
+        upload = local_update(model, dataset, state, config, np.random.default_rng(0))
+        # Algorithm 1 line 11: every slot is overwritten with the upload.
+        assert state.momentum.shape == (4, model.num_parameters)
+        for slot in state.momentum:
+            np.testing.assert_array_equal(slot, upload)
+
+    def test_momentum_carries_across_rounds(self, model_and_data):
+        """With beta > 0 the previous upload influences the next one."""
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=0.0, momentum=0.9)
+        state_a = LocalDPState()
+        state_b = LocalDPState()
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        first = local_update(model, dataset, state_a, config, rng_a)
+        local_update(model, dataset, state_b, config, rng_b)
+        # Warm state: second update differs from a cold-state update with the
+        # same generator stream.
+        second_warm = local_update(model, dataset, state_a, config, rng_a)
+        second_cold = local_update(model, dataset, LocalDPState(), config, rng_b)
+        assert not np.allclose(second_warm, second_cold)
+        assert first.shape == second_warm.shape
+
+    def test_deterministic_given_generator(self, model_and_data):
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=1.0)
+        a = local_update(model, dataset, LocalDPState(), config, np.random.default_rng(5))
+        b = local_update(model, dataset, LocalDPState(), config, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_noise_across_calls(self, model_and_data):
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=1.0)
+        rng = np.random.default_rng(5)
+        a = local_update(model, dataset, LocalDPState(), config, rng)
+        b = local_update(model, dataset, LocalDPState(), config, rng)
+        assert not np.allclose(a, b)
+
+    def test_normalize_mode_independent_of_gradient_scale(self, model_and_data):
+        """Normalisation makes the (noiseless) upload invariant to loss scaling."""
+        model, dataset = model_and_data
+        config = DPConfig(batch_size=8, sigma=0.0, momentum=0.0)
+        upload = local_update(
+            model, dataset, LocalDPState(), config, np.random.default_rng(0)
+        )
+        # Scale all parameters: the per-example gradients change magnitude but
+        # their directions (and thus the normalised average) change smoothly;
+        # the upload still has norm at most 1.
+        model.set_flat_parameters(model.get_flat_parameters() * 3.0)
+        upload_scaled = local_update(
+            model, dataset, LocalDPState(), config, np.random.default_rng(0)
+        )
+        assert np.linalg.norm(upload) <= 1.0 + 1e-9
+        assert np.linalg.norm(upload_scaled) <= 1.0 + 1e-9
+
+
+class TestNoiseHelpers:
+    def test_upload_noise_std(self):
+        config = DPConfig(batch_size=16, sigma=3.2)
+        assert upload_noise_std(config) == pytest.approx(0.2)
+
+    def test_upload_noise_std_zero_for_non_private(self):
+        assert upload_noise_std(DPConfig(sigma=0.0)) == 0.0
+
+    def test_noise_to_signal_ratio_formula(self):
+        config = DPConfig(batch_size=16, sigma=2.0)
+        ratio = noise_to_signal_ratio(config, dimension=6400)
+        assert ratio == pytest.approx(2.0 * 80 / 16)
+
+    def test_noise_to_signal_ratio_grows_with_dimension(self):
+        config = DPConfig(batch_size=16, sigma=1.0)
+        assert noise_to_signal_ratio(config, 10_000) > noise_to_signal_ratio(config, 100)
+
+    def test_noise_to_signal_ratio_shrinks_with_batch(self):
+        small_batch = DPConfig(batch_size=8, sigma=1.0)
+        large_batch = DPConfig(batch_size=128, sigma=1.0)
+        assert noise_to_signal_ratio(small_batch, 5000) > noise_to_signal_ratio(
+            large_batch, 5000
+        )
+
+    def test_noise_to_signal_ratio_zero_without_dp(self):
+        assert noise_to_signal_ratio(DPConfig(sigma=0.0), 100) == 0.0
+
+    def test_noise_to_signal_ratio_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            noise_to_signal_ratio(DPConfig(), 0)

@@ -1,0 +1,159 @@
+"""Tests for FirstAGG (Algorithm 2): norm test + KS test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.first_stage import FirstStageFilter
+
+
+DIMENSION = 3000
+SIGMA = 0.25
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(31)
+
+
+@pytest.fixture
+def first_stage() -> FirstStageFilter:
+    return FirstStageFilter(sigma=SIGMA, dimension=DIMENSION)
+
+
+def benign_upload(rng: np.random.Generator, signal_scale: float = 0.02) -> np.ndarray:
+    """An upload dominated by DP noise plus a small signal component."""
+    signal = rng.normal(size=DIMENSION)
+    signal *= signal_scale / np.linalg.norm(signal)
+    return signal + rng.normal(0.0, SIGMA, size=DIMENSION)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            FirstStageFilter(sigma=0.0, dimension=10)
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValueError):
+            FirstStageFilter(sigma=1.0, dimension=0)
+
+    def test_norm_bounds_bracket_expectation(self, first_stage):
+        low, high = first_stage.norm_bounds()
+        assert low < SIGMA**2 * DIMENSION < high
+
+
+class TestAcceptance:
+    def test_accepts_pure_dp_noise(self, rng, first_stage):
+        accepted = sum(
+            first_stage.accepts(rng.normal(0.0, SIGMA, size=DIMENSION)) for _ in range(30)
+        )
+        assert accepted >= 27  # a benign upload is rejected only rarely
+
+    def test_accepts_noise_dominated_honest_upload(self, rng, first_stage):
+        accepted = sum(first_stage.accepts(benign_upload(rng)) for _ in range(30))
+        assert accepted >= 27
+
+    def test_rejects_zero_vector(self, first_stage):
+        assert not first_stage.accepts(np.zeros(DIMENSION))
+
+    def test_rejects_large_norm_upload(self, rng, first_stage):
+        upload = rng.normal(0.0, SIGMA * 1.5, size=DIMENSION)
+        assert not first_stage.accepts(upload)
+
+    def test_rejects_small_norm_upload(self, rng, first_stage):
+        upload = rng.normal(0.0, SIGMA * 0.5, size=DIMENSION)
+        assert not first_stage.accepts(upload)
+
+    def test_rejects_shifted_noise(self, rng, first_stage):
+        """Correct norm but wrong shape: a mean shift is caught by the KS test."""
+        upload = rng.normal(0.0, SIGMA, size=DIMENSION) + 0.3 * SIGMA
+        # Rescale so the norm test alone would pass.
+        target_norm = SIGMA * np.sqrt(DIMENSION)
+        upload = upload / np.linalg.norm(upload) * target_norm
+        report = first_stage.inspect(upload)
+        assert report.norm_ok
+        assert not report.ks_ok
+        assert not report.accepted
+
+    def test_rejects_sparse_spike_upload(self, rng, first_stage):
+        """All mass on a few coordinates: right norm, wrong distribution."""
+        upload = np.zeros(DIMENSION)
+        spikes = rng.choice(DIMENSION, size=10, replace=False)
+        upload[spikes] = SIGMA * np.sqrt(DIMENSION / 10)
+        report = first_stage.inspect(upload)
+        assert report.norm_ok
+        assert not report.accepted
+
+    def test_rejects_uniform_coordinates(self, rng, first_stage):
+        """Uniformly distributed coordinates with the right norm are rejected."""
+        upload = rng.uniform(-1.0, 1.0, size=DIMENSION)
+        upload *= SIGMA * np.sqrt(DIMENSION) / np.linalg.norm(upload)
+        assert not first_stage.accepts(upload)
+
+    def test_rejects_large_honest_gradient_without_noise(self, rng, first_stage):
+        """A raw (un-noised) normalised gradient does not look like DP noise."""
+        gradient = rng.normal(size=DIMENSION)
+        gradient /= np.linalg.norm(gradient)
+        assert not first_stage.accepts(gradient)
+
+
+class TestApplyAndFilterAll:
+    def test_apply_keeps_accepted(self, rng, first_stage):
+        upload = rng.normal(0.0, SIGMA, size=DIMENSION)
+        if first_stage.accepts(upload):
+            np.testing.assert_array_equal(first_stage.apply(upload), upload)
+
+    def test_apply_zeroes_rejected(self, first_stage):
+        rejected = np.ones(DIMENSION) * 10.0
+        np.testing.assert_array_equal(first_stage.apply(rejected), 0.0)
+
+    def test_filter_all_preserves_count_and_order(self, rng, first_stage):
+        uploads = [rng.normal(0.0, SIGMA, size=DIMENSION) for _ in range(3)]
+        uploads.append(np.ones(DIMENSION) * 5.0)  # clearly malicious
+        filtered = first_stage.filter_all(uploads)
+        assert len(filtered) == 4
+        np.testing.assert_array_equal(filtered[3], 0.0)
+
+    def test_inspect_rejects_wrong_shape(self, first_stage):
+        with pytest.raises(ValueError):
+            first_stage.inspect(np.zeros(DIMENSION + 1))
+
+    def test_report_fields_consistent(self, rng, first_stage):
+        upload = rng.normal(0.0, SIGMA, size=DIMENSION)
+        report = first_stage.inspect(upload)
+        assert report.accepted == (report.norm_ok and report.ks_ok)
+        assert report.squared_norm == pytest.approx(float(upload @ upload))
+        assert 0.0 <= report.ks_pvalue <= 1.0
+
+
+class TestTheorem2Helpers:
+    def test_critical_statistic_positive_and_small(self, first_stage):
+        critical = first_stage.critical_ks_statistic()
+        assert 0.0 < critical < 0.1  # narrow band for d = 3000
+
+    def test_coordinate_interval_contains_gaussian_quantile(self, rng, first_stage):
+        """Order statistics of accepted noise satisfy the Theorem 2 envelope."""
+        upload = rng.normal(0.0, SIGMA, size=DIMENSION)
+        assert first_stage.accepts(upload)
+        ordered = np.sort(upload)
+        for k in (1, DIMENSION // 4, DIMENSION // 2, 3 * DIMENSION // 4, DIMENSION):
+            low, high = first_stage.coordinate_interval(k)
+            assert low <= ordered[k - 1] <= high
+
+    def test_attack_confined_to_subspace(self, rng, first_stage):
+        """Any accepted upload respects the Theorem 2 order-statistic envelope.
+
+        This is the paper's Byzantine-resilience statement for the first
+        stage: the attacker can only play vectors inside a Gaussian-shaped
+        subspace, so its norm (and hence its damage) is bounded.
+        """
+        trials = 200
+        for _ in range(trials):
+            candidate = rng.normal(0.0, SIGMA, size=DIMENSION) * rng.uniform(0.9, 1.1)
+            if not first_stage.accepts(candidate):
+                continue
+            ordered = np.sort(candidate)
+            for k in (1, DIMENSION // 2, DIMENSION):
+                low, high = first_stage.coordinate_interval(k)
+                assert low - 1e-9 <= ordered[k - 1] <= high + 1e-9

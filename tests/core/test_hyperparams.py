@@ -1,0 +1,132 @@
+"""Tests for the hyper-parameter tuning helpers (Theorem 1 / Equation 4 / Claim 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.hyperparams import (
+    optimal_learning_rate,
+    protocol_sigma,
+    theorem1_bound,
+    transfer_learning_rate,
+)
+from repro.privacy.calibration import epsilon_for_sigma
+from repro.privacy.mechanisms import l2_sensitivity_of_sum
+
+
+class TestTransferRule:
+    def test_identity_at_base_sigma(self):
+        assert transfer_learning_rate(0.2, 1.5, 1.5) == pytest.approx(0.2)
+
+    def test_inverse_proportionality(self):
+        """eta = eta_b * sigma_b / sigma: doubling the noise halves the rate."""
+        assert transfer_learning_rate(0.2, 1.0, 2.0) == pytest.approx(0.1)
+        assert transfer_learning_rate(0.2, 1.0, 0.5) == pytest.approx(0.4)
+
+    def test_product_eta_sigma_is_invariant(self):
+        base_lr, base_sigma = 0.3, 0.79
+        for sigma in (0.5, 1.0, 3.3, 10.0):
+            lr = transfer_learning_rate(base_lr, base_sigma, sigma)
+            assert lr * sigma == pytest.approx(base_lr * base_sigma)
+
+    def test_zero_sigma_returns_base(self):
+        assert transfer_learning_rate(0.2, 1.0, 0.0) == 0.2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            transfer_learning_rate(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            transfer_learning_rate(0.2, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            transfer_learning_rate(0.2, 1.0, -1.0)
+
+
+class TestOptimalLearningRate:
+    def test_equation4_formula(self):
+        lr = optimal_learning_rate(
+            initial_loss=2.0, batch_size=16, iterations=1000,
+            lipschitz=1.0, dimension=20_000, sigma=1.5,
+        )
+        expected = (1.0 / 1.5) * math.sqrt(2.0 * 2.0 * 16**2 / (1000 * 1.0 * 20_000))
+        assert lr == pytest.approx(expected)
+
+    def test_inverse_in_sigma(self):
+        common = dict(initial_loss=1.0, batch_size=16, iterations=100, lipschitz=1.0, dimension=5000)
+        assert optimal_learning_rate(sigma=2.0, **common) == pytest.approx(
+            optimal_learning_rate(sigma=1.0, **common) / 2.0
+        )
+
+    def test_decreases_with_iterations(self):
+        common = dict(initial_loss=1.0, batch_size=16, lipschitz=1.0, dimension=5000, sigma=1.0)
+        assert optimal_learning_rate(iterations=1000, **common) < optimal_learning_rate(
+            iterations=100, **common
+        )
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            optimal_learning_rate(1.0, 16, 100, 1.0, 5000, 0.0)
+
+    def test_rejects_nonpositive_quantities(self):
+        with pytest.raises(ValueError):
+            optimal_learning_rate(0.0, 16, 100, 1.0, 5000, 1.0)
+        with pytest.raises(ValueError):
+            optimal_learning_rate(1.0, 0, 100, 1.0, 5000, 1.0)
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        bound = theorem1_bound(
+            initial_loss=2.0, learning_rate=0.1, iterations=100, lipschitz=1.0,
+            dimension=1000, sigma=1.0, batch_size=16, gradient_noise=0.5,
+        )
+        expected = (
+            3.0 * 2.0 / (100 * 0.1)
+            + 1.5 * 1.0 * 0.1 * (1.0 + 1.0 * 1000 / 256)
+            + 8.0 * 0.5
+        )
+        assert bound == pytest.approx(expected)
+
+    def test_equation4_minimises_the_bound(self):
+        """The Equation 4 learning rate beats nearby rates on the Theorem 1 bound."""
+        common = dict(
+            initial_loss=2.0, iterations=500, lipschitz=1.0,
+            dimension=20_000, sigma=2.0, batch_size=16,
+        )
+        best_lr = optimal_learning_rate(
+            initial_loss=2.0, batch_size=16, iterations=500,
+            lipschitz=1.0, dimension=20_000, sigma=2.0,
+        )
+        best = theorem1_bound(learning_rate=best_lr, **common)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            other = theorem1_bound(learning_rate=best_lr * factor, **common)
+            assert best <= other + 1e-9
+
+    def test_noise_term_dominates_for_small_batch(self):
+        """sigma^2 d / b^2 >> 1 is the regime the protocol is designed for."""
+        small_batch = theorem1_bound(1.0, 0.1, 100, 1.0, 20_000, 1.0, batch_size=8)
+        large_batch = theorem1_bound(1.0, 0.1, 100, 1.0, 20_000, 1.0, batch_size=1024)
+        assert small_batch > large_batch
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(1.0, 0.0, 100, 1.0, 100, 1.0, 16)
+        with pytest.raises(ValueError):
+            theorem1_bound(1.0, 0.1, 100, 1.0, 100, -1.0, 16)
+
+
+class TestProtocolSigma:
+    def test_includes_sensitivity_factor(self):
+        """Algorithm 1's noise std is sensitivity (= 2) times the calibrated multiplier."""
+        sigma = protocol_sigma(target_epsilon=1.0, delta=1e-4, sampling_rate=0.05, iterations=100)
+        multiplier = sigma / l2_sensitivity_of_sum("normalize")
+        achieved = epsilon_for_sigma(multiplier, q=0.05, steps=100, delta=1e-4)
+        assert achieved <= 1.0
+
+    def test_smaller_epsilon_more_noise(self):
+        common = dict(delta=1e-4, sampling_rate=0.05, iterations=100)
+        assert protocol_sigma(0.125, **common) > protocol_sigma(2.0, **common)
+
+    def test_positive(self):
+        assert protocol_sigma(2.0, 1e-4, 0.05, 50) > 0.0

@@ -1,0 +1,167 @@
+"""Tests for the second-stage aggregation (Algorithm 3, lines 4-14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.second_stage import SecondStageSelector
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(13)
+
+
+def make_uploads(
+    rng: np.random.Generator,
+    server_gradient: np.ndarray,
+    n_honest: int,
+    n_byzantine: int,
+    noise: float = 0.5,
+) -> list[np.ndarray]:
+    """Honest uploads roughly aligned with the server gradient, Byzantine ones inverted."""
+    dimension = server_gradient.size
+    uploads = []
+    for _ in range(n_honest):
+        uploads.append(server_gradient + noise * rng.normal(size=dimension))
+    for _ in range(n_byzantine):
+        uploads.append(-2.0 * server_gradient + noise * rng.normal(size=dimension))
+    return uploads
+
+
+class TestConstruction:
+    def test_keep_count(self):
+        assert SecondStageSelector(n_workers=25, gamma=0.4).keep == 10
+        assert SecondStageSelector(n_workers=10, gamma=0.5).keep == 5
+        assert SecondStageSelector(n_workers=7, gamma=0.3).keep == 3  # ceil(2.1)
+
+    def test_keep_at_least_one(self):
+        assert SecondStageSelector(n_workers=3, gamma=0.01).keep == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            SecondStageSelector(0, 0.5)
+        with pytest.raises(ValueError):
+            SecondStageSelector(5, 0.0)
+        with pytest.raises(ValueError):
+            SecondStageSelector(5, 1.5)
+
+    def test_initial_scores_zero(self):
+        selector = SecondStageSelector(5, 0.5)
+        np.testing.assert_array_equal(selector.accumulated_scores, 0.0)
+
+
+class TestSelection:
+    def test_selects_honest_majority_aligned_uploads(self, rng):
+        dimension = 50
+        server_gradient = rng.normal(size=dimension)
+        uploads = make_uploads(rng, server_gradient, n_honest=6, n_byzantine=4)
+        selector = SecondStageSelector(n_workers=10, gamma=0.6)
+        report = selector.select(uploads, server_gradient)
+        assert set(report.selected) == set(range(6))
+
+    def test_selects_honest_even_when_byzantine_majority(self, rng):
+        """The paper's key property: no restriction on gamma being > 0.5."""
+        dimension = 60
+        server_gradient = rng.normal(size=dimension)
+        uploads = make_uploads(rng, server_gradient, n_honest=4, n_byzantine=16)
+        selector = SecondStageSelector(n_workers=20, gamma=0.2)
+        report = selector.select(uploads, server_gradient)
+        assert set(report.selected) == set(range(4))
+
+    def test_scores_are_inner_products(self, rng):
+        dimension = 20
+        server_gradient = rng.normal(size=dimension)
+        uploads = [rng.normal(size=dimension) for _ in range(5)]
+        selector = SecondStageSelector(5, 0.6)
+        report = selector.select(uploads, server_gradient)
+        expected = [float(np.dot(upload, server_gradient)) for upload in uploads]
+        np.testing.assert_allclose(report.scores, expected)
+
+    def test_threshold_is_mean_of_top_scores(self, rng):
+        dimension = 20
+        server_gradient = rng.normal(size=dimension)
+        uploads = [rng.normal(size=dimension) for _ in range(8)]
+        selector = SecondStageSelector(8, 0.5)
+        report = selector.select(uploads, server_gradient)
+        top = np.sort(report.scores)[::-1][:4]
+        assert report.threshold == pytest.approx(float(top.mean()))
+
+    def test_negative_scores_never_accumulate(self, rng):
+        dimension = 30
+        server_gradient = rng.normal(size=dimension)
+        uploads = make_uploads(rng, server_gradient, n_honest=3, n_byzantine=3, noise=0.1)
+        selector = SecondStageSelector(6, 0.5)
+        report = selector.select(uploads, server_gradient)
+        assert np.all(report.accumulated[3:] <= 0.0 + 1e-12)
+        assert np.all(report.accumulated[3:] >= 0.0)  # suppressed to exactly zero
+
+    def test_scores_accumulate_across_rounds(self, rng):
+        dimension = 30
+        server_gradient = rng.normal(size=dimension)
+        selector = SecondStageSelector(6, 0.5)
+        uploads = make_uploads(rng, server_gradient, n_honest=3, n_byzantine=3, noise=0.1)
+        first = selector.select(uploads, server_gradient)
+        second = selector.select(uploads, server_gradient)
+        assert np.all(second.accumulated >= first.accumulated - 1e-12)
+        assert second.accumulated[0] > first.accumulated[0]
+
+    def test_accumulated_history_heals_one_bad_round(self, rng):
+        """A worker misranked in one noisy round is still selected thanks to S."""
+        dimension = 40
+        server_gradient = rng.normal(size=dimension)
+        selector = SecondStageSelector(4, 0.5)
+        good = [server_gradient + 0.05 * rng.normal(size=dimension) for _ in range(2)]
+        bad = [-server_gradient for _ in range(2)]
+        # several good rounds build up score for workers 0 and 1
+        for _ in range(5):
+            selector.select(good + bad, server_gradient)
+        # one adversarial round where worker 0 looks slightly worse than worker 2
+        confusing = [
+            -0.1 * server_gradient,
+            server_gradient,
+            0.2 * server_gradient,
+            -server_gradient,
+        ]
+        report = selector.select(confusing, server_gradient)
+        assert 0 in report.selected and 1 in report.selected
+
+    def test_reset_clears_accumulated_scores(self, rng):
+        dimension = 10
+        server_gradient = rng.normal(size=dimension)
+        selector = SecondStageSelector(3, 0.5)
+        selector.select([server_gradient] * 3, server_gradient)
+        selector.reset()
+        np.testing.assert_array_equal(selector.accumulated_scores, 0.0)
+
+    def test_rejects_wrong_upload_count(self, rng):
+        selector = SecondStageSelector(4, 0.5)
+        with pytest.raises(ValueError):
+            selector.select([np.zeros(5)] * 3, np.zeros(5))
+
+    def test_selected_count_is_keep(self, rng):
+        dimension = 25
+        server_gradient = rng.normal(size=dimension)
+        uploads = [rng.normal(size=dimension) for _ in range(10)]
+        selector = SecondStageSelector(10, 0.3)
+        report = selector.select(uploads, server_gradient)
+        assert len(report.selected) == selector.keep == 3
+
+    def test_selected_indices_sorted_and_unique(self, rng):
+        dimension = 25
+        server_gradient = rng.normal(size=dimension)
+        uploads = [rng.normal(size=dimension) for _ in range(10)]
+        selector = SecondStageSelector(10, 0.5)
+        report = selector.select(uploads, server_gradient)
+        assert list(report.selected) == sorted(set(report.selected.tolist()))
+
+    def test_zero_uploads_from_first_stage_score_zero(self, rng):
+        """Rejected (zeroed) first-stage uploads can never win the selection."""
+        dimension = 30
+        server_gradient = rng.normal(size=dimension)
+        honest = [server_gradient + 0.1 * rng.normal(size=dimension) for _ in range(3)]
+        zeroed = [np.zeros(dimension) for _ in range(3)]
+        selector = SecondStageSelector(6, 0.5)
+        report = selector.select(honest + zeroed, server_gradient)
+        assert set(report.selected) == {0, 1, 2}

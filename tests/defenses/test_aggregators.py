@@ -1,0 +1,264 @@
+"""Tests for the baseline robust aggregation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import Aggregator
+from repro.defenses.fltrust import FLTrustAggregator
+from repro.defenses.krum import KrumAggregator, krum_scores
+from repro.defenses.mean import MeanAggregator
+from repro.defenses.median import CoordinateMedianAggregator
+from repro.defenses.rfa import GeometricMedianAggregator, geometric_median
+from repro.defenses.signsgd import SignAggregator
+from repro.defenses.trimmed_mean import TrimmedMeanAggregator
+from tests.helpers import make_aggregation_context
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(41)
+
+
+@pytest.fixture
+def context():
+    return make_aggregation_context(seed=1)
+
+
+def clustered_uploads(rng: np.random.Generator, n_honest: int, n_byzantine: int, dim: int = 27):
+    """Honest uploads near +1 direction, Byzantine outliers far away."""
+    target = np.ones(dim)
+    honest = [target + 0.1 * rng.normal(size=dim) for _ in range(n_honest)]
+    byzantine = [target * -50.0 + rng.normal(size=dim) for _ in range(n_byzantine)]
+    return honest + byzantine, target
+
+
+class TestAggregatorBase:
+    def test_abstract_aggregate(self, context):
+        with pytest.raises(NotImplementedError):
+            Aggregator().aggregate([np.zeros(3)], context)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Aggregator._validate([])
+
+    def test_validate_stacks(self):
+        stacked = Aggregator._validate([np.zeros(4), np.ones(4)])
+        assert stacked.shape == (2, 4)
+
+    def test_reset_is_noop_by_default(self):
+        Aggregator().reset()
+
+    def test_requires_auxiliary_defaults_false(self):
+        assert not MeanAggregator.requires_auxiliary
+        assert FLTrustAggregator.requires_auxiliary
+
+
+class TestMean:
+    def test_equals_numpy_mean(self, rng, context):
+        uploads = [rng.normal(size=27) for _ in range(5)]
+        result = MeanAggregator().aggregate(uploads, context)
+        np.testing.assert_allclose(result, np.mean(uploads, axis=0))
+
+    def test_single_upload(self, rng, context):
+        upload = rng.normal(size=27)
+        np.testing.assert_allclose(MeanAggregator().aggregate([upload], context), upload)
+
+    def test_not_robust_to_one_outlier(self, rng, context):
+        """By design: one large Byzantine upload drags the average away."""
+        uploads, target = clustered_uploads(rng, n_honest=9, n_byzantine=1)
+        result = MeanAggregator().aggregate(uploads, context)
+        assert np.linalg.norm(result - target) > 1.0
+
+
+class TestKrum:
+    def test_scores_prefer_clustered_points(self, rng):
+        uploads, _ = clustered_uploads(rng, n_honest=8, n_byzantine=2)
+        scores = krum_scores(np.vstack(uploads), n_byzantine=2)
+        assert scores[:8].max() < scores[8:].min()
+
+    def test_selects_an_honest_upload(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=8, n_byzantine=2)
+        result = KrumAggregator(byzantine_fraction=0.2).aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_multi_krum_averages_several(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=8, n_byzantine=2)
+        result = KrumAggregator(byzantine_fraction=0.2, multi=3).aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_returns_one_of_the_uploads_for_multi_one(self, rng, context):
+        uploads = [rng.normal(size=10) for _ in range(6)]
+        result = KrumAggregator(byzantine_fraction=0.0).aggregate(uploads, context)
+        assert any(np.allclose(result, upload) for upload in uploads)
+
+    def test_breaks_under_byzantine_majority(self, rng, context):
+        """Krum's known limitation: a colluding majority wins the vote."""
+        dim = 27
+        target = np.ones(dim)
+        honest = [target + 0.1 * rng.normal(size=dim) for _ in range(4)]
+        byzantine = [-target + 0.01 * rng.normal(size=dim) for _ in range(8)]
+        result = KrumAggregator(byzantine_fraction=0.3).aggregate(honest + byzantine, context)
+        assert float(np.dot(result, target)) < 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            KrumAggregator(byzantine_fraction=1.0)
+        with pytest.raises(ValueError):
+            KrumAggregator(multi=0)
+
+
+class TestMedianFamily:
+    def test_median_matches_numpy(self, rng, context):
+        uploads = [rng.normal(size=15) for _ in range(7)]
+        result = CoordinateMedianAggregator().aggregate(uploads, context)
+        np.testing.assert_allclose(result, np.median(np.vstack(uploads), axis=0))
+
+    def test_median_robust_to_minority_outliers(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=7, n_byzantine=3)
+        result = CoordinateMedianAggregator().aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_median_breaks_under_majority(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=3, n_byzantine=7)
+        result = CoordinateMedianAggregator().aggregate(uploads, context)
+        assert np.linalg.norm(result - target) > 10.0
+
+    def test_trimmed_mean_drops_extremes(self, context):
+        uploads = [np.array([value]) for value in (0.0, 1.0, 1.1, 0.9, 100.0)]
+        result = TrimmedMeanAggregator(trim_fraction=0.2).aggregate(uploads, context)
+        assert result[0] == pytest.approx(1.0, abs=0.1)
+
+    def test_trimmed_mean_zero_trim_is_mean(self, rng, context):
+        uploads = [rng.normal(size=8) for _ in range(5)]
+        result = TrimmedMeanAggregator(trim_fraction=0.0).aggregate(uploads, context)
+        np.testing.assert_allclose(result, np.mean(uploads, axis=0))
+
+    def test_trimmed_mean_robust_to_minority(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=8, n_byzantine=2)
+        result = TrimmedMeanAggregator(trim_fraction=0.25).aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_trimmed_mean_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim_fraction=0.5)
+
+    def test_trimmed_mean_clamps_excessive_trim(self, rng, context):
+        uploads = [rng.normal(size=4) for _ in range(3)]
+        result = TrimmedMeanAggregator(trim_fraction=0.45).aggregate(uploads, context)
+        np.testing.assert_allclose(result, np.median(np.vstack(uploads), axis=0))
+
+
+class TestGeometricMedian:
+    def test_single_point_is_itself(self):
+        point = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(geometric_median(point), point[0])
+
+    def test_collinear_symmetric_points(self):
+        points = np.array([[-1.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(geometric_median(points), [0.0, 0.0], atol=1e-6)
+
+    def test_minimises_sum_of_distances(self, rng):
+        points = rng.normal(size=(12, 5))
+        median = geometric_median(points)
+
+        def objective(candidate):
+            return float(np.linalg.norm(points - candidate, axis=1).sum())
+
+        best = objective(median)
+        for _ in range(50):
+            perturbed = median + 0.05 * rng.normal(size=5)
+            assert objective(perturbed) >= best - 1e-6
+
+    def test_robust_to_minority_outliers(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=8, n_byzantine=2)
+        result = GeometricMedianAggregator().aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros((0, 3)))
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            GeometricMedianAggregator(max_iterations=0)
+
+
+class TestFLTrust:
+    def test_requires_auxiliary(self, rng):
+        context = make_aggregation_context(seed=3, with_auxiliary=False)
+        with pytest.raises(ValueError):
+            FLTrustAggregator().aggregate([rng.normal(size=27)], context)
+
+    def test_output_shape(self, rng, context):
+        uploads = [rng.normal(size=27) for _ in range(5)]
+        result = FLTrustAggregator().aggregate(uploads, context)
+        assert result.shape == (27,)
+
+    def test_negative_cosine_uploads_get_zero_trust(self, context):
+        """Uploads pointing against the server gradient are discarded."""
+        server_gradient = context.server_gradient()
+        aligned = server_gradient.copy()
+        inverted = -5.0 * server_gradient
+        result = FLTrustAggregator().aggregate([aligned, inverted], context)
+        cosine = float(
+            np.dot(result, server_gradient)
+            / (np.linalg.norm(result) * np.linalg.norm(server_gradient))
+        )
+        assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_inverted_uploads_give_zero_update(self, context):
+        server_gradient = context.server_gradient()
+        uploads = [-server_gradient, -2.0 * server_gradient]
+        result = FLTrustAggregator().aggregate(uploads, context)
+        np.testing.assert_allclose(result, 0.0)
+
+    def test_uploads_rescaled_to_server_norm(self, context):
+        server_gradient = context.server_gradient()
+        scaled_up = 100.0 * server_gradient
+        result = FLTrustAggregator().aggregate([scaled_up], context)
+        assert np.linalg.norm(result) == pytest.approx(
+            np.linalg.norm(server_gradient), rel=1e-6
+        )
+
+
+class TestSignAggregator:
+    def test_output_is_scaled_signs(self, rng, context):
+        uploads = [rng.normal(size=20) for _ in range(5)]
+        result = SignAggregator(scale=0.01).aggregate(uploads, context)
+        assert set(np.round(np.abs(result[result != 0.0]), 10)) <= {0.01}
+
+    def test_majority_vote(self, context):
+        uploads = [np.array([1.0, -1.0]), np.array([2.0, -3.0]), np.array([-0.5, 1.0])]
+        result = SignAggregator(scale=1.0).aggregate(uploads, context)
+        np.testing.assert_allclose(result, [1.0, -1.0])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            SignAggregator(scale=0.0)
+
+    def test_breaks_under_majority_attack(self, context):
+        """Sign majority vote loses once Byzantine workers outnumber honest ones."""
+        honest = [np.array([1.0, 1.0])] * 3
+        byzantine = [np.array([-1.0, -1.0])] * 5
+        result = SignAggregator(scale=1.0).aggregate(honest + byzantine, context)
+        np.testing.assert_allclose(result, [-1.0, -1.0])
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize(
+        "aggregator",
+        [
+            MeanAggregator(),
+            CoordinateMedianAggregator(),
+            TrimmedMeanAggregator(0.2),
+            GeometricMedianAggregator(),
+            SignAggregator(),
+        ],
+    )
+    def test_order_of_uploads_does_not_matter(self, aggregator, rng, context):
+        uploads = [rng.normal(size=12) for _ in range(7)]
+        forward = aggregator.aggregate(uploads, context)
+        backward = aggregator.aggregate(list(reversed(uploads)), context)
+        np.testing.assert_allclose(forward, backward, atol=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the Bulyan aggregation rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.bulyan import BulyanAggregator
+from repro.defenses.registry import build_defense
+from tests.helpers import make_aggregation_context
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(55)
+
+
+@pytest.fixture
+def context():
+    return make_aggregation_context(seed=5)
+
+
+def clustered_uploads(rng, n_honest, n_byzantine, dim=20):
+    target = np.ones(dim)
+    honest = [target + 0.1 * rng.normal(size=dim) for _ in range(n_honest)]
+    byzantine = [-40.0 * target + rng.normal(size=dim) for _ in range(n_byzantine)]
+    return honest + byzantine, target
+
+
+class TestBulyan:
+    def test_registered(self):
+        assert isinstance(build_defense("bulyan", byzantine_fraction=0.2), BulyanAggregator)
+
+    def test_output_shape(self, rng, context):
+        uploads = [rng.normal(size=12) for _ in range(9)]
+        result = BulyanAggregator(byzantine_fraction=0.2).aggregate(uploads, context)
+        assert result.shape == (12,)
+
+    def test_robust_to_minority_outliers(self, rng, context):
+        uploads, target = clustered_uploads(rng, n_honest=13, n_byzantine=3)
+        result = BulyanAggregator(byzantine_fraction=0.2).aggregate(uploads, context)
+        assert np.linalg.norm(result - target) < 1.0
+
+    def test_result_within_honest_envelope_for_minority_attack(self, rng, context):
+        uploads, _ = clustered_uploads(rng, n_honest=13, n_byzantine=3)
+        honest = np.vstack(uploads[:13])
+        result = BulyanAggregator(byzantine_fraction=0.2).aggregate(uploads, context)
+        assert np.all(result >= honest.min(axis=0) - 1e-9)
+        assert np.all(result <= honest.max(axis=0) + 1e-9)
+
+    def test_no_byzantine_equals_plain_average_band(self, rng, context):
+        uploads = [rng.normal(size=10) for _ in range(8)]
+        result = BulyanAggregator(byzantine_fraction=0.0).aggregate(uploads, context)
+        stacked = np.vstack(uploads)
+        assert np.all(result >= stacked.min(axis=0) - 1e-9)
+        assert np.all(result <= stacked.max(axis=0) + 1e-9)
+
+    def test_breaks_under_byzantine_majority(self, rng, context):
+        """Table 1: Bulyan is not resilient past 50% Byzantine workers."""
+        dim = 20
+        target = np.ones(dim)
+        honest = [target + 0.1 * rng.normal(size=dim) for _ in range(4)]
+        byzantine = [-target + 0.01 * rng.normal(size=dim) for _ in range(10)]
+        result = BulyanAggregator(byzantine_fraction=0.3).aggregate(honest + byzantine, context)
+        assert float(np.dot(result, target)) < 0.0
+
+    def test_single_upload(self, rng, context):
+        upload = rng.normal(size=6)
+        result = BulyanAggregator(byzantine_fraction=0.2).aggregate([upload], context)
+        np.testing.assert_allclose(result, upload)
+
+    def test_deterministic(self, rng, context):
+        """Same uploads in the same order always give the same aggregate.
+
+        (Exact permutation invariance does not hold for Bulyan: the iterated
+        Krum selection can hit score ties -- two mutually-nearest uploads --
+        which are broken by position, as in the original algorithm.)
+        """
+        uploads = [rng.normal(size=8) for _ in range(7)]
+        aggregator = BulyanAggregator(byzantine_fraction=0.2)
+        first = aggregator.aggregate(uploads, context)
+        second = aggregator.aggregate(uploads, context)
+        np.testing.assert_allclose(first, second)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            BulyanAggregator(byzantine_fraction=1.0)
+
+    def test_runs_inside_experiment(self):
+        from repro.experiments import benchmark_preset, run_experiment
+
+        config = benchmark_preset(
+            scale=0.05, n_honest=4, epochs=1,
+            byzantine_fraction=0.4, attack="gaussian", defense="bulyan",
+        )
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0

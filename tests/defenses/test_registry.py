@@ -1,0 +1,69 @@
+"""Tests for the defense registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import TwoStageAggregator
+from repro.defenses.krum import KrumAggregator
+from repro.defenses.mean import MeanAggregator
+from repro.defenses.registry import available_defenses, build_defense
+
+
+class TestDefenseRegistry:
+    def test_baselines_available(self):
+        names = available_defenses()
+        for name in (
+            "mean",
+            "krum",
+            "multi_krum",
+            "median",
+            "trimmed_mean",
+            "rfa",
+            "fltrust",
+            "signsgd",
+        ):
+            assert name in names
+
+    def test_protocol_variants_available(self):
+        names = available_defenses()
+        for name in ("two_stage", "first_stage_only", "second_stage_only"):
+            assert name in names
+
+    @pytest.mark.parametrize("name", sorted(set(["mean", "krum", "median", "trimmed_mean", "rfa", "fltrust", "signsgd"])))
+    def test_build_each_baseline(self, name):
+        assert build_defense(name) is not None
+
+    def test_build_mean_type(self):
+        assert isinstance(build_defense("mean"), MeanAggregator)
+
+    def test_build_two_stage_type(self):
+        aggregator = build_defense("two_stage", gamma=0.4)
+        assert isinstance(aggregator, TwoStageAggregator)
+        assert aggregator.config.gamma == 0.4
+        assert aggregator.config.use_first_stage and aggregator.config.use_second_stage
+
+    def test_build_first_stage_only(self):
+        aggregator = build_defense("first_stage_only", gamma=0.4)
+        assert isinstance(aggregator, TwoStageAggregator)
+        assert aggregator.config.use_first_stage
+        assert not aggregator.config.use_second_stage
+
+    def test_build_second_stage_only(self):
+        aggregator = build_defense("second_stage_only", gamma=0.4)
+        assert not aggregator.config.use_first_stage
+        assert aggregator.config.use_second_stage
+
+    def test_build_krum_forwards_kwargs(self):
+        aggregator = build_defense("krum", byzantine_fraction=0.3)
+        assert isinstance(aggregator, KrumAggregator)
+        assert aggregator.byzantine_fraction == 0.3
+
+    def test_build_multi_krum_default_multi(self):
+        aggregator = build_defense("multi_krum", byzantine_fraction=0.2)
+        assert isinstance(aggregator, KrumAggregator)
+        assert aggregator.multi > 1
+
+    def test_unknown_defense_raises(self):
+        with pytest.raises(KeyError):
+            build_defense("blockchain")

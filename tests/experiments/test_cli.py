@@ -1,0 +1,83 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+FAST_ARGUMENTS = [
+    "--dataset", "usps_like", "--byzantine", "0.5", "--epochs", "1", "--seed", "1",
+]
+
+
+class TestParser:
+    def test_list_command(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_defaults(self):
+        arguments = build_parser().parse_args(["run"])
+        assert arguments.dataset == "mnist_like"
+        assert arguments.defense == "two_stage"
+        assert arguments.byzantine == pytest.approx(0.6)
+        assert not arguments.no_dp
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_rejects_unknown_defense(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--defense", "blockchain"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for expected in ("mnist_like", "label_flip", "two_stage", "mlp_small"):
+            assert expected in output
+
+    def test_run_prints_accuracy(self, capsys):
+        code = main(["run", *FAST_ARGUMENTS, "--attack", "gaussian"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "final test accuracy" in output
+        assert "noise multiplier sigma" in output
+
+    def test_run_no_dp(self, capsys):
+        code = main(["run", *FAST_ARGUMENTS, "--attack", "gaussian", "--no-dp"])
+        assert code == 0
+        assert "non-private" in capsys.readouterr().out
+
+    def test_run_saves_results(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        code = main(["run", *FAST_ARGUMENTS, "--attack", "gaussian", "--save", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "run" in payload
+
+    def test_compare_prints_three_rows(self, capsys):
+        code = main(["compare", *FAST_ARGUMENTS, "--attack", "gaussian"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Reference Accuracy" in output
+        assert "undefended mean" in output
+        assert "two_stage under gaussian" in output
+
+    def test_compare_saves_three_results(self, tmp_path, capsys):
+        path = tmp_path / "compare.json"
+        code = main([
+            "compare", *FAST_ARGUMENTS, "--attack", "gaussian", "--save", str(path)
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"reference", "undefended", "protected"}

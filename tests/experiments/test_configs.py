@@ -1,0 +1,91 @@
+"""Tests for ExperimentConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.batch_size == 16
+        assert config.momentum == pytest.approx(0.1)
+        assert config.base_lr == pytest.approx(0.2)
+        assert config.base_epsilon == pytest.approx(2.0)
+        assert config.aux_per_class == 2
+        assert config.bounding == "normalize"
+        assert config.iid
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(Exception):
+            config.epsilon = 5.0  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"byzantine_fraction": 1.0},
+            {"byzantine_fraction": -0.1},
+            {"n_honest": 0},
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"epochs": 0},
+            {"gamma": 0.0},
+            {"gamma": 1.2},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_epsilon_none_is_non_private(self):
+        assert ExperimentConfig(epsilon=None).epsilon is None
+
+
+class TestByzantineCount:
+    def test_zero_fraction(self):
+        assert ExperimentConfig(byzantine_fraction=0.0).n_byzantine == 0
+
+    def test_twenty_percent(self):
+        config = ExperimentConfig(n_honest=20, byzantine_fraction=0.2)
+        assert config.n_byzantine == 5  # 5 / 25 = 20%
+
+    def test_sixty_percent(self):
+        config = ExperimentConfig(n_honest=20, byzantine_fraction=0.6)
+        assert config.n_byzantine == 30  # 30 / 50 = 60%
+
+    def test_ninety_percent(self):
+        config = ExperimentConfig(n_honest=20, byzantine_fraction=0.9)
+        assert config.n_byzantine == 180  # 180 / 200 = 90%
+
+    def test_fraction_recovered(self):
+        for fraction in (0.2, 0.4, 0.6, 0.9):
+            config = ExperimentConfig(n_honest=10, byzantine_fraction=fraction)
+            total = config.n_honest + config.n_byzantine
+            assert config.n_byzantine / total == pytest.approx(fraction, abs=0.05)
+
+    def test_at_least_one_byzantine_for_tiny_fractions(self):
+        config = ExperimentConfig(n_honest=5, byzantine_fraction=0.01)
+        assert config.n_byzantine == 1
+
+
+class TestReplace:
+    def test_replace_changes_field(self):
+        config = ExperimentConfig(epsilon=1.0)
+        replaced = config.replace(epsilon=0.25)
+        assert replaced.epsilon == 0.25
+        assert config.epsilon == 1.0
+
+    def test_replace_preserves_other_fields(self):
+        config = ExperimentConfig(dataset="usps_like", gamma=0.4)
+        replaced = config.replace(epsilon=0.5)
+        assert replaced.dataset == "usps_like"
+        assert replaced.gamma == 0.4
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig().replace(gamma=2.0)

@@ -1,0 +1,161 @@
+"""Tests for the experiment presets, the sweep helpers and the paper constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import paper
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.presets import (
+    BYZANTINE_LEVELS,
+    PAPER_EPSILONS,
+    benchmark_preset,
+    exact_gamma,
+    paper_preset,
+)
+from repro.experiments.sweep import accuracy_grid, run_grid, series_from_grid
+
+
+class TestExactGamma:
+    def test_complement_of_byzantine_fraction(self):
+        assert exact_gamma(0.6) == pytest.approx(0.4)
+        assert exact_gamma(0.0) == pytest.approx(1.0)
+
+    def test_floor_for_extreme_fractions(self):
+        assert exact_gamma(0.99) >= 0.05
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            exact_gamma(1.0)
+
+
+class TestBenchmarkPreset:
+    def test_returns_config(self):
+        assert isinstance(benchmark_preset(), ExperimentConfig)
+
+    def test_gamma_defaults_to_exact(self):
+        config = benchmark_preset(byzantine_fraction=0.6)
+        assert config.gamma == pytest.approx(0.4)
+
+    def test_gamma_override(self):
+        config = benchmark_preset(byzantine_fraction=0.6, gamma=0.8)
+        assert config.gamma == 0.8
+
+    def test_overrides_forwarded(self):
+        config = benchmark_preset(iid=False, epochs=2, scale=0.2)
+        assert not config.iid
+        assert config.epochs == 2
+        assert config.scale == 0.2
+
+    def test_fast_defaults(self):
+        config = benchmark_preset()
+        assert config.model == "linear"
+        assert config.scale < 1.0
+
+    @pytest.mark.parametrize("dataset", ["mnist_like", "fashion_like", "usps_like", "colorectal_like"])
+    def test_every_dataset_accepted(self, dataset):
+        assert benchmark_preset(dataset=dataset).dataset == dataset
+
+
+class TestPaperPreset:
+    def test_mnist_settings(self):
+        config = paper_preset("mnist_like")
+        assert config.n_honest == 20
+        assert config.epochs == 8
+        assert config.scale == 1.0
+        assert config.base_lr == pytest.approx(0.2)
+        assert config.batch_size == 16
+
+    def test_usps_settings(self):
+        config = paper_preset("usps_like")
+        assert config.n_honest == 10
+        assert config.epochs == 10
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            paper_preset("cifar100")
+
+    def test_constants(self):
+        assert PAPER_EPSILONS == (0.125, 0.25, 0.5, 1.0, 2.0)
+        assert 0.9 in BYZANTINE_LEVELS
+
+
+class TestSweep:
+    def make_grid(self):
+        base = benchmark_preset(scale=0.05, epochs=1, n_honest=3)
+        return {
+            ("mnist_like", 2.0): base,
+            ("mnist_like", 0.5): base.replace(epsilon=0.5),
+        }
+
+    def test_run_grid_returns_all_cells(self):
+        results = run_grid(self.make_grid())
+        assert set(results) == {("mnist_like", 2.0), ("mnist_like", 0.5)}
+        assert all(len(cell) == 1 for cell in results.values())
+
+    def test_run_grid_multiple_seeds(self):
+        grid = {"cell": benchmark_preset(scale=0.05, epochs=1, n_honest=3)}
+        results = run_grid(grid, seeds=[1, 2])
+        assert len(results["cell"]) == 2
+        assert [run.seed for run in results["cell"]] == [1, 2]
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        run_grid(self.make_grid(), progress=lambda key, result: calls.append(key))
+        assert len(calls) == 2
+
+    def test_accuracy_grid_means(self):
+        results = run_grid(self.make_grid())
+        accuracies = accuracy_grid(results)
+        assert set(accuracies) == set(results)
+        assert all(0.0 <= value <= 1.0 for value in accuracies.values())
+
+    def test_series_from_grid_orders_and_fills_missing(self):
+        accuracies = {("a", 1): 0.5, ("a", 2): 0.7}
+        series = series_from_grid(accuracies, [1, 2, 3], key_for=lambda x: ("a", x))
+        assert series[:2] == [0.5, 0.7]
+        assert math.isnan(series[2])
+
+
+class TestPaperConstants:
+    def test_table4_has_all_datasets(self):
+        assert set(paper.TABLE4_SIDE_EFFECT) == {
+            "mnist_like", "colorectal_like", "fashion_like", "usps_like"
+        }
+
+    def test_table4_values_are_probabilities(self):
+        for dataset_values in paper.TABLE4_SIDE_EFFECT.values():
+            for reference, protocol in dataset_values.values():
+                assert 0.0 <= reference <= 1.0
+                assert 0.0 <= protocol <= 1.0
+
+    def test_figure1_monotone_in_epsilon(self):
+        """The paper's curves improve (weakly) as epsilon grows."""
+        for dataset, curve in paper.FIGURE1_LABEL_FLIP.items():
+            values = [curve[eps] for eps in sorted(curve)]
+            assert all(a <= b + 0.02 for a, b in zip(values, values[1:])), dataset
+
+    def test_table1_ours_is_only_fully_checked_method(self):
+        fully_checked = [
+            name
+            for name, props in paper.TABLE1_PROPERTIES.items()
+            if props["private"] and props["majority_resilient"]
+        ]
+        assert fully_checked == ["two_stage (ours)"]
+
+    def test_table2_ours_beats_baseline(self):
+        ours = [v for k, v in paper.TABLE2_VS_GUERRAOUI.items() if k[0] == "ours"]
+        baseline = [v for k, v in paper.TABLE2_VS_GUERRAOUI.items() if k[0] != "ours"]
+        assert min(ours) > min(baseline)
+
+    def test_table3_ours_beats_baseline(self):
+        ours = [v for k, v in paper.TABLE3_VS_ZHU_LING.items() if k[0] == "ours"]
+        baseline = [v for k, v in paper.TABLE3_VS_ZHU_LING.items() if k[0] != "ours"]
+        assert min(ours) > max(baseline)
+
+    def test_table17_mismatch_destroys_utility(self):
+        """With mismatched auxiliary data the paper reports near-chance accuracy."""
+        for dataset_values in paper.TABLE17_AUX_MISMATCH.values():
+            assert max(dataset_values.values()) <= 0.25

@@ -1,0 +1,164 @@
+"""Tests for the experiment runner (kept tiny so they run in seconds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import RunResult
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.reference import reference_accuracy, reference_config
+from repro.experiments.runner import run_experiment, run_seeds
+
+
+TINY = ExperimentConfig(
+    dataset="usps_like",
+    scale=0.05,
+    n_honest=4,
+    model="linear",
+    epochs=1,
+    epsilon=1.0,
+    seed=1,
+)
+
+
+class TestRunExperiment:
+    def test_returns_run_result(self):
+        result = run_experiment(TINY)
+        assert isinstance(result, RunResult)
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_metadata_fields(self):
+        result = run_experiment(TINY)
+        for key in (
+            "total_rounds",
+            "delta",
+            "n_byzantine",
+            "n_honest",
+            "local_dataset_size",
+            "model_size",
+        ):
+            assert key in result.metadata
+        assert result.metadata["n_honest"] == 4
+        assert result.metadata["n_byzantine"] == 0
+
+    def test_dp_run_has_positive_sigma(self):
+        result = run_experiment(TINY)
+        assert result.sigma > 0.0
+        assert result.epsilon == 1.0
+
+    def test_non_dp_run_has_zero_sigma(self):
+        result = run_experiment(TINY.replace(epsilon=None))
+        assert result.sigma == 0.0
+        assert result.epsilon is None
+        assert result.metadata["delta"] is None
+
+    def test_delta_defaults_to_paper_convention(self):
+        result = run_experiment(TINY)
+        local_size = result.metadata["local_dataset_size"]
+        assert result.metadata["delta"] == pytest.approx(1.0 / local_size**1.1)
+
+    def test_explicit_delta_respected(self):
+        result = run_experiment(TINY.replace(delta=1e-3))
+        assert result.metadata["delta"] == pytest.approx(1e-3)
+
+    def test_learning_rate_transfer(self):
+        """eta * sigma is constant across privacy levels (Claim 6)."""
+        loose = run_experiment(TINY.replace(epsilon=2.0))
+        tight = run_experiment(TINY.replace(epsilon=0.5))
+        assert tight.sigma > loose.sigma
+        assert loose.learning_rate * loose.sigma == pytest.approx(
+            tight.learning_rate * tight.sigma, rel=1e-6
+        )
+
+    def test_seed_override(self):
+        result = run_experiment(TINY, seed=7)
+        assert result.seed == 7
+
+    def test_reproducible(self):
+        a = run_experiment(TINY)
+        b = run_experiment(TINY)
+        assert a.final_accuracy == b.final_accuracy
+        assert a.sigma == b.sigma
+
+    def test_byzantine_experiment_runs(self):
+        config = TINY.replace(
+            byzantine_fraction=0.5, attack="gaussian", defense="two_stage", gamma=0.5
+        )
+        result = run_experiment(config)
+        assert result.metadata["n_byzantine"] == 4
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_label_flip_experiment_runs(self):
+        config = TINY.replace(
+            byzantine_fraction=0.5, attack="label_flip", defense="two_stage", gamma=0.5
+        )
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0
+
+    def test_adaptive_attack_experiment_runs(self):
+        config = TINY.replace(
+            byzantine_fraction=0.5, attack="adaptive_gaussian", ttbb=0.5,
+            defense="two_stage", gamma=0.5,
+        )
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0
+
+    def test_noniid_experiment_runs(self):
+        assert 0.0 <= run_experiment(TINY.replace(iid=False)).final_accuracy <= 1.0
+
+    def test_mismatched_auxiliary_runs(self):
+        config = TINY.replace(aux_mismatched=True)
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0
+
+    def test_clip_bounding_runs(self):
+        config = TINY.replace(bounding="clip", clip_norm=1.0)
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0
+
+    @pytest.mark.parametrize("defense", ["mean", "krum", "median", "trimmed_mean", "fltrust"])
+    def test_baseline_defenses_run(self, defense):
+        config = TINY.replace(
+            byzantine_fraction=0.4, attack="gaussian", defense=defense, gamma=0.6
+        )
+        assert 0.0 <= run_experiment(config).final_accuracy <= 1.0
+
+    def test_model_override(self):
+        result = run_experiment(TINY.replace(model="mlp_small"))
+        default = run_experiment(TINY)
+        assert result.metadata["model_size"] > default.metadata["model_size"]
+
+    def test_history_recorded(self):
+        result = run_experiment(TINY)
+        assert len(result.history.rounds) >= 1
+        assert result.history.final_accuracy == result.final_accuracy
+
+
+class TestRunSeeds:
+    def test_summary_over_three_seeds(self):
+        summary, runs = run_seeds(TINY, seeds=[1, 2, 3])
+        assert summary.n_runs == 3
+        assert len(runs) == 3
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+    def test_default_seeds_are_one_two_three(self):
+        summary, runs = run_seeds(TINY)
+        assert [run.seed for run in runs] == [1, 2, 3]
+
+
+class TestReference:
+    def test_reference_config_strips_attack_and_defense(self):
+        config = ExperimentConfig(
+            byzantine_fraction=0.6, attack="lmp", defense="two_stage"
+        )
+        reference = reference_config(config)
+        assert reference.byzantine_fraction == 0.0
+        assert reference.attack == "none"
+        assert reference.defense == "mean"
+
+    def test_reference_preserves_privacy_setting(self):
+        config = ExperimentConfig(epsilon=0.25, dataset="usps_like")
+        assert reference_config(config).epsilon == 0.25
+        assert reference_config(config).dataset == "usps_like"
+
+    def test_reference_accuracy_runs(self):
+        result = reference_accuracy(TINY.replace(byzantine_fraction=0.5, attack="gaussian"))
+        assert result.metadata["n_byzantine"] == 0
+        assert np.isfinite(result.final_accuracy)

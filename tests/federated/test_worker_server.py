@@ -1,0 +1,143 @@
+"""Tests for HonestWorker and Server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import upload_noise_std
+from repro.data.dataset import Dataset
+from repro.defenses.mean import MeanAggregator
+from repro.federated.server import Server
+from repro.federated.worker import HonestWorker
+from tests.helpers import make_model_and_data
+
+
+@pytest.fixture
+def setup():
+    model, dataset = make_model_and_data(seed=6)
+    return model, dataset
+
+
+class TestHonestWorker:
+    def test_rejects_empty_dataset(self, setup):
+        _, dataset = setup
+        empty = Dataset(
+            features=np.zeros((0, dataset.dim)),
+            labels=np.zeros(0, dtype=int),
+            num_classes=dataset.num_classes,
+        )
+        with pytest.raises(ValueError):
+            HonestWorker(empty, DPConfig(), np.random.default_rng(0))
+
+    def test_upload_shape(self, setup):
+        model, dataset = setup
+        worker = HonestWorker(dataset, DPConfig(batch_size=4, sigma=1.0), np.random.default_rng(0))
+        upload = worker.compute_upload(model)
+        assert upload.shape == (model.num_parameters,)
+
+    def test_momentum_state_persists_between_uploads(self, setup):
+        model, dataset = setup
+        worker = HonestWorker(dataset, DPConfig(batch_size=4, sigma=0.5), np.random.default_rng(0))
+        worker.compute_upload(model)
+        assert worker.state.momentum.shape == (4, model.num_parameters)
+
+    def test_reset_clears_momentum(self, setup):
+        model, dataset = setup
+        worker = HonestWorker(dataset, DPConfig(batch_size=4, sigma=0.5), np.random.default_rng(0))
+        worker.compute_upload(model)
+        worker.reset()
+        assert worker.state.momentum.shape == (0, 0)
+
+    def test_two_workers_with_same_seed_agree(self, setup):
+        model, dataset = setup
+        config = DPConfig(batch_size=4, sigma=1.0)
+        a = HonestWorker(dataset, config, np.random.default_rng(5))
+        b = HonestWorker(dataset, config, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.compute_upload(model), b.compute_upload(model))
+
+
+class TestServer:
+    def make_server(self, model, dataset, learning_rate=0.5, sigma=0.0):
+        return Server(
+            model=model,
+            aggregator=MeanAggregator(),
+            learning_rate=learning_rate,
+            dp_config=DPConfig(batch_size=8, sigma=sigma),
+            auxiliary=dataset.subset(np.arange(6)),
+            gamma=0.5,
+            rng=np.random.default_rng(9),
+        )
+
+    def test_broadcast_returns_current_parameters(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        np.testing.assert_array_equal(server.broadcast(), model.get_flat_parameters())
+
+    def test_rejects_nonpositive_learning_rate(self, setup):
+        model, dataset = setup
+        with pytest.raises(ValueError):
+            Server(
+                model=model,
+                aggregator=MeanAggregator(),
+                learning_rate=0.0,
+                dp_config=DPConfig(),
+                auxiliary=None,
+                gamma=0.5,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_rejects_missing_auxiliary_for_aux_dependent_defense(self, setup):
+        model, _ = setup
+        from repro.core.protocol import TwoStageAggregator
+
+        with pytest.raises(ValueError):
+            Server(
+                model=model,
+                aggregator=TwoStageAggregator(),
+                learning_rate=0.1,
+                dp_config=DPConfig(),
+                auxiliary=None,
+                gamma=0.5,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_update_applies_learning_rate(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset, learning_rate=0.5)
+        before = model.get_flat_parameters().copy()
+        upload = np.ones(model.num_parameters)
+        aggregated = server.update([upload, upload])
+        np.testing.assert_allclose(aggregated, upload)
+        np.testing.assert_allclose(model.get_flat_parameters(), before - 0.5 * upload)
+
+    def test_update_increments_round_index(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        assert server.round_index == 0
+        server.update([np.zeros(model.num_parameters)])
+        assert server.round_index == 1
+
+    def test_aggregation_context_reports_upload_noise(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset, sigma=3.2)
+        context = server.aggregation_context()
+        assert context.upload_noise_std == pytest.approx(
+            upload_noise_std(DPConfig(batch_size=8, sigma=3.2))
+        )
+        assert context.honest_fraction == 0.5
+        assert context.model is model
+
+    def test_evaluate_returns_accuracy_in_unit_interval(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        accuracy = server.evaluate(dataset)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_zero_update_leaves_model_unchanged(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        before = model.get_flat_parameters().copy()
+        server.update([np.zeros(model.num_parameters)])
+        np.testing.assert_array_equal(model.get_flat_parameters(), before)

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: the full protocol on small federated runs.
+
+These tests actually train models and check the paper's qualitative claims
+at a miniature scale:
+
+- training without attacks learns something (better than chance);
+- the undefended mean collapses under a strong attack;
+- the two-stage protocol remains close to the undefended, unattacked run;
+- the DP guarantee is computed and the learning-rate transfer rule is applied.
+
+They are the slowest tests in the suite (a few seconds each).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.reference import reference_accuracy
+from repro.experiments.runner import run_experiment
+from repro.privacy.calibration import epsilon_for_sigma
+from repro.privacy.mechanisms import l2_sensitivity_of_sum
+
+
+BASE = ExperimentConfig(
+    dataset="mnist_like",
+    scale=0.35,
+    n_honest=8,
+    model="linear",
+    epochs=4,
+    epsilon=2.0,
+    base_lr=0.5,
+    seed=1,
+)
+
+CHANCE = 0.1  # ten balanced classes
+
+
+@pytest.fixture(scope="module")
+def reference_result():
+    return reference_accuracy(BASE)
+
+
+class TestLearning:
+    def test_reference_learns_above_chance(self, reference_result):
+        assert reference_result.final_accuracy > CHANCE + 0.2
+
+    def test_non_dp_beats_dp(self, reference_result):
+        non_dp = run_experiment(BASE.replace(epsilon=None, defense="mean"))
+        assert non_dp.final_accuracy >= reference_result.final_accuracy - 0.05
+
+    def test_looser_privacy_is_at_least_as_good(self):
+        tight = run_experiment(BASE.replace(epsilon=0.125, defense="mean"))
+        loose = run_experiment(BASE.replace(epsilon=2.0, defense="mean"))
+        assert loose.final_accuracy >= tight.final_accuracy - 0.08
+
+    def test_accuracy_improves_over_training(self, reference_result):
+        history = reference_result.history
+        assert history.test_accuracy[-1] >= history.test_accuracy[0] - 0.02
+        assert history.best_accuracy > CHANCE + 0.2
+
+
+class TestPrivacyAccounting:
+    def test_reported_sigma_meets_epsilon_target(self, reference_result):
+        metadata = reference_result.metadata
+        q = min(1.0, BASE.batch_size / metadata["local_dataset_size"])
+        multiplier = reference_result.sigma / l2_sensitivity_of_sum("normalize")
+        achieved = epsilon_for_sigma(
+            multiplier, q=q, steps=metadata["total_rounds"], delta=metadata["delta"]
+        )
+        assert achieved <= BASE.epsilon + 1e-6
+
+    def test_learning_rate_transfer_rule_applied(self):
+        """eta = eta_b * sigma_b / sigma across privacy levels (Claim 6)."""
+        results = {
+            epsilon: run_experiment(BASE.replace(epsilon=epsilon, epochs=1))
+            for epsilon in (0.25, 0.5, 2.0)
+        }
+        products = [r.learning_rate * r.sigma for r in results.values()]
+        assert max(products) - min(products) < 1e-6 * max(products)
+
+
+class TestByzantineResilience:
+    """The core claim: the protocol survives attacks that destroy plain averaging."""
+
+    @pytest.mark.parametrize("attack", ["lmp", "label_flip"])
+    def test_two_stage_beats_undefended_mean_under_majority_attack(
+        self, attack, reference_result
+    ):
+        attacked = BASE.replace(
+            byzantine_fraction=0.6, attack=attack, gamma=0.4, epochs=6
+        )
+        undefended = run_experiment(attacked.replace(defense="mean"))
+        protected = run_experiment(attacked.replace(defense="two_stage"))
+        assert protected.final_accuracy > undefended.final_accuracy + 0.1
+        assert protected.final_accuracy > CHANCE + 0.1
+
+    def test_lmp_attack_destroys_undefended_mean(self):
+        attacked = BASE.replace(
+            byzantine_fraction=0.6, attack="lmp", defense="mean", epochs=2
+        )
+        result = run_experiment(attacked)
+        assert result.final_accuracy < CHANCE + 0.15
+
+    def test_protocol_keeps_selecting_honest_workers(self):
+        attacked = BASE.replace(
+            byzantine_fraction=0.6, attack="lmp", defense="two_stage", gamma=0.4, epochs=2
+        )
+        result = run_experiment(attacked)
+        selected_byzantine = result.history.byzantine_selected_fraction
+        assert np.mean(selected_byzantine) < 0.2
+
+    def test_no_side_effect_without_attack(self, reference_result):
+        """CLAIM 3: applying the protocol with zero attackers costs little."""
+        protected = run_experiment(
+            BASE.replace(
+                byzantine_fraction=0.6, attack="none", defense="two_stage", gamma=0.4
+            )
+        )
+        # Byzantine workers behave honestly, so the protocol should stay within
+        # a modest gap of the reference (the protocol divides by the larger n).
+        assert protected.final_accuracy > CHANCE + 0.15
+        assert protected.final_accuracy > reference_result.final_accuracy - 0.35
+
+    def test_gaussian_attack_resisted(self, reference_result):
+        attacked = BASE.replace(
+            byzantine_fraction=0.6, attack="gaussian", defense="two_stage", gamma=0.4,
+            epochs=6,
+        )
+        protected = run_experiment(attacked)
+        assert protected.final_accuracy > CHANCE + 0.15

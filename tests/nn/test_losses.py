@@ -1,0 +1,127 @@
+"""Unit tests for softmax cross-entropy and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import one_hot, softmax, softmax_cross_entropy
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(7, 5))
+        np.testing.assert_allclose(softmax(logits).sum(axis=-1), 1.0)
+
+    def test_invariant_to_constant_shift(self, rng):
+        logits = rng.normal(size=(4, 3))
+        shifted = logits + 1000.0
+        np.testing.assert_allclose(softmax(logits), softmax(shifted), atol=1e-12)
+
+    def test_handles_large_logits(self):
+        logits = np.array([[1000.0, 0.0, -1000.0]])
+        probabilities = softmax(logits)
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities[0, 0] == pytest.approx(1.0)
+
+    def test_uniform_logits_give_uniform_probabilities(self):
+        probabilities = softmax(np.zeros((2, 4)))
+        np.testing.assert_allclose(probabilities, 0.25)
+
+    def test_monotone_in_logit(self):
+        probabilities = softmax(np.array([[0.0, 1.0, 2.0]]))
+        assert probabilities[0, 0] < probabilities[0, 1] < probabilities[0, 2]
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2, 1]), num_classes=3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_allclose(encoded, expected)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), num_classes=3)
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), num_classes=3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), num_classes=3)
+
+    def test_empty_labels(self):
+        assert one_hot(np.array([], dtype=int), num_classes=4).shape == (0, 4)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_shapes(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        losses, grad = softmax_cross_entropy(logits, labels)
+        assert losses.shape == (6,)
+        assert grad.shape == (6, 4)
+
+    def test_loss_value_uniform(self):
+        """Uniform logits: loss is log(num_classes)."""
+        losses, _ = softmax_cross_entropy(np.zeros((3, 5)), np.array([0, 1, 4]))
+        np.testing.assert_allclose(losses, np.log(5.0))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        losses, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert losses[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_confidently_wrong_prediction_large_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        losses, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert losses[0] > 10.0
+
+    def test_gradient_is_probabilities_minus_one_hot(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        expected = softmax(logits) - one_hot(labels, 3)
+        np.testing.assert_allclose(grad, expected)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        logits = rng.normal(size=(2, 3))
+        labels = np.array([0, 2])
+        _, grad = softmax_cross_entropy(logits, labels)
+        step = 1e-6
+        for i in range(2):
+            for j in range(3):
+                plus = logits.copy()
+                plus[i, j] += step
+                minus = logits.copy()
+                minus[i, j] -= step
+                loss_plus, _ = softmax_cross_entropy(plus, labels)
+                loss_minus, _ = softmax_cross_entropy(minus, labels)
+                numeric = (loss_plus[i] - loss_minus[i]) / (2.0 * step)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+    def test_rejects_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_loss_never_negative(self, rng):
+        logits = rng.normal(scale=5.0, size=(50, 4))
+        labels = rng.integers(0, 4, size=50)
+        losses, _ = softmax_cross_entropy(logits, labels)
+        assert np.all(losses >= 0.0)

@@ -1,0 +1,139 @@
+"""Unit tests for metrics, initialisers and the model registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import glorot_uniform, he_normal, zeros
+from repro.nn.metrics import accuracy, confusion_matrix
+from repro.nn.models import available_models, build_model, model_for_dataset
+from repro.nn.network import Sequential
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(21)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy(np.array([1, 2, 0]), np.array([0, 1, 2])) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 0, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(labels, labels, num_classes=3)
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_counts(self):
+        predictions = np.array([1, 1, 0])
+        labels = np.array([0, 1, 0])
+        matrix = confusion_matrix(predictions, labels, num_classes=2)
+        assert matrix[0, 1] == 1  # one class-0 example predicted as 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_total_count_preserved(self, rng):
+        predictions = rng.integers(0, 4, size=50)
+        labels = rng.integers(0, 4, size=50)
+        matrix = confusion_matrix(predictions, labels, num_classes=4)
+        assert matrix.sum() == 50
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), num_classes=2)
+
+
+class TestInitialisers:
+    def test_glorot_shape(self, rng):
+        assert glorot_uniform(rng, 10, 5).shape == (10, 5)
+
+    def test_glorot_within_limit(self, rng):
+        fan_in, fan_out = 30, 20
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        weights = glorot_uniform(rng, fan_in, fan_out)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_rejects_nonpositive_fans(self, rng):
+        with pytest.raises(ValueError):
+            glorot_uniform(rng, 0, 5)
+
+    def test_he_shape_and_scale(self, rng):
+        weights = he_normal(rng, 1000, 50)
+        assert weights.shape == (1000, 50)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_he_rejects_nonpositive_fans(self, rng):
+        with pytest.raises(ValueError):
+            he_normal(rng, 5, -1)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_reproducible_with_same_seed(self):
+        a = glorot_uniform(np.random.default_rng(5), 4, 4)
+        b = glorot_uniform(np.random.default_rng(5), 4, 4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestModelRegistry:
+    def test_available_models_nonempty(self):
+        names = available_models()
+        assert "mlp_small" in names
+        assert "linear" in names
+
+    @pytest.mark.parametrize("name", ["mlp_small", "mlp_medium", "mlp_large", "linear"])
+    def test_build_every_registered_model(self, name, rng):
+        model = build_model(name, input_dim=12, num_classes=4, rng=rng)
+        assert isinstance(model, Sequential)
+        assert model.forward(rng.normal(size=(3, 12))).shape == (3, 4)
+
+    def test_unknown_model_raises(self, rng):
+        with pytest.raises(KeyError):
+            build_model("resnet152", 10, 2, rng)
+
+    def test_build_accepts_integer_seed(self):
+        model = build_model("linear", 6, 3, rng=0)
+        assert model.num_parameters == 6 * 3 + 3
+
+    def test_same_seed_same_parameters(self):
+        a = build_model("mlp_small", 8, 3, rng=7)
+        b = build_model("mlp_small", 8, 3, rng=7)
+        np.testing.assert_array_equal(a.get_flat_parameters(), b.get_flat_parameters())
+
+    def test_different_seeds_different_parameters(self):
+        a = build_model("mlp_small", 8, 3, rng=7)
+        b = build_model("mlp_small", 8, 3, rng=8)
+        assert not np.allclose(a.get_flat_parameters(), b.get_flat_parameters())
+
+    def test_linear_is_smaller_than_mlp(self, rng):
+        linear = build_model("linear", 20, 5, rng)
+        mlp = build_model("mlp_medium", 20, 5, rng)
+        assert linear.num_parameters < mlp.num_parameters
+
+    @pytest.mark.parametrize(
+        "dataset", ["mnist_like", "fashion_like", "usps_like", "colorectal_like"]
+    )
+    def test_model_for_dataset(self, dataset, rng):
+        model = model_for_dataset(dataset, input_dim=16, num_classes=5, rng=rng)
+        assert model.forward(rng.normal(size=(2, 16))).shape == (2, 5)
+
+    def test_model_for_unknown_dataset_falls_back(self, rng):
+        model = model_for_dataset("unknown_dataset", 8, 2, rng)
+        assert isinstance(model, Sequential)

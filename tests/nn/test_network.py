@@ -1,0 +1,157 @@
+"""Unit tests for the Sequential container: flat parameters and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ELU, Linear, ReLU
+from repro.nn.network import Sequential
+from tests.conftest import numerical_gradient
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def model(rng) -> Sequential:
+    return Sequential([Linear(6, 5, rng), ELU(), Linear(5, 3, rng)])
+
+
+@pytest.fixture
+def batch(rng):
+    x = rng.normal(size=(10, 6))
+    y = rng.integers(0, 3, size=10)
+    return x, y
+
+
+class TestConstruction:
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_num_parameters(self, model):
+        assert model.num_parameters == (6 * 5 + 5) + (5 * 3 + 3)
+
+    def test_repr_mentions_layers(self, model):
+        text = repr(model)
+        assert "Linear" in text and "ELU" in text
+
+
+class TestForward:
+    def test_logits_shape(self, model, batch):
+        x, _ = batch
+        assert model.forward(x).shape == (10, 3)
+
+    def test_predict_returns_class_indices(self, model, batch):
+        x, _ = batch
+        predictions = model.predict(x)
+        assert predictions.shape == (10,)
+        assert np.all((predictions >= 0) & (predictions < 3))
+
+    def test_predict_proba_rows_sum_to_one(self, model, batch):
+        x, _ = batch
+        probabilities = model.predict_proba(x)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_forward_is_deterministic(self, model, batch):
+        x, _ = batch
+        np.testing.assert_allclose(model.forward(x), model.forward(x))
+
+
+class TestFlatParameters:
+    def test_roundtrip(self, model):
+        flat = model.get_flat_parameters()
+        model.set_flat_parameters(flat * 0.0)
+        np.testing.assert_allclose(model.get_flat_parameters(), 0.0)
+        model.set_flat_parameters(flat)
+        np.testing.assert_allclose(model.get_flat_parameters(), flat)
+
+    def test_length_matches_num_parameters(self, model):
+        assert model.get_flat_parameters().size == model.num_parameters
+
+    def test_set_rejects_wrong_length(self, model):
+        with pytest.raises(ValueError):
+            model.set_flat_parameters(np.zeros(model.num_parameters + 1))
+
+    def test_set_rejects_matrix(self, model):
+        with pytest.raises(ValueError):
+            model.set_flat_parameters(np.zeros((model.num_parameters, 1)))
+
+    def test_set_changes_forward_output(self, model, batch):
+        x, _ = batch
+        before = model.forward(x)
+        model.set_flat_parameters(model.get_flat_parameters() + 0.5)
+        after = model.forward(x)
+        assert not np.allclose(before, after)
+
+    def test_clone_is_independent(self, model, batch):
+        x, _ = batch
+        clone = model.clone()
+        np.testing.assert_allclose(clone.forward(x), model.forward(x))
+        clone.set_flat_parameters(clone.get_flat_parameters() + 1.0)
+        assert not np.allclose(clone.forward(x), model.forward(x))
+        # original unaffected
+        np.testing.assert_allclose(
+            model.get_flat_parameters(), model.get_flat_parameters()
+        )
+
+
+class TestGradients:
+    def test_per_example_gradients_shape(self, model, batch):
+        x, y = batch
+        losses, gradients = model.per_example_gradients(x, y)
+        assert losses.shape == (10,)
+        assert gradients.shape == (10, model.num_parameters)
+
+    def test_mean_gradient_is_average_of_per_example(self, model, batch):
+        x, y = batch
+        _, per_example = model.per_example_gradients(x, y)
+        _, mean_grad = model.mean_gradient(x, y)
+        np.testing.assert_allclose(mean_grad, per_example.mean(axis=0))
+
+    def test_mean_loss_is_average_of_per_example(self, model, batch):
+        x, y = batch
+        losses, _ = model.per_example_gradients(x, y)
+        mean_loss, _ = model.mean_gradient(x, y)
+        assert mean_loss == pytest.approx(float(losses.mean()))
+
+    def test_mean_gradient_matches_numerical(self, rng):
+        """Analytic mean gradient agrees with central differences."""
+        model = Sequential([Linear(4, 4, rng), ELU(), Linear(4, 2, rng)])
+        x = rng.normal(size=(6, 4))
+        y = rng.integers(0, 2, size=6)
+        _, analytic = model.mean_gradient(x, y)
+        numeric = numerical_gradient(model, x, y)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_per_example_gradient_matches_single_example_call(self, model, batch):
+        """The i-th per-example gradient equals the gradient of a batch of one."""
+        x, y = batch
+        _, per_example = model.per_example_gradients(x, y)
+        for i in (0, 4, 9):
+            _, single = model.mean_gradient(x[i : i + 1], y[i : i + 1])
+            np.testing.assert_allclose(per_example[i], single, atol=1e-10)
+
+    def test_relu_network_gradient_check(self, rng):
+        model = Sequential([Linear(3, 5, rng), ReLU(), Linear(5, 3, rng)])
+        x = rng.normal(size=(5, 3)) + 0.1
+        y = rng.integers(0, 3, size=5)
+        _, analytic = model.mean_gradient(x, y)
+        numeric = numerical_gradient(model, x, y)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_descent_reduces_loss(self, model, batch):
+        x, y = batch
+        loss_before = model.loss(x, y)
+        for _ in range(20):
+            _, gradient = model.mean_gradient(x, y)
+            model.set_flat_parameters(model.get_flat_parameters() - 0.5 * gradient)
+        assert model.loss(x, y) < loss_before
+
+    def test_loss_is_positive(self, model, batch):
+        x, y = batch
+        assert model.loss(x, y) > 0.0

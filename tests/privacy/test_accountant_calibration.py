@@ -1,0 +1,143 @@
+"""Tests for the RDP accountant and noise-multiplier calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.privacy.accountant import RDPAccountant
+from repro.privacy.calibration import calibrate_sigma, epsilon_for_sigma
+
+
+class TestAccountant:
+    def test_initial_state_has_no_steps(self):
+        accountant = RDPAccountant()
+        assert accountant.steps == 0
+
+    def test_step_counter(self):
+        accountant = RDPAccountant()
+        accountant.step(q=0.01, sigma=1.0, steps=10)
+        accountant.step(q=0.01, sigma=1.0, steps=5)
+        assert accountant.steps == 15
+
+    def test_epsilon_grows_with_steps(self):
+        accountant = RDPAccountant()
+        accountant.step(q=0.02, sigma=1.0, steps=100)
+        early = accountant.get_epsilon(delta=1e-5)
+        accountant.step(q=0.02, sigma=1.0, steps=900)
+        late = accountant.get_epsilon(delta=1e-5)
+        assert late > early
+
+    def test_matches_single_shot_composition(self):
+        """Stepping twice equals stepping once with the summed step count."""
+        split = RDPAccountant()
+        split.step(q=0.01, sigma=1.2, steps=300)
+        split.step(q=0.01, sigma=1.2, steps=700)
+        combined = RDPAccountant()
+        combined.step(q=0.01, sigma=1.2, steps=1000)
+        assert split.get_epsilon(1e-5) == pytest.approx(combined.get_epsilon(1e-5))
+
+    def test_heterogeneous_steps_compose(self):
+        accountant = RDPAccountant()
+        accountant.step(q=0.01, sigma=1.0, steps=100)
+        accountant.step(q=0.05, sigma=2.0, steps=100)
+        assert accountant.get_epsilon(1e-5) > 0.0
+
+    def test_reset(self):
+        accountant = RDPAccountant()
+        accountant.step(q=0.02, sigma=1.0, steps=100)
+        accountant.reset()
+        assert accountant.steps == 0
+        fresh = RDPAccountant()
+        fresh.step(q=0.02, sigma=1.0, steps=1)
+        accountant.step(q=0.02, sigma=1.0, steps=1)
+        assert accountant.get_epsilon(1e-5) == pytest.approx(fresh.get_epsilon(1e-5))
+
+    def test_epsilon_and_order(self):
+        accountant = RDPAccountant()
+        accountant.step(q=0.02, sigma=1.0, steps=100)
+        epsilon, order = accountant.get_epsilon_and_order(1e-5)
+        assert epsilon == pytest.approx(accountant.get_epsilon(1e-5))
+        assert order in accountant.orders
+
+    def test_rejects_empty_orders(self):
+        with pytest.raises(ValueError):
+            RDPAccountant(orders=())
+
+    def test_more_noise_less_epsilon(self):
+        low_noise = RDPAccountant()
+        low_noise.step(q=0.02, sigma=0.8, steps=200)
+        high_noise = RDPAccountant()
+        high_noise.step(q=0.02, sigma=4.0, steps=200)
+        assert high_noise.get_epsilon(1e-5) < low_noise.get_epsilon(1e-5)
+
+
+class TestEpsilonForSigma:
+    def test_monotone_decreasing_in_sigma(self):
+        eps_small = epsilon_for_sigma(sigma=0.8, q=0.01, steps=500, delta=1e-5)
+        eps_large = epsilon_for_sigma(sigma=3.0, q=0.01, steps=500, delta=1e-5)
+        assert eps_large < eps_small
+
+    def test_monotone_increasing_in_steps(self):
+        eps_few = epsilon_for_sigma(sigma=1.0, q=0.01, steps=10, delta=1e-5)
+        eps_many = epsilon_for_sigma(sigma=1.0, q=0.01, steps=1000, delta=1e-5)
+        assert eps_many > eps_few
+
+    def test_positive(self):
+        assert epsilon_for_sigma(sigma=1.0, q=0.02, steps=100, delta=1e-4) > 0.0
+
+
+class TestCalibrateSigma:
+    def test_calibrated_sigma_meets_target(self):
+        target, delta, q, steps = 1.0, 1e-4, 0.02, 500
+        sigma = calibrate_sigma(target, delta, q, steps)
+        achieved = epsilon_for_sigma(sigma, q, steps, delta)
+        assert achieved <= target
+
+    def test_calibration_is_tight(self):
+        """A slightly smaller sigma should violate the target (no over-noising)."""
+        target, delta, q, steps = 1.0, 1e-4, 0.02, 500
+        sigma = calibrate_sigma(target, delta, q, steps, tolerance=1e-4)
+        assert epsilon_for_sigma(sigma * 0.97, q, steps, delta) > target
+
+    def test_smaller_epsilon_needs_more_noise(self):
+        common = dict(delta=1e-4, q=0.02, steps=300)
+        assert calibrate_sigma(0.125, **common) > calibrate_sigma(2.0, **common)
+
+    def test_more_steps_need_more_noise(self):
+        common = dict(target_epsilon=1.0, delta=1e-4, q=0.02)
+        assert calibrate_sigma(steps=2000, **common) > calibrate_sigma(steps=100, **common)
+
+    def test_larger_sampling_rate_needs_more_noise(self):
+        common = dict(target_epsilon=1.0, delta=1e-4, steps=300)
+        assert calibrate_sigma(q=0.2, **common) > calibrate_sigma(q=0.01, **common)
+
+    def test_very_loose_target_returns_minimum(self):
+        sigma = calibrate_sigma(
+            target_epsilon=1e6, delta=1e-4, q=0.001, steps=1, sigma_min=0.05
+        )
+        assert sigma == pytest.approx(0.05)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            calibrate_sigma(0.0, 1e-4, 0.01, 10)
+
+    def test_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError):
+            calibrate_sigma(1.0, 1e-4, 0.01, 0)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_sigma(
+                target_epsilon=1e-8, delta=1e-12, q=0.5, steps=10_000, sigma_max=5.0
+            )
+
+    @pytest.mark.parametrize("epsilon", [0.125, 0.5, 2.0])
+    def test_paper_privacy_levels_are_calibratable(self, epsilon):
+        """The paper's epsilon grid with its delta = |D|^-1.1 convention."""
+        local_size = 300
+        delta = 1.0 / local_size**1.1
+        q = 16 / local_size
+        steps = 150
+        sigma = calibrate_sigma(epsilon, delta, q, steps)
+        assert sigma > 0.0
+        assert epsilon_for_sigma(sigma, q, steps, delta) <= epsilon

@@ -1,0 +1,167 @@
+"""Tests for sensitivity bounding (clip / normalise) and the Gaussian mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanisms import (
+    clip_gradients,
+    gaussian_noise,
+    l2_sensitivity_of_sum,
+    normalize_gradients,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+class TestClipGradients:
+    def test_large_rows_scaled_to_threshold(self, rng):
+        gradients = rng.normal(size=(5, 20)) * 10.0
+        clipped = clip_gradients(gradients, clip_norm=1.0)
+        norms = np.linalg.norm(clipped, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_small_rows_untouched(self):
+        gradients = np.array([[0.1, 0.2], [0.0, 0.3]])
+        clipped = clip_gradients(gradients, clip_norm=5.0)
+        np.testing.assert_allclose(clipped, gradients)
+
+    def test_direction_preserved(self, rng):
+        gradient = rng.normal(size=(1, 30)) * 7.0
+        clipped = clip_gradients(gradient, clip_norm=2.0)
+        cosine = float(np.dot(clipped[0], gradient[0])) / (
+            np.linalg.norm(clipped) * np.linalg.norm(gradient)
+        )
+        assert cosine == pytest.approx(1.0)
+
+    def test_norms_never_exceed_threshold(self, rng):
+        gradients = rng.normal(size=(50, 10)) * rng.uniform(0.1, 20.0, size=(50, 1))
+        clipped = clip_gradients(gradients, clip_norm=3.0)
+        assert np.all(np.linalg.norm(clipped, axis=1) <= 3.0 + 1e-9)
+
+    def test_zero_row_stays_zero(self):
+        clipped = clip_gradients(np.zeros((2, 4)), clip_norm=1.0)
+        np.testing.assert_allclose(clipped, 0.0)
+
+    def test_accepts_1d_input(self):
+        clipped = clip_gradients(np.array([3.0, 4.0]), clip_norm=1.0)
+        assert clipped.shape == (1, 2)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_clip_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients(np.ones((1, 2)), clip_norm=0.0)
+
+    def test_idempotent(self, rng):
+        gradients = rng.normal(size=(4, 6)) * 5.0
+        once = clip_gradients(gradients, 1.5)
+        twice = clip_gradients(once, 1.5)
+        np.testing.assert_allclose(once, twice)
+
+
+class TestNormalizeGradients:
+    def test_all_rows_unit_norm(self, rng):
+        gradients = rng.normal(size=(8, 15)) * rng.uniform(0.01, 100.0, size=(8, 1))
+        normalized = normalize_gradients(gradients)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=1), 1.0, atol=1e-9)
+
+    def test_direction_preserved(self, rng):
+        gradient = rng.normal(size=(1, 12))
+        normalized = normalize_gradients(gradient)
+        cosine = float(np.dot(normalized[0], gradient[0])) / (
+            np.linalg.norm(normalized) * np.linalg.norm(gradient)
+        )
+        assert cosine == pytest.approx(1.0)
+
+    def test_zero_row_stays_zero(self):
+        gradients = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        normalized = normalize_gradients(gradients)
+        np.testing.assert_allclose(normalized[0], 0.0)
+        np.testing.assert_allclose(np.linalg.norm(normalized[1]), 1.0)
+
+    def test_scale_invariant(self, rng):
+        gradients = rng.normal(size=(3, 9))
+        np.testing.assert_allclose(
+            normalize_gradients(gradients), normalize_gradients(gradients * 1000.0)
+        )
+
+    def test_idempotent(self, rng):
+        gradients = rng.normal(size=(3, 9))
+        once = normalize_gradients(gradients)
+        np.testing.assert_allclose(once, normalize_gradients(once), atol=1e-12)
+
+    def test_equivalent_to_clipping_when_all_norms_exceed_threshold(self, rng):
+        """CLAIM 1's thought experiment: for large gradients, clip(C) == C * normalize."""
+        gradients = rng.normal(size=(6, 10)) * 50.0  # norms far above C = 2
+        clipped = clip_gradients(gradients, clip_norm=2.0)
+        normalized = normalize_gradients(gradients)
+        np.testing.assert_allclose(clipped, 2.0 * normalized, atol=1e-9)
+
+    def test_accepts_1d_input(self):
+        normalized = normalize_gradients(np.array([0.0, 3.0, 4.0]))
+        assert normalized.shape == (1, 3)
+        np.testing.assert_allclose(normalized, [[0.0, 0.6, 0.8]])
+
+
+class TestSensitivity:
+    def test_normalize_sensitivity_is_two(self):
+        assert l2_sensitivity_of_sum("normalize") == 2.0
+
+    def test_clip_sensitivity_is_twice_threshold(self):
+        assert l2_sensitivity_of_sum("clip", clip_norm=1.5) == 3.0
+
+    def test_clip_requires_threshold(self):
+        with pytest.raises(ValueError):
+            l2_sensitivity_of_sum("clip")
+
+    def test_clip_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            l2_sensitivity_of_sum("clip", clip_norm=-1.0)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            l2_sensitivity_of_sum("hash")
+
+    def test_empirical_sensitivity_of_normalized_sum(self, rng):
+        """Swapping one example changes the normalised sum by at most 2."""
+        batch = normalize_gradients(rng.normal(size=(16, 40)))
+        total = batch.sum(axis=0)
+        for _ in range(20):
+            replacement = normalize_gradients(rng.normal(size=(1, 40)))[0]
+            swapped = total - batch[0] + replacement
+            assert np.linalg.norm(swapped - total) <= 2.0 + 1e-9
+
+
+class TestGaussianNoise:
+    def test_shape(self, rng):
+        assert gaussian_noise(100, 1.0, rng).shape == (100,)
+
+    def test_zero_sigma_gives_zero_vector(self, rng):
+        np.testing.assert_array_equal(gaussian_noise(50, 0.0, rng), 0.0)
+
+    def test_empirical_standard_deviation(self, rng):
+        noise = gaussian_noise(200_000, 2.5, rng)
+        assert noise.std() == pytest.approx(2.5, rel=0.02)
+        assert abs(noise.mean()) < 0.05
+
+    def test_norm_concentrates_around_sigma_sqrt_d(self, rng):
+        d, sigma = 10_000, 0.7
+        norm = float(np.linalg.norm(gaussian_noise(d, sigma, rng)))
+        assert norm == pytest.approx(sigma * np.sqrt(d), rel=0.05)
+
+    def test_reproducible_with_same_generator_state(self):
+        a = gaussian_noise(10, 1.0, np.random.default_rng(3))
+        b = gaussian_noise(10, 1.0, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_dimension(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_noise(0, 1.0, rng)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_noise(10, -1.0, rng)

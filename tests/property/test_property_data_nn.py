@@ -1,0 +1,112 @@
+"""Property-based tests for the data substrate and the NN gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import partition_iid, partition_noniid
+from repro.data.synthetic import make_classification
+from repro.nn.layers import ELU, Linear
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.network import Sequential
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_samples=st.integers(20, 300),
+    n_features=st.integers(2, 30),
+    n_classes=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_make_classification_labels_and_shapes(n_samples, n_features, n_classes, seed):
+    data = make_classification(n_samples, n_features, n_classes, rng=seed)
+    assert data.features.shape == (n_samples, n_features)
+    assert data.labels.min() >= 0 and data.labels.max() < n_classes
+    counts = data.class_counts()
+    assert counts.sum() == n_samples
+    assert counts.max() - counts.min() <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_samples=st.integers(50, 300),
+    n_workers=st.integers(1, 15),
+    seed=st.integers(0, 10_000),
+    iid=st.booleans(),
+)
+def test_partitions_cover_dataset_without_loss(n_samples, n_workers, seed, iid):
+    data = make_classification(n_samples, 6, 4, rng=seed)
+    partition = partition_iid if iid else partition_noniid
+    shards = partition(data, n_workers, rng=seed)
+    assert len(shards) == n_workers
+    assert sum(len(shard) for shard in shards) == n_samples
+    assert all(len(shard) > 0 for shard in shards)
+    assert all(shard.num_classes == data.num_classes for shard in shards)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 16),
+    n_classes=st.integers(2, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_softmax_outputs_are_distributions(batch, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(scale=5.0, size=(batch, n_classes))
+    probabilities = softmax(logits)
+    assert np.all(probabilities >= 0.0)
+    np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 16),
+    n_classes=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_cross_entropy_gradient_rows_sum_to_zero(batch, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(batch, n_classes))
+    labels = rng.integers(0, n_classes, size=batch)
+    losses, grad = softmax_cross_entropy(logits, labels)
+    assert np.all(losses >= 0.0)
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    in_dim=st.integers(2, 10),
+    hidden=st.integers(2, 10),
+    n_classes=st.integers(2, 5),
+    batch=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_mean_gradient_is_average_of_per_example_gradients(
+    in_dim, hidden, n_classes, batch, seed
+):
+    rng = np.random.default_rng(seed)
+    model = Sequential([Linear(in_dim, hidden, rng), ELU(), Linear(hidden, n_classes, rng)])
+    x = rng.normal(size=(batch, in_dim))
+    y = rng.integers(0, n_classes, size=batch)
+    losses, per_example = model.per_example_gradients(x, y)
+    _, mean_gradient = model.mean_gradient(x, y)
+    assert per_example.shape == (batch, model.num_parameters)
+    np.testing.assert_allclose(mean_gradient, per_example.mean(axis=0), atol=1e-10)
+    assert np.all(np.isfinite(per_example))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    in_dim=st.integers(2, 10),
+    n_classes=st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_flat_parameter_roundtrip(in_dim, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    model = Sequential([Linear(in_dim, n_classes, rng)])
+    flat = model.get_flat_parameters()
+    replacement = rng.normal(size=flat.shape)
+    model.set_flat_parameters(replacement)
+    np.testing.assert_array_equal(model.get_flat_parameters(), replacement)

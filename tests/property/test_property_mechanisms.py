@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the privacy mechanisms."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.privacy.mechanisms import clip_gradients, normalize_gradients
+
+
+finite_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 30)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+clip_norms = st.floats(0.01, 100.0, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices)
+def test_normalized_rows_have_norm_at_most_one(gradients):
+    normalized = normalize_gradients(gradients)
+    norms = np.linalg.norm(normalized, axis=1)
+    assert np.all(norms <= 1.0 + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices)
+def test_normalized_rows_are_unit_or_zero(gradients):
+    normalized = normalize_gradients(gradients)
+    norms = np.linalg.norm(normalized, axis=1)
+    for norm in norms:
+        assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices, clip_norm=clip_norms)
+def test_clipped_rows_never_exceed_threshold(gradients, clip_norm):
+    clipped = clip_gradients(gradients, clip_norm)
+    assert np.all(np.linalg.norm(clipped, axis=1) <= clip_norm + 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices, clip_norm=clip_norms)
+def test_clipping_never_increases_norm(gradients, clip_norm):
+    clipped = clip_gradients(gradients, clip_norm)
+    original_norms = np.linalg.norm(np.atleast_2d(gradients), axis=1)
+    clipped_norms = np.linalg.norm(clipped, axis=1)
+    assert np.all(clipped_norms <= original_norms + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices, clip_norm=clip_norms)
+def test_clipping_is_idempotent(gradients, clip_norm):
+    once = clip_gradients(gradients, clip_norm)
+    twice = clip_gradients(once, clip_norm)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices)
+def test_normalization_is_idempotent(gradients):
+    once = normalize_gradients(gradients)
+    twice = normalize_gradients(once)
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices, scale=st.floats(0.001, 1000.0))
+def test_normalization_is_scale_invariant(gradients, scale):
+    base = normalize_gradients(gradients)
+    scaled = normalize_gradients(gradients * scale)
+    np.testing.assert_allclose(base, scaled, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gradients=finite_matrices, clip_norm=clip_norms)
+def test_clipping_preserves_direction(gradients, clip_norm):
+    clipped = clip_gradients(gradients, clip_norm)
+    gradients = np.atleast_2d(gradients)
+    for original, bounded in zip(gradients, clipped):
+        norm_original = np.linalg.norm(original)
+        norm_bounded = np.linalg.norm(bounded)
+        if norm_original < 1e-9 or norm_bounded < 1e-9:
+            continue
+        cosine = float(np.dot(original, bounded)) / (norm_original * norm_bounded)
+        assert cosine > 1.0 - 1e-6

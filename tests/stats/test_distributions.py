@@ -1,0 +1,80 @@
+"""Tests for the Gaussian CDF / quantile helpers (cross-checked against SciPy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.distributions import normal_cdf, normal_ppf
+
+
+class TestNormalCdf:
+    def test_matches_scipy_standard_normal(self):
+        x = np.linspace(-5, 5, 101)
+        np.testing.assert_allclose(normal_cdf(x), scipy_stats.norm.cdf(x), atol=1e-12)
+
+    def test_matches_scipy_scaled(self):
+        x = np.linspace(-3, 3, 51)
+        np.testing.assert_allclose(
+            normal_cdf(x, sigma=2.5), scipy_stats.norm.cdf(x, scale=2.5), atol=1e-12
+        )
+
+    def test_matches_scipy_shifted(self):
+        x = np.linspace(-3, 7, 51)
+        np.testing.assert_allclose(
+            normal_cdf(x, sigma=1.5, mu=2.0),
+            scipy_stats.norm.cdf(x, loc=2.0, scale=1.5),
+            atol=1e-12,
+        )
+
+    def test_symmetry(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert float(normal_cdf(1.3)) == pytest.approx(1.0 - float(normal_cdf(-1.3)))
+
+    def test_monotone(self):
+        x = np.linspace(-4, 4, 200)
+        values = normal_cdf(x, sigma=0.7)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_scalar_input(self):
+        assert float(normal_cdf(0.0, sigma=3.0)) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, sigma=0.0)
+
+
+class TestNormalPpf:
+    @pytest.mark.parametrize("p", [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999])
+    def test_matches_scipy(self, p):
+        assert normal_ppf(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-7)
+
+    @pytest.mark.parametrize("p", [0.05, 0.5, 0.95])
+    def test_matches_scipy_scaled(self, p):
+        assert normal_ppf(p, sigma=3.0, mu=-1.0) == pytest.approx(
+            scipy_stats.norm.ppf(p, loc=-1.0, scale=3.0), abs=1e-6
+        )
+
+    def test_median_is_mean(self):
+        assert normal_ppf(0.5, sigma=2.0, mu=7.0) == pytest.approx(7.0, abs=1e-9)
+
+    def test_is_inverse_of_cdf(self):
+        for p in (0.02, 0.3, 0.7, 0.98):
+            assert float(normal_cdf(normal_ppf(p, sigma=1.7), sigma=1.7)) == pytest.approx(
+                p, abs=1e-8
+            )
+
+    def test_rejects_p_outside_open_interval(self):
+        with pytest.raises(ValueError):
+            normal_ppf(0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(1.0)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            normal_ppf(0.5, sigma=-1.0)
+
+    def test_extreme_tails_are_finite(self):
+        assert np.isfinite(normal_ppf(1e-9))
+        assert np.isfinite(normal_ppf(1.0 - 1e-9))

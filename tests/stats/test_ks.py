@@ -1,0 +1,211 @@
+"""Tests for the one-sample Kolmogorov-Smirnov machinery (Section 4.3, Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.ks import (
+    critical_statistic,
+    kolmogorov_survival,
+    ks_envelopes,
+    ks_statistic,
+    ks_test,
+    theorem2_interval,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+class TestKsStatistic:
+    def test_matches_scipy_standard(self, rng):
+        samples = rng.normal(size=500)
+        ours = ks_statistic(samples, sigma=1.0)
+        theirs = scipy_stats.kstest(samples, "norm").statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_matches_scipy_scaled(self, rng):
+        samples = rng.normal(scale=2.3, size=800)
+        ours = ks_statistic(samples, sigma=2.3)
+        theirs = scipy_stats.kstest(samples, "norm", args=(0.0, 2.3)).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_statistic_in_unit_interval(self, rng):
+        samples = rng.normal(size=100)
+        assert 0.0 <= ks_statistic(samples, sigma=1.0) <= 1.0
+
+    def test_large_for_wrong_scale(self, rng):
+        samples = rng.normal(scale=5.0, size=1000)
+        assert ks_statistic(samples, sigma=1.0) > 0.3
+
+    def test_large_for_shifted_samples(self, rng):
+        samples = rng.normal(loc=3.0, size=1000)
+        assert ks_statistic(samples, sigma=1.0) > 0.5
+
+    def test_order_invariant(self, rng):
+        samples = rng.normal(size=200)
+        shuffled = samples.copy()
+        rng.shuffle(shuffled)
+        assert ks_statistic(samples, 1.0) == pytest.approx(ks_statistic(shuffled, 1.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), sigma=1.0)
+
+    def test_constant_sample_has_large_statistic(self):
+        assert ks_statistic(np.zeros(100), sigma=1.0) == pytest.approx(0.5)
+
+
+class TestKolmogorovSurvival:
+    def test_zero_or_negative_argument_gives_one(self):
+        assert kolmogorov_survival(0.0) == 1.0
+        assert kolmogorov_survival(-1.0) == 1.0
+
+    def test_matches_scipy_kstwobign(self):
+        for lam in (0.5, 0.8, 1.0, 1.36, 1.63, 2.0):
+            assert kolmogorov_survival(lam) == pytest.approx(
+                scipy_stats.kstwobign.sf(lam), abs=1e-9
+            )
+
+    def test_monotone_decreasing(self):
+        values = [kolmogorov_survival(lam) for lam in np.linspace(0.3, 3.0, 30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_bounded_in_unit_interval(self):
+        for lam in (0.1, 1.0, 5.0):
+            assert 0.0 <= kolmogorov_survival(lam) <= 1.0
+
+    def test_known_critical_value(self):
+        """Q(1.358) is approximately 0.05 (the classic 5% critical value)."""
+        assert kolmogorov_survival(1.358) == pytest.approx(0.05, abs=5e-4)
+
+
+class TestKsTest:
+    def test_gaussian_sample_usually_passes(self, rng):
+        """Noise drawn from the null distribution should rarely be rejected."""
+        rejections = 0
+        for _ in range(40):
+            samples = rng.normal(scale=1.5, size=2000)
+            if ks_test(samples, sigma=1.5).pvalue < 0.05:
+                rejections += 1
+        assert rejections <= 6  # ~5% expected, allow slack
+
+    def test_pvalue_matches_scipy_asymptotic(self, rng):
+        samples = rng.normal(size=3000)
+        ours = ks_test(samples, sigma=1.0)
+        theirs = scipy_stats.kstest(samples, "norm", mode="asymp")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, abs=2e-2)
+
+    def test_wrong_sigma_is_rejected(self, rng):
+        samples = rng.normal(scale=2.0, size=2000)
+        assert ks_test(samples, sigma=1.0).pvalue < 1e-6
+
+    def test_uniform_sample_is_rejected(self, rng):
+        samples = rng.uniform(-1, 1, size=2000)
+        assert ks_test(samples, sigma=1.0).pvalue < 0.01
+
+    def test_result_fields(self, rng):
+        samples = rng.normal(size=64)
+        result = ks_test(samples, sigma=1.0)
+        assert result.sample_size == 64
+        assert 0.0 <= result.pvalue <= 1.0
+        assert 0.0 <= result.statistic <= 1.0
+
+
+class TestCriticalStatistic:
+    def test_passes_exactly_at_critical_value(self):
+        d = 2000
+        critical = critical_statistic(d, significance=0.05)
+        sqrt_d = np.sqrt(d)
+        lam = (sqrt_d + 0.12 + 0.11 / sqrt_d) * critical
+        assert kolmogorov_survival(lam) == pytest.approx(0.05, abs=1e-4)
+
+    def test_decreases_with_sample_size(self):
+        assert critical_statistic(10_000) < critical_statistic(100)
+
+    def test_stricter_significance_gives_larger_threshold(self):
+        assert critical_statistic(1000, 0.01) > critical_statistic(1000, 0.10)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            critical_statistic(0)
+        with pytest.raises(ValueError):
+            critical_statistic(100, significance=1.5)
+
+
+class TestEnvelopes:
+    def test_band_contains_cdf(self, rng):
+        x = np.linspace(-3, 3, 50)
+        upper, lower = ks_envelopes(x, sigma=1.0, d_ks=0.05)
+        from repro.stats.distributions import normal_cdf
+
+        cdf = normal_cdf(x)
+        assert np.all(upper >= cdf)
+        assert np.all(lower <= cdf)
+
+    def test_band_width_is_two_dks_in_interior(self):
+        upper, lower = ks_envelopes(np.array([0.0]), sigma=1.0, d_ks=0.03)
+        assert float(upper[0] - lower[0]) == pytest.approx(0.06)
+
+    def test_clamped_to_unit_interval(self):
+        x = np.array([-10.0, 10.0])
+        upper, lower = ks_envelopes(x, sigma=1.0, d_ks=0.2)
+        assert np.all(upper <= 1.0)
+        assert np.all(lower >= 0.0)
+
+
+class TestTheorem2Interval:
+    def test_interval_is_ordered(self):
+        d = 1000
+        d_ks = critical_statistic(d)
+        for k in (1, 100, 500, 900, 1000):
+            low, high = theorem2_interval(k, d, sigma=1.0, d_ks=d_ks)
+            assert low < high
+
+    def test_gaussian_order_statistics_satisfy_theorem(self, rng):
+        """Order statistics of a genuine Gaussian sample respect the envelope."""
+        d = 2000
+        sigma = 1.3
+        d_ks = critical_statistic(d, 0.05)
+        sample = np.sort(rng.normal(scale=sigma, size=d))
+        violations = 0
+        for k in range(1, d + 1, 50):
+            low, high = theorem2_interval(k, d, sigma, d_ks)
+            if not low <= sample[k - 1] <= high:
+                violations += 1
+        assert violations == 0
+
+    def test_extreme_order_statistics_unbounded(self):
+        d = 1000
+        d_ks = 0.05
+        low, _ = theorem2_interval(1, d, sigma=1.0, d_ks=d_ks)
+        _, high = theorem2_interval(d, d, sigma=1.0, d_ks=d_ks)
+        assert low == -np.inf
+        assert high == np.inf
+
+    def test_interior_interval_is_finite(self):
+        d = 1000
+        low, high = theorem2_interval(500, d, sigma=1.0, d_ks=0.04)
+        assert np.isfinite(low) and np.isfinite(high)
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            theorem2_interval(0, 100, 1.0, 0.05)
+        with pytest.raises(ValueError):
+            theorem2_interval(101, 100, 1.0, 0.05)
+
+    def test_rejects_bad_dks(self):
+        with pytest.raises(ValueError):
+            theorem2_interval(5, 100, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            theorem2_interval(5, 100, 1.0, 1.0)
+
+    def test_interval_scales_with_sigma(self):
+        low1, high1 = theorem2_interval(500, 1000, sigma=1.0, d_ks=0.04)
+        low2, high2 = theorem2_interval(500, 1000, sigma=2.0, d_ks=0.04)
+        assert low2 == pytest.approx(2.0 * low1)
+        assert high2 == pytest.approx(2.0 * high1)

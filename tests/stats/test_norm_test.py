@@ -1,0 +1,91 @@
+"""Tests for the chi-square norm-interval test (Section 4.3, "Norm test")."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.norm_test import norm_interval, squared_norm_interval
+
+
+class TestSquaredNormInterval:
+    def test_centered_at_sigma_squared_d(self):
+        sigma, d = 0.5, 4000
+        low, high = squared_norm_interval(sigma, d, k=3.0)
+        assert (low + high) / 2.0 == pytest.approx(sigma**2 * d)
+
+    def test_width_matches_formula(self):
+        sigma, d, k = 1.2, 2000, 3.0
+        low, high = squared_norm_interval(sigma, d, k)
+        assert high - low == pytest.approx(2.0 * k * sigma**2 * math.sqrt(2.0 * d))
+
+    def test_lower_bound_nonnegative(self):
+        low, _ = squared_norm_interval(1.0, 4, k=10.0)
+        assert low >= 0.0
+
+    def test_wider_k_wider_interval(self):
+        narrow = squared_norm_interval(1.0, 1000, k=1.0)
+        wide = squared_norm_interval(1.0, 1000, k=3.0)
+        assert wide[0] < narrow[0] and wide[1] > narrow[1]
+
+    def test_relative_width_shrinks_with_dimension(self):
+        """The paper's argument: sigma^2 sqrt(2d) / (sigma^2 d) -> 0 for large d."""
+
+        def relative_width(d: int) -> float:
+            low, high = squared_norm_interval(1.0, d)
+            return (high - low) / (1.0**2 * d)
+
+        assert relative_width(100_000) < relative_width(1_000) < relative_width(10)
+
+    def test_gaussian_vectors_mostly_inside(self):
+        """~99.7% of genuine noise vectors fall inside the 3-sigma interval."""
+        rng = np.random.default_rng(0)
+        sigma, d = 0.7, 3000
+        low, high = squared_norm_interval(sigma, d, k=3.0)
+        inside = 0
+        trials = 300
+        for _ in range(trials):
+            z = rng.normal(0.0, sigma, size=d)
+            if low <= float(z @ z) <= high:
+                inside += 1
+        assert inside / trials > 0.98
+
+    def test_scaled_vector_falls_outside(self):
+        rng = np.random.default_rng(1)
+        sigma, d = 1.0, 3000
+        low, high = squared_norm_interval(sigma, d)
+        z = rng.normal(0.0, sigma * 1.2, size=d)
+        assert not low <= float(z @ z) <= high
+
+    @pytest.mark.parametrize("bad_sigma", [0.0, -1.0])
+    def test_rejects_bad_sigma(self, bad_sigma):
+        with pytest.raises(ValueError):
+            squared_norm_interval(bad_sigma, 100)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            squared_norm_interval(1.0, 0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            squared_norm_interval(1.0, 100, k=0.0)
+
+
+class TestNormInterval:
+    def test_is_square_root_of_squared_interval(self):
+        sigma, d = 0.9, 2500
+        sq_low, sq_high = squared_norm_interval(sigma, d)
+        low, high = norm_interval(sigma, d)
+        assert low == pytest.approx(math.sqrt(sq_low))
+        assert high == pytest.approx(math.sqrt(sq_high))
+
+    def test_contains_sigma_sqrt_d(self):
+        sigma, d = 1.1, 5000
+        low, high = norm_interval(sigma, d)
+        assert low < sigma * math.sqrt(d) < high
+
+    def test_ordering(self):
+        low, high = norm_interval(2.0, 1234)
+        assert 0.0 <= low < high
