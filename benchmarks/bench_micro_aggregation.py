@@ -2,7 +2,16 @@
 
 These time the per-round server-side cost of each aggregation rule (the
 quantity that determines how the protocol scales with the number of workers
-and the model size), independent of any training loop.
+and the model size), independent of any training loop.  Uploads enter every
+rule as the stacked ``(n_workers, d)`` matrix, mirroring the array-first
+pipeline the federated loop now uses.
+
+Run (the bench files use a non-default prefix, so the collection overrides
+are required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_aggregation.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-only --benchmark-json=BENCH_micro_aggregation.json
 """
 
 from __future__ import annotations
@@ -25,8 +34,9 @@ NOISE_STD = 0.1
 
 @pytest.fixture(scope="module")
 def uploads():
+    """The round's stacked (n_workers, d) upload matrix (pure DP noise)."""
     rng = np.random.default_rng(0)
-    return [rng.normal(0.0, NOISE_STD, size=DIMENSION) for _ in range(N_WORKERS)]
+    return rng.normal(0.0, NOISE_STD, size=(N_WORKERS, DIMENSION))
 
 
 @pytest.fixture(scope="module")
@@ -67,3 +77,32 @@ def bench_micro_second_stage_selection(benchmark, uploads):
     server_gradient = rng.normal(size=DIMENSION)
     report = benchmark(selector.select, uploads, server_gradient)
     assert len(report.selected) == selector.keep
+
+
+@pytest.fixture(scope="module")
+def two_stage_context():
+    """A context whose model matches the upload dimension (both stages run)."""
+    rng = np.random.default_rng(2)
+    n_features = 999
+    n_classes = 5  # (999 + 1) * 5 parameters == DIMENSION
+    dataset = make_classification(
+        60, n_features, n_classes, nonlinear=False, rng=rng, name="micro-two-stage"
+    )
+    model = Sequential([Linear(n_features, n_classes, rng)])
+    assert model.num_parameters == DIMENSION
+    return AggregationContext(
+        model=model,
+        auxiliary=dataset.subset(np.arange(12)),
+        upload_noise_std=NOISE_STD,
+        honest_fraction=0.5,
+        round_index=0,
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.mark.benchmark(group="micro-two-stage")
+def bench_micro_two_stage_aggregate(benchmark, uploads, two_stage_context):
+    """Full per-round server cost of the paper's protocol (both stages)."""
+    aggregator = build_defense("two_stage")
+    result = benchmark(aggregator.aggregate, uploads, two_stage_context)
+    assert result.shape == (DIMENSION,)

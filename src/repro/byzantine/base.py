@@ -1,4 +1,11 @@
-"""Attack interface and the information available to an omniscient attacker."""
+"""Attack interface and the information available to an omniscient attacker.
+
+Attacks speak the same array-first protocol as the server: the omniscient
+view ``AttackContext.honest_uploads`` is the stacked ``(n_honest, d)``
+matrix of the round, and :meth:`Attack.craft` returns the Byzantine uploads
+as an ``(n_byzantine, d)`` matrix that the federated loop concatenates below
+the honest rows without ever exploding either side into per-worker lists.
+"""
 
 from __future__ import annotations
 

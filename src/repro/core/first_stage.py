@@ -11,6 +11,13 @@ vector dominated by the protocol's DP noise:
 
 Rejected uploads are replaced by the zero vector, exactly as in Algorithm 2
 (``g <- 0``), which removes their influence from the averaged update.
+
+The filter is **array-first**: :meth:`FirstStageFilter.apply_batch` consumes
+the round's stacked ``(n_workers, d)`` upload matrix and runs both tests on
+every row with a constant number of NumPy kernels (one ``einsum`` for all
+squared norms, one ``np.sort(axis=1)`` plus one vectorised CDF evaluation
+for all KS statistics).  The per-upload methods remain as the scalar
+reference implementation and for interactive inspection.
 """
 
 from __future__ import annotations
@@ -19,10 +26,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.stats.ks import critical_statistic, ks_test, theorem2_interval
+from repro.stats.ks import (
+    KSWorkspace,
+    critical_statistic,
+    ks_pvalues,
+    ks_statistics,
+    ks_test,
+    theorem2_interval,
+)
 from repro.stats.norm_test import squared_norm_interval
 
-__all__ = ["FirstStageFilter", "FirstStageReport"]
+__all__ = ["FirstStageFilter", "FirstStageReport", "FirstStageBatchReport"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +48,21 @@ class FirstStageReport:
     ks_ok: bool
     squared_norm: float
     ks_pvalue: float
+
+
+@dataclass(frozen=True)
+class FirstStageBatchReport:
+    """Outcome of running FirstAGG on a whole round of uploads.
+
+    All fields are arrays of length ``n_workers``, aligned with the rows of
+    the upload matrix handed to :meth:`FirstStageFilter.inspect_batch`.
+    """
+
+    accepted: np.ndarray
+    norm_ok: np.ndarray
+    ks_ok: np.ndarray
+    squared_norms: np.ndarray
+    ks_pvalues: np.ndarray
 
 
 class FirstStageFilter:
@@ -70,6 +99,10 @@ class FirstStageFilter:
         self.significance = float(significance)
         self.norm_k = float(norm_k)
         self._norm_bounds = squared_norm_interval(self.sigma, self.dimension, self.norm_k)
+        # Scratch buffers reused by every batched call (one filter instance
+        # serves a whole training run, so the per-round KS batch allocates
+        # no full-matrix temporaries after the first round).
+        self._ks_workspace = KSWorkspace()
 
     # ------------------------------------------------------------------ #
     # individual tests
@@ -125,9 +158,87 @@ class FirstStageFilter:
             return np.asarray(upload, dtype=np.float64)
         return np.zeros(self.dimension, dtype=np.float64)
 
-    def filter_all(self, uploads: list[np.ndarray]) -> list[np.ndarray]:
-        """Apply FirstAGG to every upload (Algorithm 3, lines 1-3)."""
-        return [self.apply(upload) for upload in uploads]
+    # ------------------------------------------------------------------ #
+    # batched FirstAGG (the server's per-round hot path)
+    # ------------------------------------------------------------------ #
+    def _as_matrix(self, uploads: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(uploads, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[np.newaxis, :]
+        if matrix.ndim != 2 or matrix.shape[1] != self.dimension:
+            raise ValueError(
+                f"uploads must have shape (n, {self.dimension}), got {matrix.shape}"
+            )
+        return matrix
+
+    def _norm_test_batch(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All squared norms plus the norm-test mask, one einsum for the batch."""
+        squared = np.einsum("ij,ij->i", matrix, matrix)
+        low, high = self._norm_bounds
+        return squared, (squared >= low) & (squared <= high)
+
+    def accepts_batch(self, uploads: np.ndarray) -> np.ndarray:
+        """Boolean acceptance mask for an ``(n, d)`` upload matrix.
+
+        The KS test is only evaluated on rows that already passed the norm
+        test (the conjunction is unchanged; the rejected rows' p-values are
+        simply never needed for the mask).
+        """
+        matrix = self._as_matrix(uploads)
+        _, accepted = self._norm_test_batch(matrix)
+        candidates = np.flatnonzero(accepted)
+        if candidates.size:
+            rows = None if candidates.size == matrix.shape[0] else candidates
+            statistics = ks_statistics(
+                matrix, self.sigma, workspace=self._ks_workspace, rows=rows
+            )
+            pvalues = ks_pvalues(statistics, self.dimension)
+            accepted[candidates] = pvalues >= self.significance
+        return accepted
+
+    def inspect_batch(self, uploads: np.ndarray) -> FirstStageBatchReport:
+        """Run both tests on every row and return the per-row diagnostics."""
+        matrix = self._as_matrix(uploads)
+        squared, norm_ok = self._norm_test_batch(matrix)
+        statistics = ks_statistics(matrix, self.sigma, workspace=self._ks_workspace)
+        pvalues = ks_pvalues(statistics, self.dimension)
+        ks_ok = pvalues >= self.significance
+        return FirstStageBatchReport(
+            accepted=norm_ok & ks_ok,
+            norm_ok=norm_ok,
+            ks_ok=ks_ok,
+            squared_norms=squared,
+            ks_pvalues=pvalues,
+        )
+
+    def apply_batch(self, uploads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 3, lines 1-3 on the whole round at once.
+
+        Returns ``(filtered, accepted)`` where ``filtered`` is the ``(n, d)``
+        matrix with rejected rows zeroed and ``accepted`` is the boolean
+        acceptance mask.  The mask is authoritative: a legitimately accepted
+        all-zero upload is reported as accepted, which a ``bool(np.any(row))``
+        reconstruction from ``filtered`` would miss.
+
+        When every row is accepted (the common benign round) the input
+        matrix itself is returned without copying -- treat ``filtered`` as
+        read-only.
+        """
+        matrix = self._as_matrix(uploads)
+        accepted = self.accepts_batch(matrix)
+        if accepted.all():
+            return matrix, accepted
+        filtered = np.where(accepted[:, np.newaxis], matrix, 0.0)
+        return filtered, accepted
+
+    def filter_all(self, uploads: np.ndarray | list[np.ndarray]) -> np.ndarray:
+        """Apply FirstAGG to every upload (Algorithm 3, lines 1-3).
+
+        Accepts a stacked ``(n, d)`` matrix (preferred) or a list of 1-D
+        uploads and returns the filtered ``(n, d)`` matrix.
+        """
+        filtered, _ = self.apply_batch(np.asarray(uploads, dtype=np.float64))
+        return filtered
 
     # ------------------------------------------------------------------ #
     # Theorem 2 helpers

@@ -101,21 +101,21 @@ class TwoStageAggregator(Aggregator):
     # Aggregator interface
     # ------------------------------------------------------------------ #
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         n_workers, dimension = stacked.shape
 
-        # Stage 1: FirstAGG on every upload (Algorithm 3, lines 1-3).
+        # Stage 1: batched FirstAGG on the upload matrix (Algorithm 3,
+        # lines 1-3).  The filter's mask is authoritative for acceptance: an
+        # accepted all-zero upload must not be misreported as rejected.
         apply_first = self.config.use_first_stage and context.upload_noise_std > 0
         if apply_first:
             first_stage = self._first_stage_filter(dimension, context.upload_noise_std)
-            filtered = [first_stage.apply(upload) for upload in stacked]
-            self.last_first_stage_accepted = np.array(
-                [bool(np.any(upload)) for upload in filtered]
-            )
+            filtered, accepted = first_stage.apply_batch(stacked)
+            self.last_first_stage_accepted = accepted
         else:
-            filtered = [upload for upload in stacked]
+            filtered = stacked
             self.last_first_stage_accepted = np.ones(n_workers, dtype=bool)
 
         # Stage 2: inner-product selection (Algorithm 3, lines 4-14).
@@ -124,11 +124,10 @@ class TwoStageAggregator(Aggregator):
             server_gradient = self._server_gradient(context)
             report = selector.select(filtered, server_gradient)
             self.last_selected = report.selected
-            selected_uploads = [filtered[index] for index in report.selected]
+            total = filtered[report.selected].sum(axis=0)
         else:
             self.last_selected = np.arange(n_workers)
-            selected_uploads = filtered
+            total = filtered.sum(axis=0)
 
         # Model update term (Algorithm 1, line 14): average over all n workers.
-        total = np.sum(selected_uploads, axis=0)
         return total / n_workers

@@ -57,16 +57,44 @@ class SecondStageSelector:
         """Clear the accumulated score list (start of a fresh training run)."""
         self.accumulated_scores[:] = 0.0
 
+    @staticmethod
+    def _top_k_stable(values: np.ndarray, k: int) -> np.ndarray:
+        """Indices (sorted ascending) of the ``k`` largest entries of ``values``.
+
+        Ties at the boundary are broken towards the lowest index, exactly as
+        a stable descending ``argsort`` would, but via ``np.argpartition``
+        so the cost stays ``O(n)`` instead of ``O(n log n)``.
+        """
+        n = values.shape[0]
+        if k >= n:
+            return np.arange(n)
+        partitioned = values.copy()
+        partitioned.partition(n - k)
+        boundary = partitioned[n - k]
+        above = (values > boundary).nonzero()[0]
+        if above.size == k:
+            return above
+        ties = (values == boundary).nonzero()[0]
+        chosen = np.concatenate((above, ties[: k - above.size]))
+        if chosen.size < k:
+            # NaN scores (possible only when FirstAGG is off and a worker
+            # uploads non-finite values) defeat the boundary comparisons;
+            # fall back to the stable argsort the partition path replaces.
+            order = np.argsort(-values, kind="stable")
+            return np.sort(order[:k])
+        return np.sort(chosen)
+
     def select(
-        self, uploads: list[np.ndarray], server_gradient: np.ndarray
+        self, uploads: np.ndarray, server_gradient: np.ndarray
     ) -> SecondStageReport:
         """Run lines 5-14 of Algorithm 3 for one round.
 
         Parameters
         ----------
         uploads:
-            The ``n`` uploads *after* first-stage filtering (rejected uploads
-            are zero vectors and therefore score 0).
+            The ``(n, d)`` matrix of uploads *after* first-stage filtering
+            (rejected uploads are zero rows and therefore score 0).  A list
+            of ``n`` 1-D uploads is stacked transparently.
         server_gradient:
             The server's gradient estimate ``g_s`` computed on its auxiliary
             data at the current model.
@@ -76,29 +104,38 @@ class SecondStageSelector:
         A :class:`SecondStageReport` whose ``selected`` field contains the
         indices of the workers whose uploads enter the model update.
         """
-        if len(uploads) != self.n_workers:
+        matrix = np.asarray(uploads, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self.n_workers:
             raise ValueError(
-                f"expected {self.n_workers} uploads, got {len(uploads)}"
+                f"expected {self.n_workers} uploads, got "
+                f"{matrix.shape[0] if matrix.ndim == 2 else matrix.shape}"
             )
         server_gradient = np.asarray(server_gradient, dtype=np.float64)
 
-        # Lines 5-8: inner-product scores.
-        scores = np.array(
-            [float(np.dot(upload, server_gradient)) for upload in uploads],
-            dtype=np.float64,
-        )
+        # Lines 5-8: all inner-product scores in a single matvec.
+        scores = matrix @ server_gradient
 
         # Line 9: mean of the top ceil(gamma n) scores is the threshold.
-        top = np.sort(scores)[::-1][: self.keep]
-        threshold = float(np.mean(top))
+        # The top-k values are found with a linear-time partition; they are
+        # then sorted descending so the mean accumulates in the same order
+        # as the scalar reference (bitwise-identical threshold).
+        if self.keep >= self.n_workers:
+            top = np.sort(scores)
+        else:
+            partitioned = scores.copy()
+            partitioned.partition(self.n_workers - self.keep)
+            top = partitioned[self.n_workers - self.keep :]
+            top.sort()
+        # add.reduce over the descending view is exactly np.mean's summation
+        # (pairwise, same visit order) without the wrapper overhead.
+        threshold = float(np.add.reduce(top[::-1]) / self.keep)
 
         # Lines 10-13: suppress scores below the threshold, accumulate.
         round_scores = np.where(scores < threshold, 0.0, scores)
         self.accumulated_scores += round_scores
 
         # Line 14: select the workers with the highest accumulated scores.
-        order = np.argsort(-self.accumulated_scores, kind="stable")
-        selected = np.sort(order[: self.keep])
+        selected = self._top_k_stable(self.accumulated_scores, self.keep)
 
         return SecondStageReport(
             scores=scores,

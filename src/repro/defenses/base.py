@@ -5,6 +5,15 @@ An aggregator consumes the ``n`` uploads of one round plus an
 (its own model copy, its auxiliary data, the protocol's noise level, its
 belief about the honest fraction) and returns the vector used in the model
 update ``w <- w - eta * aggregate``.
+
+**Array-first contract.**  The canonical upload representation is a stacked
+``(n_workers, d)`` ``float64`` matrix: the federated loop hands the honest
+and Byzantine uploads to the server as one matrix and every rule operates
+on it with whole-matrix NumPy kernels (no per-upload Python loops on the
+hot path).  For convenience -- interactive use, existing tests, external
+callers -- ``aggregate`` also accepts a sequence of 1-D vectors, which
+:meth:`Aggregator._validate` stacks once at the boundary; a 2-D ``float64``
+C-contiguous array passes through without copying.
 """
 
 from __future__ import annotations
@@ -65,16 +74,35 @@ class Aggregator:
     requires_auxiliary: bool = False
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
+        """Aggregate one round of uploads into the model-update vector.
+
+        ``uploads`` is the stacked ``(n_workers, d)`` float64 matrix of the
+        round (rows ordered honest-then-Byzantine by the federated loop); a
+        sequence of 1-D vectors is accepted and stacked at the boundary.
+        """
         raise NotImplementedError
 
     def reset(self) -> None:
         """Clear any cross-round state (default: stateless)."""
 
     @staticmethod
-    def _validate(uploads: list[np.ndarray]) -> np.ndarray:
-        """Stack uploads into an ``(n, d)`` array, checking consistency."""
+    def _validate(uploads: np.ndarray | list[np.ndarray]) -> np.ndarray:
+        """Return the uploads as an ``(n, d)`` float64 matrix.
+
+        A 2-D float64 array is passed through as-is (no copy); anything else
+        is stacked/converted once here so the rule bodies can assume the
+        canonical matrix representation.
+        """
+        if isinstance(uploads, np.ndarray):
+            if uploads.ndim != 2:
+                raise ValueError(
+                    f"uploads matrix must be 2-D (n_workers, d), got shape {uploads.shape}"
+                )
+            if uploads.shape[0] == 0:
+                raise ValueError("cannot aggregate an empty round of uploads")
+            return np.asarray(uploads, dtype=np.float64)
         if not uploads:
             raise ValueError("cannot aggregate an empty list of uploads")
         stacked = np.vstack([np.asarray(u, dtype=np.float64) for u in uploads])

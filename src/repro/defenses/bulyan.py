@@ -35,7 +35,7 @@ class BulyanAggregator(Aggregator):
         self.byzantine_fraction = byzantine_fraction
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         n = stacked.shape[0]

@@ -22,7 +22,7 @@ class FLTrustAggregator(Aggregator):
     requires_auxiliary = True
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         server_gradient = context.server_gradient()

@@ -51,7 +51,7 @@ class KrumAggregator(Aggregator):
         self.multi = multi
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         n = stacked.shape[0]

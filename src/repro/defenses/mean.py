@@ -14,7 +14,7 @@ class MeanAggregator(Aggregator):
     "Reference Accuracy" runs (DP only, no attack, no defense)."""
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         return stacked.mean(axis=0)

@@ -13,7 +13,7 @@ class CoordinateMedianAggregator(Aggregator):
     """Take the median of every coordinate across uploads."""
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         return np.median(stacked, axis=0)

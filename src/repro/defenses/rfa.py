@@ -43,7 +43,7 @@ class GeometricMedianAggregator(Aggregator):
         self.tolerance = tolerance
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         return geometric_median(

@@ -32,7 +32,7 @@ class SignAggregator(Aggregator):
         self.scale = scale
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         votes = np.sign(stacked)

@@ -22,7 +22,7 @@ class TrimmedMeanAggregator(Aggregator):
         self.trim_fraction = trim_fraction
 
     def aggregate(
-        self, uploads: list[np.ndarray], context: AggregationContext
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         n = stacked.shape[0]

@@ -79,11 +79,13 @@ class Server:
             rng=self.rng,
         )
 
-    def update(self, uploads: list[np.ndarray]) -> np.ndarray:
+    def update(self, uploads: np.ndarray | list[np.ndarray]) -> np.ndarray:
         """Aggregate the round's uploads and apply the model update.
 
-        Returns the aggregated vector actually applied (useful for tests and
-        diagnostics).
+        ``uploads`` is the round's stacked ``(n_workers, d)`` matrix (a list
+        of 1-D uploads is also accepted and stacked by the aggregation
+        rule).  Returns the aggregated vector actually applied (useful for
+        tests and diagnostics).
         """
         context = self.aggregation_context()
         aggregated = self.aggregator.aggregate(uploads, context)

@@ -211,10 +211,16 @@ class FederatedSimulation:
         return np.asarray(attack.craft(context), dtype=np.float64)
 
     def run_round(self, round_index: int) -> dict[str, float]:
-        """Execute one aggregation round; returns per-round diagnostics."""
+        """Execute one aggregation round; returns per-round diagnostics.
+
+        The honest and Byzantine uploads travel to the server as one stacked
+        ``(n_workers, d)`` matrix (honest rows first) -- the aggregation
+        pipeline is array-first end-to-end, so no per-upload Python lists
+        are materialised on the hot path.
+        """
         honest_uploads = self._honest_uploads()
         byzantine_uploads = self._byzantine_uploads(honest_uploads, round_index)
-        uploads = [row for row in honest_uploads] + [row for row in byzantine_uploads]
+        uploads = np.concatenate((honest_uploads, byzantine_uploads), axis=0)
         self.server.update(uploads)
 
         byz_selected = 0.0

@@ -12,7 +12,9 @@ from repro.stats.ks import (
     KSResult,
     kolmogorov_survival,
     ks_envelopes,
+    ks_pvalues,
     ks_statistic,
+    ks_statistics,
     ks_test,
     theorem2_interval,
 )
@@ -24,7 +26,9 @@ __all__ = [
     "KSResult",
     "kolmogorov_survival",
     "ks_envelopes",
+    "ks_pvalues",
     "ks_statistic",
+    "ks_statistics",
     "ks_test",
     "theorem2_interval",
     "norm_interval",

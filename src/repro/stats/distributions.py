@@ -1,8 +1,14 @@
 """Gaussian distribution helpers.
 
 Implemented with :func:`math.erf` / a rational approximation of the inverse
-CDF rather than SciPy so the core library has no hard SciPy dependency;
-SciPy is only used in the test-suite to cross-check these functions.
+CDF rather than SciPy so the core library has no hard SciPy dependency.
+When SciPy *is* importable its vectorised ``erf`` kernel is used, which is
+what makes the batched KS test in :mod:`repro.stats.ks` fast; the
+``math.erf`` fallback evaluates element-wise in Python.  The two backends
+agree to within 1 ulp but are **not** bitwise-identical, so runs on hosts
+with and without SciPy can differ in the last digit of a KS p-value (and,
+for a p-value sitting exactly on the significance boundary, in a FirstAGG
+decision).  Within one host/backend all results are deterministic.
 """
 
 from __future__ import annotations
@@ -11,18 +17,54 @@ import math
 
 import numpy as np
 
+try:  # pragma: no cover - exercised implicitly on SciPy-equipped hosts
+    from scipy.special import erf as _scipy_erf
+except ImportError:  # pragma: no cover
+    _scipy_erf = None
+
 __all__ = ["normal_cdf", "normal_ppf"]
 
 
-def normal_cdf(x: np.ndarray | float, sigma: float = 1.0, mu: float = 0.0) -> np.ndarray:
-    """CDF of ``N(mu, sigma^2)`` evaluated element-wise."""
+def normal_cdf(
+    x: np.ndarray | float,
+    sigma: float = 1.0,
+    mu: float = 0.0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """CDF of ``N(mu, sigma^2)`` evaluated element-wise.
+
+    The computation is ``0.5 * (1 + erf((x - mu) / (sigma * sqrt(2))))``
+    carried out with in-place updates (the batched KS test evaluates this on
+    a whole ``(n_workers, d)`` matrix per round, so every avoided temporary
+    is a full-matrix memory pass).  ``x - 0.0`` is a bitwise no-op, so the
+    ``mu == 0`` fast path returns exactly the same floats as the general
+    expression.  Pass ``out`` (same shape as ``x``; may alias ``x``) to
+    evaluate without allocating at all.
+    """
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")
-    z = (np.asarray(x, dtype=np.float64) - mu) / (sigma * math.sqrt(2.0))
-    return 0.5 * (1.0 + _erf(z))
+    x = np.asarray(x, dtype=np.float64)
+    scale = sigma * math.sqrt(2.0)
+    if mu == 0.0:
+        z = np.divide(x, scale, out=out)
+    else:
+        z = np.subtract(x, mu, out=out)
+        z = np.divide(z, scale, out=z if isinstance(z, np.ndarray) else None)
+    if _scipy_erf is not None and isinstance(z, np.ndarray) and z.ndim > 0:
+        result = _scipy_erf(z, out=z)  # z is fresh or the caller's out buffer
+    else:
+        result = np.asarray(_erf(z), dtype=np.float64)
+        if out is not None:
+            np.copyto(out, result)
+            result = out
+    result += 1.0
+    result *= 0.5
+    return result
 
 
 def _erf(z: np.ndarray) -> np.ndarray:
+    if _scipy_erf is not None:
+        return _scipy_erf(z)
     vectorised = np.vectorize(math.erf, otypes=[np.float64])
     return vectorised(z)
 

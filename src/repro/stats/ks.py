@@ -8,18 +8,26 @@ This module provides:
 
 - :func:`ks_statistic` -- the two-sided D statistic
   ``sup_x |C_d(x) - Phi_sigma(x)|``,
+- :func:`ks_statistics` -- the batched variant: one D statistic per row of
+  an ``(n, d)`` sample matrix from a single ``np.sort(axis=1)``,
 - :func:`kolmogorov_survival` -- the asymptotic Kolmogorov distribution used
-  to convert D into a p-value,
-- :func:`ks_test` -- statistic + p-value in one call,
+  to convert D into a p-value (scalar or element-wise over an array),
+- :func:`ks_test` / :func:`ks_pvalues` -- statistic + p-value for one sample
+  or p-values for a whole batch of statistics in one call,
 - :func:`ks_envelopes` / :func:`theorem2_interval` -- the CDF band
   ``[E_l, E_u]`` and the per-order-statistic acceptance interval of
   Theorem 2, which characterises the subspace an accepted upload must lie in.
+
+The batched functions are the server's per-round hot path (FirstAGG runs a
+KS test on every worker upload); they share every numerical kernel with the
+scalar functions so batch and scalar results are identical.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -27,9 +35,12 @@ from repro.stats.distributions import normal_cdf, normal_ppf
 
 __all__ = [
     "KSResult",
+    "KSWorkspace",
     "ks_statistic",
+    "ks_statistics",
     "kolmogorov_survival",
     "ks_test",
+    "ks_pvalues",
     "ks_envelopes",
     "theorem2_interval",
     "critical_statistic",
@@ -45,36 +56,143 @@ class KSResult:
     sample_size: int
 
 
+@lru_cache(maxsize=8)
+def _ecdf_steps(d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached empirical-CDF step levels ``k/d`` for ``k = 1..d`` and ``0..d-1``."""
+    upper = np.arange(1, d + 1, dtype=np.float64) / d
+    lower = np.arange(0, d, dtype=np.float64) / d
+    upper.setflags(write=False)
+    lower.setflags(write=False)
+    return upper, lower
+
+
+class KSWorkspace:
+    """Reusable ``(n, d)`` scratch buffers for :func:`ks_statistics`.
+
+    A long-lived caller (the first-stage filter runs a KS batch every round)
+    hands the same workspace to every call so the two full-matrix
+    temporaries are allocated once instead of per round.  The buffers grow
+    to the largest ``n`` seen and are re-created when ``d`` changes.
+    """
+
+    def __init__(self) -> None:
+        self._ordered: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+
+    def buffers(self, n: int, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Two independent float64 scratch matrices of shape ``(n, d)``."""
+        if (
+            self._ordered is None
+            or self._ordered.shape[0] < n
+            or self._ordered.shape[1] != d
+        ):
+            self._ordered = np.empty((n, d), dtype=np.float64)
+            self._scratch = np.empty((n, d), dtype=np.float64)
+        return self._ordered[:n], self._scratch[:n]
+
+
+def ks_statistics(
+    samples: np.ndarray,
+    sigma: float,
+    workspace: KSWorkspace | None = None,
+    rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """Two-sided KS statistics of every row of ``samples`` against ``N(0, sigma^2)``.
+
+    ``samples`` is an ``(n, d)`` matrix whose rows are independent samples;
+    the result has shape ``(n,)``.  The whole batch costs one
+    ``np.sort(axis=1)``, one vectorised ``normal_cdf`` evaluation and two
+    row-wise maxima -- no per-row Python work.  Passing a
+    :class:`KSWorkspace` additionally removes all full-matrix allocations;
+    ``samples`` itself is never modified either way.  ``rows`` restricts the
+    computation to ``samples[rows]`` (result shape ``(len(rows),)``); with a
+    workspace the selected rows are gathered straight into the scratch
+    buffer, so no intermediate ``samples[rows]`` copy is materialised.
+    """
+    matrix = np.asarray(samples, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"samples must be an (n, d) matrix, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        raise ValueError("cannot compute a KS statistic on an empty sample")
+    if rows is not None and workspace is None:
+        matrix = matrix[rows]
+    d = matrix.shape[1]
+    if workspace is not None:
+        n = len(rows) if rows is not None else matrix.shape[0]
+        ordered, scratch = workspace.buffers(n, d)
+        if rows is not None:
+            np.take(matrix, rows, axis=0, out=ordered)
+        else:
+            np.copyto(ordered, matrix)
+        ordered.sort(axis=1)
+        cdf_values = normal_cdf(ordered, sigma=sigma, out=ordered)
+    else:
+        scratch = None
+        cdf_values = normal_cdf(np.sort(matrix, axis=1), sigma=sigma)
+    upper_steps, lower_steps = _ecdf_steps(d)
+    diff = np.subtract(upper_steps, cdf_values, out=scratch)
+    d_plus = diff.max(axis=1)
+    # cdf_values is a buffer owned by this call (fresh or workspace): reuse
+    # it for the second difference instead of another (n, d) temporary.
+    np.subtract(cdf_values, lower_steps, out=cdf_values)
+    d_minus = cdf_values.max(axis=1)
+    return np.maximum(d_plus, d_minus)
+
+
 def ks_statistic(samples: np.ndarray, sigma: float) -> float:
     """Two-sided KS statistic of ``samples`` against ``N(0, sigma^2)``."""
     samples = np.asarray(samples, dtype=np.float64).ravel()
     if samples.size == 0:
         raise ValueError("cannot compute a KS statistic on an empty sample")
-    ordered = np.sort(samples)
-    d = ordered.size
-    cdf_values = normal_cdf(ordered, sigma=sigma)
-    upper_steps = np.arange(1, d + 1) / d
-    lower_steps = np.arange(0, d) / d
-    d_plus = np.max(upper_steps - cdf_values)
-    d_minus = np.max(cdf_values - lower_steps)
-    return float(max(d_plus, d_minus))
+    return float(ks_statistics(samples[np.newaxis, :], sigma)[0])
 
 
-def kolmogorov_survival(lam: float, terms: int = 100) -> float:
+def kolmogorov_survival(
+    lam: float | np.ndarray, terms: int = 100
+) -> float | np.ndarray:
     """Asymptotic Kolmogorov survival function ``Q(lam) = P(K > lam)``.
 
     ``Q(lam) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lam^2)``; the series
-    converges extremely fast for the values encountered here.
+    converges extremely fast for the values encountered here.  Accepts a
+    scalar (returns ``float``) or an array of statistics (returns an array
+    of the same shape) -- the batched KS test converts a whole round of D
+    statistics into p-values with one call.
     """
-    if lam <= 0:
-        return 1.0
-    total = 0.0
-    for k in range(1, terms + 1):
-        term = ((-1.0) ** (k - 1)) * math.exp(-2.0 * (k**2) * (lam**2))
-        total += term
-        if abs(term) < 1e-16:
-            break
-    return float(min(1.0, max(0.0, 2.0 * total)))
+    lam_array = np.asarray(lam, dtype=np.float64)
+    scalar = lam_array.ndim == 0
+    values = lam_array.reshape(-1)
+
+    # (m, terms) alternating-series table; m and terms are both tiny.
+    k = np.arange(1, terms + 1, dtype=np.float64)
+    signs = np.where(k.astype(np.int64) % 2 == 1, 1.0, -1.0)
+    exponents = -2.0 * np.square(k) * np.square(values)[:, np.newaxis]
+    total = 2.0 * np.sum(signs * np.exp(exponents), axis=1)
+    result = np.clip(total, 0.0, 1.0)
+    result[values <= 0.0] = 1.0
+
+    if scalar:
+        return float(result[0])
+    return result.reshape(lam_array.shape)
+
+
+def _stephens_scale(sample_size: int) -> float:
+    """Stephens' (1970) finite-sample correction factor for the KS p-value."""
+    sqrt_d = math.sqrt(sample_size)
+    return sqrt_d + 0.12 + 0.11 / sqrt_d
+
+
+def ks_pvalues(statistics: np.ndarray, sample_size: int) -> np.ndarray:
+    """P-values of a batch of KS ``D`` statistics at a common sample size.
+
+    Vectorised counterpart of the p-value computation in :func:`ks_test`:
+    all statistics of one aggregation round (every row shares the model
+    dimension ``d``) are converted with a single call.
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    statistics = np.asarray(statistics, dtype=np.float64)
+    lam = _stephens_scale(sample_size) * statistics
+    return np.asarray(kolmogorov_survival(lam))
 
 
 def ks_test(samples: np.ndarray, sigma: float) -> KSResult:
@@ -87,9 +205,7 @@ def ks_test(samples: np.ndarray, sigma: float) -> KSResult:
     samples = np.asarray(samples, dtype=np.float64).ravel()
     statistic = ks_statistic(samples, sigma)
     d = samples.size
-    sqrt_d = math.sqrt(d)
-    lam = (sqrt_d + 0.12 + 0.11 / sqrt_d) * statistic
-    pvalue = kolmogorov_survival(lam)
+    pvalue = float(ks_pvalues(np.asarray([statistic]), d)[0])
     return KSResult(statistic=statistic, pvalue=pvalue, sample_size=d)
 
 

@@ -1,0 +1,102 @@
+"""Unit tests for the batched FirstAGG path (apply_batch / inspect_batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.first_stage import FirstStageFilter
+
+
+DIMENSION = 2000
+SIGMA = 0.25
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(77)
+
+
+@pytest.fixture
+def first_stage() -> FirstStageFilter:
+    return FirstStageFilter(sigma=SIGMA, dimension=DIMENSION)
+
+
+def mixed_uploads(rng: np.random.Generator) -> np.ndarray:
+    """Benign noise rows plus obviously malicious rows."""
+    benign = rng.normal(0.0, SIGMA, size=(4, DIMENSION))
+    too_large = rng.normal(0.0, 3.0 * SIGMA, size=(1, DIMENSION))
+    too_small = rng.normal(0.0, 0.2 * SIGMA, size=(1, DIMENSION))
+    shifted = rng.normal(0.0, SIGMA, size=(1, DIMENSION)) + 0.4 * SIGMA
+    shifted *= SIGMA * np.sqrt(DIMENSION) / np.linalg.norm(shifted)
+    return np.vstack([benign, too_large, too_small, shifted])
+
+
+class TestApplyBatch:
+    def test_mask_matches_scalar_accepts(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        _, accepted = first_stage.apply_batch(uploads)
+        expected = np.array([first_stage.accepts(row) for row in uploads])
+        np.testing.assert_array_equal(accepted, expected)
+
+    def test_filtered_matches_scalar_apply(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        filtered, _ = first_stage.apply_batch(uploads)
+        expected = np.vstack([first_stage.apply(row) for row in uploads])
+        np.testing.assert_array_equal(filtered, expected)
+
+    def test_rejected_rows_are_zero(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        filtered, accepted = first_stage.apply_batch(uploads)
+        assert not accepted[4:].any()  # the three malicious rows
+        np.testing.assert_array_equal(filtered[~accepted], 0.0)
+
+    def test_accepted_rows_pass_through_unchanged(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        filtered, accepted = first_stage.apply_batch(uploads)
+        np.testing.assert_array_equal(filtered[accepted], uploads[accepted])
+
+    def test_list_input_is_stacked(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        filtered_list, mask_list = first_stage.apply_batch(list(uploads))
+        filtered_mat, mask_mat = first_stage.apply_batch(uploads)
+        np.testing.assert_array_equal(filtered_list, filtered_mat)
+        np.testing.assert_array_equal(mask_list, mask_mat)
+
+    def test_wrong_dimension_rejected(self, first_stage):
+        with pytest.raises(ValueError):
+            first_stage.apply_batch(np.zeros((3, DIMENSION + 1)))
+
+    def test_accepted_zero_upload_is_reported_accepted(self):
+        """Regression: the mask, not ``np.any(row)``, decides acceptance.
+
+        At ``d = 1`` the chi-square interval includes 0 and the KS test does
+        not reject a single zero coordinate, so the all-zero upload is
+        legitimately accepted -- yet its filtered row is all zeros.  Deriving
+        acceptance from the filtered matrix would misreport it.
+        """
+        first_stage = FirstStageFilter(sigma=1.0, dimension=1)
+        uploads = np.zeros((2, 1))
+        assert first_stage.accepts(uploads[0])  # scalar path agrees
+        filtered, accepted = first_stage.apply_batch(uploads)
+        assert accepted.all()
+        np.testing.assert_array_equal(filtered, 0.0)
+
+
+class TestInspectBatch:
+    def test_matches_scalar_inspect(self, rng, first_stage):
+        uploads = mixed_uploads(rng)
+        batch = first_stage.inspect_batch(uploads)
+        for i, row in enumerate(uploads):
+            report = first_stage.inspect(row)
+            assert batch.accepted[i] == report.accepted
+            assert batch.norm_ok[i] == report.norm_ok
+            assert batch.ks_ok[i] == report.ks_ok
+            assert batch.squared_norms[i] == pytest.approx(report.squared_norm, rel=1e-12)
+            assert batch.ks_pvalues[i] == pytest.approx(report.ks_pvalue, rel=1e-12, abs=1e-300)
+
+    def test_single_row_matrix(self, rng, first_stage):
+        upload = rng.normal(0.0, SIGMA, size=DIMENSION)
+        batch = first_stage.inspect_batch(upload[np.newaxis, :])
+        assert batch.accepted.shape == (1,)
+        assert batch.accepted[0] == first_stage.accepts(upload)
