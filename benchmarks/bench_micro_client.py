@@ -1,0 +1,118 @@
+"""Micro-benchmarks of the client-side protocol (the per-round upload cost).
+
+Two groups:
+
+- ``micro-client``: one full round of honest uploads at n = 30 workers --
+  the sequential reference (one scalar :func:`local_update` per worker, the
+  pre-batching hot path) vs the batched :class:`WorkerPool` (one stacked
+  forward/backward per round).
+- ``micro-sweep``: a small 4-cell ``run_grid`` sweep, serial vs
+  process-parallel (``max_workers=4``).  The speedup of this group is
+  bounded by the physical core count of the benchmark host.
+
+Run (the bench files use a non-default prefix, so the collection overrides
+are required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_client.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-only --benchmark-json=BENCH_micro_client.json
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import LocalDPState, local_update
+from repro.data.synthetic import make_classification
+from repro.experiments.presets import benchmark_preset
+from repro.experiments.sweep import run_grid
+from repro.federated.worker import WorkerPool
+from repro.nn.layers import Linear
+from repro.nn.network import Sequential
+
+N_WORKERS = 30
+# The repo's real client population: every paper table runs the linear model
+# on 64-feature datasets (mnist_like / fashion_like / usps_like), d = 650.
+N_FEATURES = 64
+N_CLASSES = 10
+BATCH_SIZES = (8, 16)  # the paper's two client batch sizes
+SIGMA = 1.0
+
+
+@pytest.fixture(scope="module")
+def client_setup():
+    """Model and per-worker shards (shared across batch-size params)."""
+    rng = np.random.default_rng(0)
+    data = make_classification(
+        n_samples=50 * N_WORKERS,
+        n_features=N_FEATURES,
+        n_classes=N_CLASSES,
+        nonlinear=False,
+        rng=rng,
+        name="micro-client",
+    )
+    shards = [
+        data.subset(np.arange(i * 50, (i + 1) * 50)) for i in range(N_WORKERS)
+    ]
+    model = Sequential([Linear(N_FEATURES, N_CLASSES, rng)])
+    return model, shards
+
+
+@pytest.mark.benchmark(group="micro-client")
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def bench_micro_honest_uploads_sequential(benchmark, client_setup, batch_size):
+    """Pre-batching hot path: n_workers scalar local_update calls per round."""
+    model, shards = client_setup
+    config = DPConfig(batch_size=batch_size, sigma=SIGMA)
+    states = [LocalDPState() for _ in shards]
+    rngs = [np.random.default_rng(100 + i) for i in range(N_WORKERS)]
+
+    def one_round():
+        return np.vstack(
+            [
+                local_update(model, shard, state, config, rng)
+                for shard, state, rng in zip(shards, states, rngs)
+            ]
+        )
+
+    uploads = benchmark(one_round)
+    assert uploads.shape == (N_WORKERS, model.num_parameters)
+
+
+@pytest.mark.benchmark(group="micro-client")
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def bench_micro_honest_uploads_batched(benchmark, client_setup, batch_size):
+    """Batched hot path: one stacked forward/backward per round (WorkerPool)."""
+    model, shards = client_setup
+    config = DPConfig(batch_size=batch_size, sigma=SIGMA)
+    pool = WorkerPool(
+        shards, config, [np.random.default_rng(100 + i) for i in range(N_WORKERS)]
+    )
+
+    uploads = benchmark(pool.compute_uploads, model)
+    assert uploads.shape == (N_WORKERS, model.num_parameters)
+
+
+def _sweep_grid():
+    """A 4-cell sweep of tiny, independent, fully-seeded runs."""
+    base = benchmark_preset(scale=0.1, epochs=1, n_honest=4)
+    return {
+        ("mnist_like", epsilon): base.replace(epsilon=epsilon)
+        for epsilon in (0.25, 0.5, 1.0, 2.0)
+    }
+
+
+@pytest.mark.benchmark(group="micro-sweep")
+def bench_micro_run_grid_serial(benchmark, client_setup):
+    results = benchmark.pedantic(run_grid, args=(_sweep_grid(),), rounds=3)
+    assert len(results) == 4
+
+
+@pytest.mark.benchmark(group="micro-sweep")
+def bench_micro_run_grid_parallel(benchmark, client_setup):
+    results = benchmark.pedantic(
+        run_grid, args=(_sweep_grid(),), kwargs={"max_workers": 4}, rounds=3
+    )
+    assert len(results) == 4

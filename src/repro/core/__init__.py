@@ -14,7 +14,12 @@
 """
 
 from repro.core.config import DPConfig, ProtocolConfig
-from repro.core.dp_protocol import LocalDPState, local_update
+from repro.core.dp_protocol import (
+    BatchedDPState,
+    LocalDPState,
+    local_update,
+    local_update_batch,
+)
 from repro.core.first_stage import FirstStageFilter
 from repro.core.hyperparams import (
     optimal_learning_rate,
@@ -27,8 +32,10 @@ from repro.core.second_stage import SecondStageSelector
 __all__ = [
     "DPConfig",
     "ProtocolConfig",
+    "BatchedDPState",
     "LocalDPState",
     "local_update",
+    "local_update_batch",
     "FirstStageFilter",
     "SecondStageSelector",
     "TwoStageAggregator",

@@ -13,6 +13,19 @@ Each iteration an honest worker:
 The upload of an honest worker therefore has the form ``g = g_tilde + z``
 with ``||g_tilde|| <= 1`` and ``z ~ N(0, sigma^2 I)`` -- the statistical
 structure both aggregation stages rely on.
+
+Two implementations of the same protocol live here:
+
+- :func:`local_update` runs one worker's iteration (the scalar reference
+  implementation, also used by tests as the ground truth);
+- :func:`local_update_batch` runs *all* protocol-following workers of a
+  round at once on stacked ``(n_workers, b_c, d)`` per-example gradients --
+  momentum, normalise/clip, per-worker noise draws and the slot overwrite
+  are vectorized across workers, in place in the (caller-reused) gradient
+  buffer, with the momentum state stored rank-1 per worker
+  (:class:`BatchedDPState`).  The federated loop feeds it via
+  :class:`repro.federated.worker.WorkerPool`, which computes the stacked
+  gradients with a single forward/backward pass per round.
 """
 
 from __future__ import annotations
@@ -27,10 +40,18 @@ from repro.nn.network import Sequential
 from repro.privacy.mechanisms import (
     clip_gradients,
     gaussian_noise,
+    gaussian_noise_batch,
     normalize_gradients,
 )
 
-__all__ = ["LocalDPState", "local_update", "noise_to_signal_ratio", "upload_noise_std"]
+__all__ = [
+    "BatchedDPState",
+    "LocalDPState",
+    "local_update",
+    "local_update_batch",
+    "noise_to_signal_ratio",
+    "upload_noise_std",
+]
 
 
 @dataclass
@@ -83,6 +104,110 @@ def local_update(
     # Line 11: every momentum slot is overwritten with the upload.
     state.momentum = np.tile(upload, (config.batch_size, 1))
     return upload
+
+
+@dataclass
+class BatchedDPState:
+    """Momentum lists of a whole worker pool, stored rank-1 per worker.
+
+    Algorithm 1 line 11 overwrites *every* momentum slot of a worker with
+    that worker's upload, so between rounds the conceptual
+    ``(n_workers, b_c, d)`` momentum is constant along the slot axis.  The
+    state therefore only stores ``slot_momentum`` of shape
+    ``(n_workers, d)`` -- the value shared by all ``b_c`` slots of each
+    worker -- and :func:`local_update_batch` broadcasts it instead of
+    materialising (or ``np.tile``-ing) the full stacked array.
+    """
+
+    slot_momentum: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    batch_size: int = 0
+
+    def ensure_shape(self, n_workers: int, batch_size: int, dimension: int) -> None:
+        """(Re)initialise the momentum if the protocol shape does not match."""
+        if (
+            self.slot_momentum.shape != (n_workers, dimension)
+            or self.batch_size != batch_size
+        ):
+            self.slot_momentum = np.zeros((n_workers, dimension), dtype=np.float64)
+        self.batch_size = batch_size
+
+    def momentum_of(self, index: int) -> np.ndarray:
+        """Worker ``index``'s momentum list as a read-only ``(b_c, d)`` view."""
+        row = self.slot_momentum[index]
+        return np.broadcast_to(row, (self.batch_size, row.shape[0]))
+
+
+def local_update_batch(
+    per_example: np.ndarray,
+    state: BatchedDPState,
+    config: DPConfig,
+    rngs: list[np.random.Generator],
+) -> np.ndarray:
+    """One protocol iteration for ``n_workers`` workers at once.
+
+    Parameters
+    ----------
+    per_example:
+        Stacked per-example gradients of shape ``(n_workers, b_c, d)``;
+        slot ``[i, j]`` is worker ``i``'s gradient for mini-batch position
+        ``j``.  The array is **consumed as scratch** (its contents are
+        unspecified afterwards), which lets the caller reuse one gradient
+        buffer across rounds without this function allocating a copy.
+    state:
+        The pool's per-worker momentum (rank-1 along the slot axis, see
+        :class:`BatchedDPState`), updated in place.
+    config:
+        Shared client-side DP settings.
+    rngs:
+        One generator per worker, in worker order.  Worker ``i``'s noise is
+        drawn from ``rngs[i]`` with exactly the same call the scalar
+        :func:`local_update` would make, so per-worker noise streams match
+        the sequential protocol bit for bit.
+
+    Returns
+    -------
+    Uploads of shape ``(n_workers, d)``; row ``i`` equals what
+    :func:`local_update` would have returned for worker ``i``.
+    """
+    per_example = np.asarray(per_example, dtype=np.float64)
+    if per_example.ndim != 3:
+        raise ValueError(
+            f"per_example must have shape (n_workers, batch, d), got {per_example.shape}"
+        )
+    n_workers, batch_size, dimension = per_example.shape
+    if batch_size != config.batch_size:
+        raise ValueError(
+            f"per_example batch axis {batch_size} != config.batch_size {config.batch_size}"
+        )
+    if len(rngs) != n_workers:
+        raise ValueError(f"expected {n_workers} generators, got {len(rngs)}")
+    state.ensure_shape(n_workers, batch_size, dimension)
+
+    # Momentum update per slot (line 8), in the gradient buffer itself:
+    # phi[i, j] = (1 - beta) g[i, j] + beta phi[i].  Every slot of worker i
+    # shares the same previous momentum (line 11 overwrote them all with the
+    # last upload), so beta * phi is an (n_workers, d) product broadcast
+    # over the slot axis -- bitwise the same sum as the scalar path's
+    # ``(1 - beta) * g + beta * phi`` with its slot-wise identical phi.
+    np.multiply(per_example, 1.0 - config.momentum, out=per_example)
+    per_example += (config.momentum * state.slot_momentum)[:, np.newaxis, :]
+
+    # Bound sensitivity row-wise across all n_workers * b_c slots at once.
+    if config.bounding == "normalize":
+        normalize_gradients(per_example, out=per_example)
+    else:
+        clip_gradients(per_example, config.clip_norm, out=per_example)
+
+    # Average the slots and add per-worker Gaussian noise (line 10).
+    uploads = per_example.sum(axis=1)
+    noise = gaussian_noise_batch(dimension, config.sigma, rngs)
+    np.add(uploads, noise, out=uploads)
+    np.divide(uploads, config.batch_size, out=uploads)
+
+    # Line 11: every momentum slot of worker i becomes upload i; stored
+    # rank-1 (one (n_workers, d) copy) instead of tiling (n_workers, b_c, d).
+    np.copyto(state.slot_momentum, uploads)
+    return uploads
 
 
 def noise_to_signal_ratio(config: DPConfig, dimension: int) -> float:

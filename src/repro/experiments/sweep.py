@@ -5,11 +5,15 @@ tuple like ``(dataset, epsilon, byzantine_fraction)``) to an
 :class:`~repro.experiments.configs.ExperimentConfig`.  :func:`run_grid`
 executes every cell and returns the results under the same keys, so the
 benchmark code stays declarative: build the grid, run it, format the table.
+Each (cell, seed) run is independent and fully seeded, so ``run_grid`` can
+optionally fan the runs out over worker processes (``max_workers``) with
+results identical to a serial sweep.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Hashable, Iterable, Mapping
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 from repro.analysis.results import RunResult
 from repro.experiments.configs import ExperimentConfig
@@ -22,6 +26,7 @@ def run_grid(
     grid: Mapping[Hashable, ExperimentConfig],
     seeds: Iterable[int] | None = None,
     progress: Callable[[Hashable, RunResult], None] | None = None,
+    max_workers: int | None = None,
 ) -> dict[Hashable, list[RunResult]]:
     """Run every configuration in ``grid``.
 
@@ -30,25 +35,72 @@ def run_grid(
     grid:
         Mapping from cell key to configuration.
     seeds:
-        Seeds to run per cell (default: just the config's own seed).
+        Seeds to run per cell (default: just the config's own seed).  Any
+        iterable works -- it is materialised once up front, so a generator
+        is *not* exhausted by the first cell.
     progress:
         Optional callback invoked after each run with ``(key, result)``;
-        benchmarks use it to stream progress lines.
+        benchmarks use it to stream progress lines.  Always invoked in the
+        parent process; with ``max_workers`` the invocation order follows
+        run *completion*, not grid order.
+    max_workers:
+        If greater than 1, distribute the runs over that many worker
+        processes.  Every (cell, seed) run is independent and fully seeded,
+        so the returned results are identical to a serial sweep -- only
+        wall-clock time changes.  ``None`` or 1 runs serially in-process.
 
     Returns
     -------
-    Mapping from the same keys to the list of per-seed results.
+    Mapping from the same keys (in grid order) to the list of per-seed
+    results (in ``seeds`` order).
     """
-    results: dict[Hashable, list[RunResult]] = {}
-    for key, config in grid.items():
-        cell: list[RunResult] = []
-        cell_seeds = list(seeds) if seeds is not None else [config.seed]
-        for seed in cell_seeds:
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be a positive integer")
+    # Materialise once: a generator passed as ``seeds`` would otherwise be
+    # consumed by the first cell, silently running zero seeds afterwards.
+    seed_list = list(seeds) if seeds is not None else None
+    jobs = [
+        (key, config, seed)
+        for key, config in grid.items()
+        for seed in (seed_list if seed_list is not None else [config.seed])
+    ]
+    results: dict[Hashable, list[RunResult]] = {key: [] for key in grid}
+
+    if max_workers is None or max_workers == 1 or len(jobs) <= 1:
+        for key, config, seed in jobs:
             result = run_experiment(config, seed=seed)
-            cell.append(result)
+            results[key].append(result)
             if progress is not None:
                 progress(key, result)
-        results[key] = cell
+        return results
+
+    # Fan the independent runs out over processes.  Slots are preallocated
+    # so per-seed order inside each cell matches the serial sweep no matter
+    # which run finishes first.
+    for key, config, seed in jobs:
+        results[key].append(None)  # type: ignore[arg-type]
+    slot_of = {}
+    counts: dict[Hashable, int] = {key: 0 for key in grid}
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        try:
+            for key, config, seed in jobs:
+                future = executor.submit(run_experiment, config, seed=seed)
+                slot_of[future] = (key, counts[key])
+                counts[key] += 1
+            pending = set(slot_of)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, slot = slot_of[future]
+                    result = future.result()
+                    results[key][slot] = result
+                    if progress is not None:
+                        progress(key, result)
+        except BaseException:
+            # Fail fast like the serial path: drop queued runs instead of
+            # letting a long sweep grind on after the first failure.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
     return results
 
 

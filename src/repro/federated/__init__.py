@@ -1,7 +1,10 @@
 """Federated-learning simulation.
 
-- :class:`~repro.federated.worker.HonestWorker` -- runs the client-side DP
-  protocol of Algorithm 1 on its local shard.
+- :class:`~repro.federated.worker.WorkerPool` -- runs the client-side DP
+  protocol of Algorithm 1 for a whole worker population with one stacked
+  forward/backward per round.
+- :class:`~repro.federated.worker.HonestWorker` -- single-worker wrapper
+  over the same batched path.
 - :class:`~repro.federated.server.Server` -- owns the global model, the
   aggregation rule and the server auxiliary data.
 - :class:`~repro.federated.simulation.FederatedSimulation` -- the training
@@ -13,10 +16,12 @@
 from repro.federated.history import TrainingHistory
 from repro.federated.server import Server
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
-from repro.federated.worker import HonestWorker
+from repro.federated.worker import HonestWorker, WorkerPool, WorkerSlot
 
 __all__ = [
     "HonestWorker",
+    "WorkerPool",
+    "WorkerSlot",
     "Server",
     "FederatedSimulation",
     "SimulationSettings",

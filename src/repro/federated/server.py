@@ -94,7 +94,23 @@ class Server:
         self.round_index += 1
         return aggregated
 
-    def evaluate(self, dataset: Dataset) -> float:
-        """Test accuracy of the current global model on ``dataset``."""
-        predictions = self.model.predict(dataset.features)
+    #: evaluation chunk size; bounds peak activation memory on large test sets
+    eval_batch_size: int = 8192
+
+    def evaluate(self, dataset: Dataset, batch_size: int | None = None) -> float:
+        """Test accuracy of the current global model on ``dataset``.
+
+        The forward pass runs in fixed-size chunks (``batch_size``, default
+        :attr:`eval_batch_size`) so peak memory stays bounded by the chunk's
+        activations rather than the whole test set; the result is identical
+        to a single full-set forward.
+        """
+        batch_size = self.eval_batch_size if batch_size is None else batch_size
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        n = len(dataset)
+        predictions = np.empty(n, dtype=np.int64)
+        for start in range(0, n, batch_size):
+            stop = min(start + batch_size, n)
+            predictions[start:stop] = self.model.predict(dataset.features[start:stop])
         return accuracy(predictions, dataset.labels)

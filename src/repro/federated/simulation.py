@@ -3,12 +3,18 @@
 One round of :class:`FederatedSimulation` performs:
 
 1. model broadcasting (all workers see ``w_{t-1}``);
-2. every honest worker computes its DP upload (Algorithm 1, lines 4-12);
+2. the honest :class:`~repro.federated.worker.WorkerPool` computes every
+   honest DP upload in one stacked forward/backward (Algorithm 1, lines
+   4-12, batched across workers);
 3. the Byzantine attacker produces its uploads -- either by running the
-   honest protocol on poisoned data (label flipping) or by crafting vectors
-   from its omniscient view of the honest uploads;
+   honest protocol on poisoned data through its own pool (label flipping)
+   or by crafting vectors from its omniscient view of the honest uploads;
 4. the server aggregates with its configured rule and updates the model;
 5. periodically, the global model is evaluated on the held-out test set.
+
+Both client populations travel through the batched pool path, so a round
+performs two model passes at most (honest pool, Byzantine pool) instead of
+one small forward/backward per worker.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
 from repro.federated.history import TrainingHistory
 from repro.federated.server import Server
-from repro.federated.worker import HonestWorker
+from repro.federated.worker import WorkerPool, WorkerSlot
 from repro.nn.network import Sequential
 
 __all__ = ["SimulationSettings", "FederatedSimulation"]
@@ -130,25 +136,33 @@ class FederatedSimulation:
         self._server_rng = np.random.default_rng(worker_seeds[0])
         self._attack_rng = np.random.default_rng(worker_seeds[1])
 
-        self.honest_workers = [
-            HonestWorker(dataset, dp_config, np.random.default_rng(worker_seeds[2 + i]))
-            for i, dataset in enumerate(honest_datasets)
-        ]
+        self.honest_pool = WorkerPool(
+            honest_datasets,
+            dp_config,
+            [
+                np.random.default_rng(worker_seeds[2 + i])
+                for i in range(len(honest_datasets))
+            ],
+        )
 
-        self.byzantine_workers: list[HonestWorker] = []
+        self.byzantine_pool: WorkerPool | None = None
         if n_byzantine > 0 and attack is not None and attack.follows_protocol:
             offset = 2 + len(honest_datasets)
+            poisoned_datasets: list[Dataset] = []
             for i in range(n_byzantine):
                 if byzantine_datasets is not None:
                     local = byzantine_datasets[i % len(byzantine_datasets)]
                 else:
                     local = honest_datasets[i % len(honest_datasets)]
-                poisoned = attack.poison_dataset(local)
-                self.byzantine_workers.append(
-                    HonestWorker(
-                        poisoned, dp_config, np.random.default_rng(worker_seeds[offset + i])
-                    )
-                )
+                poisoned_datasets.append(attack.poison_dataset(local))
+            self.byzantine_pool = WorkerPool(
+                poisoned_datasets,
+                dp_config,
+                [
+                    np.random.default_rng(worker_seeds[offset + i])
+                    for i in range(n_byzantine)
+                ],
+            )
 
         self.server = Server(
             model=model,
@@ -166,16 +180,25 @@ class FederatedSimulation:
     @property
     def n_honest(self) -> int:
         """Number of honest workers."""
-        return len(self.honest_workers)
+        return self.honest_pool.n_workers
 
     @property
     def n_workers(self) -> int:
         """Total number of workers (honest + Byzantine)."""
         return self.n_honest + self.n_byzantine
 
+    @property
+    def honest_workers(self) -> list[WorkerSlot]:
+        """Per-worker views into the honest pool (diagnostics and tests)."""
+        return self.honest_pool.slots
+
+    @property
+    def byzantine_workers(self) -> list[WorkerSlot]:
+        """Per-worker views into the Byzantine pool (empty for crafting attacks)."""
+        return self.byzantine_pool.slots if self.byzantine_pool is not None else []
+
     def _honest_uploads(self) -> np.ndarray:
-        uploads = [worker.compute_upload(self.model) for worker in self.honest_workers]
-        return np.vstack(uploads)
+        return self.honest_pool.compute_uploads(self.model)
 
     def _byzantine_uploads(
         self, honest_uploads: np.ndarray, round_index: int
@@ -204,10 +227,8 @@ class FederatedSimulation:
             return honest_uploads[indices].copy()
 
         if attack.follows_protocol:
-            uploads = [
-                worker.compute_upload(self.model) for worker in self.byzantine_workers
-            ]
-            return np.vstack(uploads)
+            assert self.byzantine_pool is not None
+            return self.byzantine_pool.compute_uploads(self.model)
         return np.asarray(attack.craft(context), dtype=np.float64)
 
     def run_round(self, round_index: int) -> dict[str, float]:

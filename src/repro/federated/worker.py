@@ -1,11 +1,18 @@
 """Workers that follow the client-side protocol.
 
-An :class:`HonestWorker` holds a local dataset, the DP configuration and
-its momentum state, and produces one upload per round via
-:func:`repro.core.dp_protocol.local_update`.  Byzantine workers that follow
-the protocol on poisoned data (e.g. label flipping) reuse the same class
-with a poisoned dataset; upload-crafting attacks are handled collectively by
-the simulation (the attacker controls all its fake workers at once).
+The hot path is :class:`WorkerPool`: it holds *all* protocol-following
+workers of one population (honest, or Byzantine-but-protocol-following,
+e.g. label flipping), samples each worker's mini-batch from that worker's
+own generator in worker order, stacks the batches, and runs a **single**
+per-example forward/backward through the model per round.  The stacked
+``(n_workers, b_c, d)`` gradients then go through
+:func:`repro.core.dp_protocol.local_update_batch`, which vectorizes
+momentum, normalise/clip and the slot overwrite across workers.
+
+:class:`HonestWorker` is kept as a thin wrapper around a single-slot pool
+for code (and tests) that talk to one worker at a time; upload-crafting
+attacks are handled collectively by the simulation (the attacker controls
+all its fake workers at once).
 """
 
 from __future__ import annotations
@@ -13,15 +20,166 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import DPConfig
-from repro.core.dp_protocol import LocalDPState, local_update
+from repro.core.dp_protocol import BatchedDPState, LocalDPState, local_update_batch
 from repro.data.dataset import Dataset
 from repro.nn.network import Sequential
 
-__all__ = ["HonestWorker"]
+__all__ = ["HonestWorker", "WorkerPool", "WorkerSlot"]
+
+
+class WorkerPool:
+    """All protocol-following workers of one population, batched.
+
+    Parameters
+    ----------
+    datasets:
+        One private local dataset per worker.
+    dp_config:
+        Client-side DP settings shared by every worker in the pool.
+    rngs:
+        One private generator per worker (mini-batch sampling and DP
+        noise).  Batches and noise are drawn from each worker's own stream
+        in worker order, so the pool reproduces exactly what the workers
+        would have drawn sequentially.
+    """
+
+    def __init__(
+        self,
+        datasets: list[Dataset],
+        dp_config: DPConfig,
+        rngs: list[np.random.Generator],
+    ) -> None:
+        if not datasets:
+            raise ValueError("WorkerPool requires at least one worker")
+        if len(rngs) != len(datasets):
+            raise ValueError(
+                f"expected {len(datasets)} generators, got {len(rngs)}"
+            )
+        dims = {dataset.dim for dataset in datasets}
+        if len(dims) > 1:
+            raise ValueError(f"workers disagree on feature dimensionality: {dims}")
+        for dataset in datasets:
+            if len(dataset) == 0:
+                raise ValueError("worker dataset must not be empty")
+        self.datasets = list(datasets)
+        self.dp_config = dp_config
+        self.rngs = list(rngs)
+        self.state = BatchedDPState()
+        # All shards concatenated once, so per-round sampling is one gather
+        # over global row indices instead of one fancy-index per worker.
+        # Costs a second copy of the pool's data for the pool's lifetime --
+        # the right trade at this repo's dataset scales; for huge shards,
+        # shard the pool itself (see ROADMAP) before this copy hurts.
+        self._all_features = np.concatenate(
+            [dataset.features for dataset in self.datasets], axis=0
+        )
+        self._all_labels = np.concatenate(
+            [dataset.labels for dataset in self.datasets]
+        )
+        sizes = [len(dataset) for dataset in self.datasets]
+        self._row_offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+        # Round-reusable scratch: stacked mini-batch and flat gradients.
+        self._indices: np.ndarray | None = None
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._gradients: np.ndarray | None = None
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers in the pool."""
+        return len(self.datasets)
+
+    @property
+    def slots(self) -> list["WorkerSlot"]:
+        """Per-worker views (dataset, generator, momentum) into the pool."""
+        return [WorkerSlot(self, index) for index in range(self.n_workers)]
+
+    def _ensure_scratch(self, dimension: int) -> None:
+        n, b = self.n_workers, self.dp_config.batch_size
+        feature_dim = self.datasets[0].dim
+        if self._features is None or self._features.shape != (n * b, feature_dim):
+            self._indices = np.empty(n * b, dtype=np.int64)
+            self._features = np.empty((n * b, feature_dim), dtype=np.float64)
+            self._labels = np.empty(n * b, dtype=np.int64)
+        if self._gradients is None or self._gradients.shape != (n * b, dimension):
+            self._gradients = np.empty((n * b, dimension), dtype=np.float64)
+
+    def compute_uploads(self, model: Sequential) -> np.ndarray:
+        """One protocol iteration for every worker; returns ``(n_workers, d)``.
+
+        The caller is responsible for having loaded the current global
+        parameters into ``model`` (model broadcasting, Algorithm 1 line 3).
+        """
+        n, b = self.n_workers, self.dp_config.batch_size
+        dimension = model.num_parameters
+        self._ensure_scratch(dimension)
+        assert self._indices is not None and self._features is not None
+        assert self._labels is not None and self._gradients is not None
+
+        # Same draws as Dataset.sample_batch (uniform with replacement, each
+        # worker's own stream, worker order), shifted to rows of the
+        # concatenated shard matrix and gathered in one pass.
+        for index, (dataset, rng) in enumerate(zip(self.datasets, self.rngs)):
+            block = self._indices[index * b : (index + 1) * b]
+            block[...] = rng.integers(0, len(dataset), size=b)
+            block += self._row_offsets[index]
+        np.take(self._all_features, self._indices, axis=0, out=self._features)
+        np.take(self._all_labels, self._indices, axis=0, out=self._labels)
+
+        _, gradients = model.per_example_gradients(
+            self._features, self._labels, out=self._gradients
+        )
+        stacked = gradients.reshape(n, b, dimension)
+        return local_update_batch(stacked, self.state, self.dp_config, self.rngs)
+
+    def reset(self) -> None:
+        """Clear every worker's momentum state (start of a fresh run)."""
+        self.state = BatchedDPState()
+
+
+class WorkerSlot:
+    """Read-only view of one worker inside a :class:`WorkerPool`."""
+
+    def __init__(self, pool: WorkerPool, index: int) -> None:
+        self.pool = pool
+        self.index = index
+
+    @property
+    def dataset(self) -> Dataset:
+        """The worker's private local dataset."""
+        return self.pool.datasets[self.index]
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The worker's private random generator."""
+        return self.pool.rngs[self.index]
+
+    @property
+    def state(self) -> LocalDPState:
+        """The worker's momentum list as a scalar-protocol state view.
+
+        **Diagnostic view only.**  The returned ``(b_c, d)`` momentum is a
+        fresh, read-only broadcast of the pool's rank-1 per-worker state
+        (all slots of a worker are identical between rounds, Algorithm 1
+        line 11).  Mutations to the returned object do not feed back into
+        the pool -- drive the protocol via the pool (or
+        :meth:`HonestWorker.compute_upload`), not via scalar
+        :func:`~repro.core.dp_protocol.local_update` on this view.
+        """
+        if self.pool.state.slot_momentum.shape[0] <= self.index:
+            return LocalDPState()
+        return LocalDPState(momentum=self.pool.state.momentum_of(self.index))
+
+    @state.setter
+    def state(self, value: LocalDPState) -> None:
+        raise AttributeError(
+            "worker state lives in the WorkerPool; use pool.reset() (or "
+            "HonestWorker.reset()) instead of assigning a LocalDPState"
+        )
 
 
 class HonestWorker:
-    """A protocol-following worker.
+    """A single protocol-following worker: a thin wrapper over a 1-slot pool.
 
     Parameters
     ----------
@@ -41,23 +199,46 @@ class HonestWorker:
         dp_config: DPConfig,
         rng: np.random.Generator,
     ) -> None:
-        if len(dataset) == 0:
-            raise ValueError("worker dataset must not be empty")
-        self.dataset = dataset
-        self.dp_config = dp_config
-        self.rng = rng
-        self.state = LocalDPState()
+        self._pool = WorkerPool([dataset], dp_config, [rng])
+
+    @property
+    def dataset(self) -> Dataset:
+        """The worker's private local dataset (read-only; the pool samples
+        from it, so reassignment would be silently ignored -- build a new
+        worker instead)."""
+        return self._pool.datasets[0]
+
+    @property
+    def dp_config(self) -> DPConfig:
+        """The worker's client-side DP settings (read-only)."""
+        return self._pool.dp_config
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The worker's private random generator (read-only attribute; the
+        generator object itself advances as the worker runs)."""
+        return self._pool.rngs[0]
 
     def compute_upload(self, model: Sequential) -> np.ndarray:
         """One local iteration of Algorithm 1 at the current global model."""
-        return local_update(
-            model=model,
-            dataset=self.dataset,
-            state=self.state,
-            config=self.dp_config,
-            rng=self.rng,
+        return self._pool.compute_uploads(model)[0]
+
+    @property
+    def state(self) -> LocalDPState:
+        """The worker's momentum state (read-only diagnostic view).
+
+        See :attr:`WorkerSlot.state`: mutations do not feed back; use
+        :meth:`compute_upload` and :meth:`reset` to drive the protocol.
+        """
+        return self._pool.slots[0].state
+
+    @state.setter
+    def state(self, value: LocalDPState) -> None:
+        raise AttributeError(
+            "HonestWorker.state is a read-only view into its WorkerPool; "
+            "call reset() instead of assigning a LocalDPState"
         )
 
     def reset(self) -> None:
         """Clear the momentum state (start of a fresh training run)."""
-        self.state = LocalDPState()
+        self._pool.reset()

@@ -36,16 +36,40 @@ class Layer:
     parameters: list[np.ndarray]
     #: per-example gradients matching ``parameters``; ``None`` before backward
     per_example_grads: list[np.ndarray] | None
+    #: whether ``backward`` may write into caller-bound gradient buffers;
+    #: toggled per call by the owner (``Sequential``) so a retained binding
+    #: is only used by the call that actually passed that buffer
+    use_bound_grad_buffers: bool
 
     def __init__(self) -> None:
         self.parameters = []
         self.per_example_grads = None
+        self.use_bound_grad_buffers = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def bind_per_example_grad_buffers(
+        self, buffers: list[np.ndarray] | None
+    ) -> bool:
+        """Ask the layer to write per-example grads into caller-owned arrays.
+
+        ``buffers`` matches ``parameters`` with a leading batch axis (views
+        into a flat gradient matrix, possibly strided); ``None`` unbinds and
+        reverts to layer-owned buffers.  Returns ``True`` if the layer
+        supports direct writes -- the caller then skips its copy for this
+        layer.  Bound buffers are only written when
+        :attr:`use_bound_grad_buffers` is set (the owner enables it exactly
+        for calls targeting that buffer); other backward passes -- e.g. the
+        server's auxiliary gradient between training rounds -- use
+        layer-owned scratch while keeping the binding intact.  The base
+        implementation (activations, layers without the optimisation)
+        declines.
+        """
+        return False
 
     @property
     def num_parameters(self) -> int:
@@ -86,6 +110,9 @@ class Linear(Layer):
         self.bias = zeros((out_features,))
         self.parameters = [self.weight, self.bias]
         self._input: np.ndarray | None = None
+        self._bound_grads: list[np.ndarray] | None = None
+        self._grad_weight: np.ndarray | None = None
+        self._grad_bias: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -95,13 +122,51 @@ class Linear(Layer):
         self._input = x
         return x @ self.weight + self.bias
 
+    def bind_per_example_grad_buffers(
+        self, buffers: list[np.ndarray] | None
+    ) -> bool:
+        if buffers is None:
+            self._bound_grads = None
+            return True
+        grad_weight, grad_bias = buffers
+        if (
+            grad_weight.shape[1:] != self.weight.shape
+            or grad_bias.shape[1:] != self.bias.shape
+            or grad_weight.shape[0] != grad_bias.shape[0]
+        ):
+            raise ValueError("bound gradient buffers do not match parameter shapes")
+        self._bound_grads = [grad_weight, grad_bias]
+        return True
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         x = self._input
+        batch = x.shape[0]
+        # Per-example gradients land in buffers reused across backward passes
+        # -- caller-bound views into a flat gradient matrix when the owner
+        # activated them for this call, layer-owned scratch otherwise (so an
+        # interleaved pass, e.g. the server's auxiliary gradient, can never
+        # clobber a caller's bound buffer); ``per_example_grads`` is
+        # therefore only valid until the next backward call.
+        if (
+            self.use_bound_grad_buffers
+            and self._bound_grads is not None
+            and self._bound_grads[0].shape[0] == batch
+        ):
+            grad_weight, grad_bias = self._bound_grads
+        else:
+            if self._grad_weight is None or self._grad_weight.shape[0] != batch:
+                self._grad_weight = np.empty(
+                    (batch, self.in_features, self.out_features), dtype=np.float64
+                )
+                self._grad_bias = np.empty(
+                    (batch, self.out_features), dtype=np.float64
+                )
+            grad_weight, grad_bias = self._grad_weight, self._grad_bias
         # per-example weight gradient: outer product of input and output grads
-        grad_weight = np.einsum("bi,bo->bio", x, grad_output)
-        grad_bias = grad_output.copy()
+        np.einsum("bi,bo->bio", x, grad_output, out=grad_weight)
+        np.copyto(grad_bias, grad_output)
         self.per_example_grads = [grad_weight, grad_bias]
         return grad_output @ self.weight.T
 

@@ -30,6 +30,12 @@ class Sequential:
         if not layers:
             raise ValueError("Sequential requires at least one layer")
         self.layers = list(layers)
+        # (out array, batch, bound-layer ids) of the current gradient-buffer
+        # binding; lets repeated calls with the same preallocated buffer
+        # (the batched client path) skip re-binding every round.  The array
+        # object itself is held (identity-compared), so a recycled object id
+        # can never produce a false cache hit.
+        self._grad_binding: tuple[np.ndarray, int, frozenset[int]] | None = None
 
     # ------------------------------------------------------------------ #
     # forward / prediction
@@ -66,7 +72,9 @@ class Sequential:
         ]
         if not chunks:
             return np.zeros(0, dtype=np.float64)
-        return np.concatenate(chunks).astype(np.float64)
+        # dtype= casts during the concatenation itself; a trailing .astype
+        # would copy the result a second time even when already float64.
+        return np.concatenate(chunks, dtype=np.float64)
 
     def set_flat_parameters(self, flat: np.ndarray) -> None:
         """Load parameters from a flat vector produced by :meth:`get_flat_parameters`."""
@@ -84,7 +92,13 @@ class Sequential:
                 offset += size
 
     def clone(self) -> "Sequential":
-        """Deep copy of the network (structure and parameters)."""
+        """Deep copy of the network (structure and parameters).
+
+        Any gradient-buffer binding is dropped first (deep-copying would
+        otherwise duplicate the caller's flat buffer and sever the view
+        relationship); the next bound call simply re-binds.
+        """
+        self.unbind_per_example_grad_buffers()
         return copy.deepcopy(self)
 
     # ------------------------------------------------------------------ #
@@ -101,9 +115,18 @@ class Sequential:
             grad = layer.backward(grad)
 
     def per_example_gradients(
-        self, x: np.ndarray, y: np.ndarray
+        self, x: np.ndarray, y: np.ndarray, out: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-example flat gradients of the loss.
+
+        Parameters
+        ----------
+        x, y:
+            Input batch and integer labels.
+        out:
+            Optional preallocated ``(batch, d)`` ``float64`` array receiving
+            the flat gradients (the batched client path reuses one such
+            buffer across rounds instead of re-allocating per call).
 
         Returns
         -------
@@ -111,27 +134,106 @@ class Sequential:
             Per-example loss values, shape ``(batch,)``.
         gradients:
             Array of shape ``(batch, d)`` whose ``i``-th row is the gradient
-            of example ``i``'s loss with respect to the flat parameters.
+            of example ``i``'s loss with respect to the flat parameters
+            (``out`` itself when provided).
         """
+        batch = x.shape[0]
+        if out is None:
+            gradients = np.empty((batch, self.num_parameters), dtype=np.float64)
+            # An existing binding is left in place but deactivated for this
+            # call (bound layers use their own scratch; everything is copied
+            # below), so interleaved out=None calls neither evict the
+            # training path's binding nor clobber its buffer.
+            bound = frozenset()
+            if self._grad_binding is not None:
+                for layer in self.layers:
+                    layer.use_bound_grad_buffers = False
+        else:
+            if out.shape != (batch, self.num_parameters) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be a float64 array of shape "
+                    f"({batch}, {self.num_parameters}), got {out.dtype} {out.shape}"
+                )
+            gradients = out
+            bound = self._bind_grad_buffers(gradients, batch)
+
         logits = self.forward(x)
         losses, grad_logits = softmax_cross_entropy(logits, y)
         self._backward(grad_logits)
 
-        batch = x.shape[0]
-        pieces: list[np.ndarray] = []
+        offset = 0
         for layer in self.layers:
             if not layer.parameters:
                 continue
             if layer.per_example_grads is None:
                 raise RuntimeError("layer backward did not populate per-example grads")
             for grad in layer.per_example_grads:
-                pieces.append(grad.reshape(batch, -1))
-        gradients = (
-            np.concatenate(pieces, axis=1)
-            if pieces
-            else np.zeros((batch, 0), dtype=np.float64)
-        )
+                size = int(np.prod(grad.shape[1:], dtype=np.int64))
+                if id(layer) not in bound:
+                    gradients[:, offset : offset + size] = grad.reshape(batch, -1)
+                offset += size
         return losses, gradients
+
+    def _bind_grad_buffers(self, gradients: np.ndarray, batch: int) -> frozenset[int]:
+        """Hand every layer views into the flat gradient matrix.
+
+        Backward then writes per-example grads directly in place (no copy
+        afterwards); a layer that declines keeps its own buffers and is
+        copied by the caller.  Returns the ids of the layers that accepted.
+        The binding is cached on ``(id(out), batch)``: a worker pool reuses
+        one buffer every round, so re-binding (and its view construction)
+        happens only when the target buffer changes -- e.g. when honest and
+        Byzantine pools alternate on the same model.  ``out=None`` calls in
+        between (the server's auxiliary gradient) do not evict the binding.
+        """
+        if (
+            self._grad_binding is not None
+            and self._grad_binding[0] is gradients
+            and self._grad_binding[1] == batch
+        ):
+            bound = self._grad_binding[2]
+            for layer in self.layers:
+                layer.use_bound_grad_buffers = id(layer) in bound
+            return bound
+        bound: set[int] = set()
+        offset = 0
+        for layer in self.layers:
+            if not layer.parameters:
+                continue
+            views = []
+            view_offset = offset
+            for parameter in layer.parameters:
+                size = parameter.size
+                view = gradients[:, view_offset : view_offset + size].reshape(
+                    (batch,) + parameter.shape
+                )
+                views.append(view)
+                view_offset += size
+            viewable = all(np.shares_memory(view, gradients) for view in views)
+            if viewable and layer.bind_per_example_grad_buffers(views):
+                bound.add(id(layer))
+            else:
+                layer.bind_per_example_grad_buffers(None)
+            offset = view_offset
+        self._grad_binding = (gradients, batch, frozenset(bound))
+        for layer in self.layers:
+            layer.use_bound_grad_buffers = id(layer) in bound
+        return self._grad_binding[2]
+
+    def unbind_per_example_grad_buffers(self) -> None:
+        """Release the gradient-buffer binding (no-op if unbound).
+
+        The binding (and the per-layer views backing it) holds a strong
+        reference to the last ``out`` buffer passed to
+        :meth:`per_example_gradients`.  Call this to let a discarded worker
+        pool's scratch matrix be garbage-collected when the model outlives
+        the pool; the next ``out=`` call simply re-binds.
+        """
+        if self._grad_binding is not None:
+            for layer in self.layers:
+                layer.bind_per_example_grad_buffers(None)
+                layer.use_bound_grad_buffers = False
+            self._grad_binding = None
 
     def mean_gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
         """Mean loss and mean flat gradient over the batch."""

@@ -21,6 +21,7 @@ __all__ = [
     "clip_gradients",
     "normalize_gradients",
     "gaussian_noise",
+    "gaussian_noise_batch",
     "l2_sensitivity_of_sum",
 ]
 
@@ -28,28 +29,69 @@ __all__ = [
 _NORM_FLOOR = 1e-12
 
 
-def clip_gradients(gradients: np.ndarray, clip_norm: float) -> np.ndarray:
-    """Clip each row of ``gradients`` to have l2-norm at most ``clip_norm``."""
+def _row_norms(gradients: np.ndarray) -> np.ndarray:
+    """l2-norm of every vector along the last axis, shape ``(..., 1)``.
+
+    ``einsum`` computes the sum of squares in one pass without materialising
+    a squared copy of the (potentially ``(n_workers, b_c, d)``-sized) input.
+    """
+    sumsq = np.einsum("...i,...i->...", gradients, gradients)
+    return np.sqrt(sumsq)[..., np.newaxis]
+
+
+def clip_gradients(
+    gradients: np.ndarray, clip_norm: float, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Clip each row of ``gradients`` to have l2-norm at most ``clip_norm``.
+
+    A "row" is a vector along the last axis, so the same code serves the
+    per-worker ``(batch, d)`` layout and the stacked ``(n_workers, batch, d)``
+    layout without any per-worker Python loop.  ``out`` (same shape as the
+    at-least-2-D input) receives the result in place; passing the input
+    itself clips in place without allocating.
+    """
     if clip_norm <= 0:
         raise ValueError(f"clip_norm must be positive, got {clip_norm}")
     gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
-    norms = np.linalg.norm(gradients, axis=1, keepdims=True)
+    norms = _row_norms(gradients)
     factors = np.minimum(1.0, clip_norm / np.maximum(norms, _NORM_FLOOR))
-    return gradients * factors
+    if out is None:
+        return gradients * factors
+    if out.shape != gradients.shape:
+        raise ValueError(f"out shape {out.shape} != gradients shape {gradients.shape}")
+    np.multiply(gradients, factors, out=out)
+    return out
 
 
-def normalize_gradients(gradients: np.ndarray) -> np.ndarray:
+def normalize_gradients(
+    gradients: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Normalise each row of ``gradients`` to unit l2-norm.
 
-    Rows that are exactly zero are left at zero (their direction is
-    undefined); this never happens in practice for cross-entropy gradients
-    of a non-degenerate model.
+    Rows (vectors along the last axis; the input may be the per-worker
+    ``(batch, d)`` layout or the stacked ``(n_workers, batch, d)`` layout)
+    that are exactly zero are left at zero (their direction is undefined);
+    this never happens in practice for cross-entropy gradients of a
+    non-degenerate model.  ``out`` behaves as in :func:`clip_gradients`.
     """
     gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
-    norms = np.linalg.norm(gradients, axis=1, keepdims=True)
+    norms = _row_norms(gradients)
     safe_norms = np.where(norms > _NORM_FLOOR, norms, 1.0)
-    normalized = gradients / safe_norms
-    normalized[np.squeeze(norms, axis=1) <= _NORM_FLOOR] = 0.0
+    # Multiplying by the (tiny) reciprocal array is one fast full pass;
+    # an elementwise divide by the broadcast norms is measurably slower.
+    inverse = 1.0 / safe_norms
+    if out is None:
+        normalized = gradients * inverse
+    else:
+        if out.shape != gradients.shape:
+            raise ValueError(
+                f"out shape {out.shape} != gradients shape {gradients.shape}"
+            )
+        np.multiply(gradients, inverse, out=out)
+        normalized = out
+    zero_rows = np.squeeze(norms, axis=-1) <= _NORM_FLOOR
+    if np.any(zero_rows):  # the masked write is costly; gradients rarely vanish
+        normalized[zero_rows] = 0.0
     return normalized
 
 
@@ -79,3 +121,29 @@ def gaussian_noise(
     if sigma == 0:
         return np.zeros(dimension, dtype=np.float64)
     return rng.normal(0.0, sigma, size=dimension)
+
+
+def gaussian_noise_batch(
+    dimension: int, sigma: float, rngs: list[np.random.Generator]
+) -> np.ndarray:
+    """Stacked DP noise, one row per worker, shape ``(len(rngs), dimension)``.
+
+    Row ``i`` is drawn from ``rngs[i]``'s own stream with exactly the same
+    call as :func:`gaussian_noise`, so each worker's noise is identical to
+    what the sequential protocol would have drawn.
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    noise = np.zeros((len(rngs), dimension), dtype=np.float64)
+    if sigma == 0:
+        return noise
+    # Per-row standard normals drawn straight into the output, then scaled
+    # in one pass: the same bit stream and the same ``fl(sigma * z)`` values
+    # as per-worker ``rng.normal(0, sigma, d)`` calls, without a temporary
+    # allocation per worker.
+    for row, rng in zip(noise, rngs):
+        rng.standard_normal(out=row)
+    np.multiply(noise, sigma, out=noise)
+    return noise

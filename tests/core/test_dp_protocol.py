@@ -7,10 +7,17 @@ import pytest
 
 from repro.core.config import DPConfig
 from repro.core.dp_protocol import (
+    BatchedDPState,
     LocalDPState,
     local_update,
+    local_update_batch,
     noise_to_signal_ratio,
     upload_noise_std,
+)
+from repro.privacy.mechanisms import (
+    clip_gradients,
+    gaussian_noise,
+    normalize_gradients,
 )
 from tests.helpers import make_model_and_data
 
@@ -133,6 +140,172 @@ class TestLocalUpdate:
         )
         assert np.linalg.norm(upload) <= 1.0 + 1e-9
         assert np.linalg.norm(upload_scaled) <= 1.0 + 1e-9
+
+
+class TestBatchedDPState:
+    def test_initially_empty(self):
+        assert BatchedDPState().slot_momentum.shape == (0, 0)
+
+    def test_ensure_shape_initialises_zeros(self):
+        state = BatchedDPState()
+        state.ensure_shape(3, 8, 20)
+        assert state.slot_momentum.shape == (3, 20)
+        assert state.batch_size == 8
+        np.testing.assert_array_equal(state.slot_momentum, 0.0)
+
+    def test_ensure_shape_keeps_existing_state(self):
+        state = BatchedDPState()
+        state.ensure_shape(2, 4, 10)
+        state.slot_momentum += 1.0
+        state.ensure_shape(2, 4, 10)
+        np.testing.assert_array_equal(state.slot_momentum, 1.0)
+
+    def test_ensure_shape_resets_on_mismatch(self):
+        state = BatchedDPState()
+        state.ensure_shape(2, 4, 10)
+        state.slot_momentum += 1.0
+        state.ensure_shape(3, 4, 10)
+        np.testing.assert_array_equal(state.slot_momentum, 0.0)
+
+    def test_ensure_shape_resets_on_batch_size_change(self):
+        """The scalar protocol resets a (b, d)-mismatched momentum; the
+        rank-1 state must do the same when only b changes."""
+        state = BatchedDPState()
+        state.ensure_shape(2, 4, 10)
+        state.slot_momentum += 1.0
+        state.ensure_shape(2, 8, 10)
+        np.testing.assert_array_equal(state.slot_momentum, 0.0)
+
+    def test_momentum_of_broadcasts_slots(self):
+        state = BatchedDPState()
+        state.ensure_shape(2, 4, 3)
+        state.slot_momentum[1] = [1.0, 2.0, 3.0]
+        view = state.momentum_of(1)
+        assert view.shape == (4, 3)
+        np.testing.assert_array_equal(view, np.tile([1.0, 2.0, 3.0], (4, 1)))
+
+
+def scalar_protocol_step(per_example, momentum, config, rng):
+    """The scalar :func:`local_update` pipeline minus the data sampling.
+
+    Ground truth for the batched path: one worker's momentum update,
+    sensitivity bounding, noise addition and slot overwrite, written exactly
+    as ``local_update`` computes them.
+    """
+    momentum = (1.0 - config.momentum) * per_example + config.momentum * momentum
+    if config.bounding == "normalize":
+        bounded = normalize_gradients(momentum)
+    else:
+        bounded = clip_gradients(momentum, config.clip_norm)
+    noise = gaussian_noise(per_example.shape[1], config.sigma, rng)
+    upload = (bounded.sum(axis=0) + noise) / config.batch_size
+    return upload, np.tile(upload, (config.batch_size, 1))
+
+
+class TestLocalUpdateBatch:
+    N_WORKERS, BATCH, DIM = 5, 8, 13
+
+    def make_inputs(self, config, seed=0, n_workers=None):
+        n = self.N_WORKERS if n_workers is None else n_workers
+        rng = np.random.default_rng(seed)
+        per_example = rng.normal(size=(n, config.batch_size, self.DIM))
+        return per_example
+
+    def run_both(self, config, per_example, warm_rounds=0, seed=100):
+        """Run the batched path and the scalar reference on the same inputs."""
+        n = per_example.shape[0]
+        state = BatchedDPState()
+        batch_rngs = [np.random.default_rng(seed + i) for i in range(n)]
+        scalar_rngs = [np.random.default_rng(seed + i) for i in range(n)]
+        scalar_momentum = [
+            np.zeros((config.batch_size, self.DIM)) for _ in range(n)
+        ]
+        warm_rng = np.random.default_rng(999)
+        for _ in range(warm_rounds + 1):
+            grads = per_example + warm_rng.normal(size=per_example.shape)
+            batched = local_update_batch(grads.copy(), state, config, batch_rngs)
+            expected = []
+            for i in range(n):
+                upload, scalar_momentum[i] = scalar_protocol_step(
+                    grads[i], scalar_momentum[i], config, scalar_rngs[i]
+                )
+                expected.append(upload)
+        return batched, np.stack(expected), state
+
+    def test_matches_scalar_pipeline(self):
+        config = DPConfig(batch_size=self.BATCH, sigma=0.9)
+        per_example = self.make_inputs(config)
+        batched, expected, _ = self.run_both(config, per_example)
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_matches_scalar_pipeline_warm_momentum(self):
+        """Momentum carried across rounds matches the scalar recursion."""
+        config = DPConfig(batch_size=self.BATCH, sigma=0.5, momentum=0.7)
+        per_example = self.make_inputs(config, seed=3)
+        batched, expected, _ = self.run_both(config, per_example, warm_rounds=3)
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_matches_scalar_pipeline_clip_mode(self):
+        config = DPConfig(
+            batch_size=self.BATCH, sigma=0.4, bounding="clip", clip_norm=0.7
+        )
+        per_example = self.make_inputs(config, seed=5)
+        batched, expected, _ = self.run_both(config, per_example)
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_single_worker(self):
+        config = DPConfig(batch_size=self.BATCH, sigma=1.1)
+        per_example = self.make_inputs(config, seed=7, n_workers=1)
+        batched, expected, _ = self.run_both(config, per_example)
+        assert batched.shape == (1, self.DIM)
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_zero_gradients_zero_sigma_upload_is_zero(self):
+        config = DPConfig(batch_size=4, sigma=0.0, momentum=0.0)
+        state = BatchedDPState()
+        per_example = np.zeros((3, 4, self.DIM))
+        uploads = local_update_batch(
+            per_example, state, config, [np.random.default_rng(i) for i in range(3)]
+        )
+        np.testing.assert_array_equal(uploads, 0.0)
+
+    def test_zero_sigma_upload_is_average_of_unit_vectors(self):
+        config = DPConfig(batch_size=self.BATCH, sigma=0.0, momentum=0.0)
+        per_example = self.make_inputs(config, seed=11)
+        uploads = local_update_batch(
+            per_example.copy(),
+            BatchedDPState(),
+            config,
+            [np.random.default_rng(i) for i in range(self.N_WORKERS)],
+        )
+        norms = np.linalg.norm(uploads, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_slot_overwrite(self):
+        """Line 11: every momentum slot ends up equal to its worker's upload."""
+        config = DPConfig(batch_size=self.BATCH, sigma=0.8)
+        per_example = self.make_inputs(config, seed=13)
+        state = BatchedDPState()
+        uploads = local_update_batch(
+            per_example, state, config,
+            [np.random.default_rng(i) for i in range(self.N_WORKERS)],
+        )
+        np.testing.assert_array_equal(state.slot_momentum, uploads)
+        for index in range(self.N_WORKERS):
+            np.testing.assert_array_equal(
+                state.momentum_of(index),
+                np.tile(uploads[index], (self.BATCH, 1)),
+            )
+
+    def test_rejects_bad_shapes(self):
+        config = DPConfig(batch_size=4, sigma=1.0)
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(ValueError):
+            local_update_batch(np.zeros((4, 5)), BatchedDPState(), config, rngs)
+        with pytest.raises(ValueError):  # batch axis != config.batch_size
+            local_update_batch(np.zeros((1, 3, 5)), BatchedDPState(), config, rngs)
+        with pytest.raises(ValueError):  # wrong number of generators
+            local_update_batch(np.zeros((2, 4, 5)), BatchedDPState(), config, rngs)
 
 
 class TestNoiseHelpers:

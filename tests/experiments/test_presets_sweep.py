@@ -106,6 +106,42 @@ class TestSweep:
         run_grid(self.make_grid(), progress=lambda key, result: calls.append(key))
         assert len(calls) == 2
 
+    def test_generator_seeds_not_exhausted_by_first_cell(self):
+        """Regression: ``list(seeds)`` used to run inside the per-cell loop,
+        so a generator argument was drained by the first cell and later
+        cells silently ran zero seeds."""
+        results = run_grid(self.make_grid(), seeds=(seed for seed in [1, 2]))
+        assert all(len(cell) == 2 for cell in results.values())
+        for cell in results.values():
+            assert [run.seed for run in cell] == [1, 2]
+
+    def test_parallel_matches_serial(self):
+        """Process-parallel sweeps return exactly the serial results."""
+        grid = self.make_grid()
+        serial = run_grid(grid, seeds=[1, 2])
+        parallel = run_grid(grid, seeds=[1, 2], max_workers=2)
+        assert list(parallel) == list(serial)
+        for key in serial:
+            assert [run.seed for run in parallel[key]] == [
+                run.seed for run in serial[key]
+            ]
+            assert [run.final_accuracy for run in parallel[key]] == [
+                run.final_accuracy for run in serial[key]
+            ]
+
+    def test_parallel_progress_invoked_in_parent(self):
+        calls = []
+        run_grid(
+            self.make_grid(),
+            max_workers=2,
+            progress=lambda key, result: calls.append(key),
+        )
+        assert sorted(calls) == sorted(self.make_grid())
+
+    def test_rejects_nonpositive_max_workers(self):
+        with pytest.raises(ValueError):
+            run_grid(self.make_grid(), max_workers=0)
+
     def test_accuracy_grid_means(self):
         results = run_grid(self.make_grid())
         accuracies = accuracy_grid(results)

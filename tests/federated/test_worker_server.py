@@ -135,6 +135,22 @@ class TestServer:
         accuracy = server.evaluate(dataset)
         assert 0.0 <= accuracy <= 1.0
 
+    def test_evaluate_chunked_matches_full_forward(self, setup):
+        """Chunked evaluation is exact, whatever the chunk size."""
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        from repro.nn.metrics import accuracy as accuracy_metric
+
+        full = accuracy_metric(model.predict(dataset.features), dataset.labels)
+        for batch_size in (1, 7, len(dataset) - 1, len(dataset), 10 * len(dataset)):
+            assert server.evaluate(dataset, batch_size=batch_size) == full
+
+    def test_evaluate_rejects_nonpositive_batch_size(self, setup):
+        model, dataset = setup
+        server = self.make_server(model, dataset)
+        with pytest.raises(ValueError):
+            server.evaluate(dataset, batch_size=0)
+
     def test_zero_update_leaves_model_unchanged(self, setup):
         model, dataset = setup
         server = self.make_server(model, dataset)

@@ -136,6 +136,51 @@ class TestGradients:
             _, single = model.mean_gradient(x[i : i + 1], y[i : i + 1])
             np.testing.assert_allclose(per_example[i], single, atol=1e-10)
 
+    def test_per_example_gradients_into_preallocated_buffer(self, model, batch):
+        x, y = batch
+        losses, gradients = model.per_example_gradients(x, y)
+        buffer = np.empty((10, model.num_parameters), dtype=np.float64)
+        losses_out, gradients_out = model.per_example_gradients(x, y, out=buffer)
+        assert gradients_out is buffer
+        np.testing.assert_array_equal(gradients_out, gradients)
+        np.testing.assert_array_equal(losses_out, losses)
+
+    def test_out_buffer_not_clobbered_by_later_out_none_call(self, model, batch):
+        """A retained binding must only be written by calls passing that
+        buffer; a same-batch out=None call in between uses its own scratch."""
+        x, y = batch
+        buffer = np.empty((10, model.num_parameters), dtype=np.float64)
+        model.per_example_gradients(x, y, out=buffer)
+        snapshot = buffer.copy()
+        x2 = x + 1.0  # same batch size, different data
+        _, other = model.per_example_gradients(x2, y)
+        np.testing.assert_array_equal(buffer, snapshot)
+        assert not np.array_equal(other, snapshot)
+        # and the binding still works afterwards (cache hit path)
+        _, again = model.per_example_gradients(x, y, out=buffer)
+        np.testing.assert_array_equal(again, snapshot)
+
+    def test_unbind_releases_buffer_and_rebinding_works(self, model, batch):
+        x, y = batch
+        buffer = np.empty((10, model.num_parameters), dtype=np.float64)
+        _, expected = model.per_example_gradients(x, y, out=buffer)
+        expected = expected.copy()
+        model.unbind_per_example_grad_buffers()
+        assert model._grad_binding is None
+        _, rebound = model.per_example_gradients(x, y, out=buffer)
+        np.testing.assert_array_equal(rebound, expected)
+
+    def test_per_example_gradients_rejects_bad_out(self, model, batch):
+        x, y = batch
+        with pytest.raises(ValueError):
+            model.per_example_gradients(
+                x, y, out=np.empty((9, model.num_parameters), dtype=np.float64)
+            )
+        with pytest.raises(ValueError):
+            model.per_example_gradients(
+                x, y, out=np.empty((10, model.num_parameters), dtype=np.float32)
+            )
+
     def test_relu_network_gradient_check(self, rng):
         model = Sequential([Linear(3, 5, rng), ReLU(), Linear(5, 3, rng)])
         x = rng.normal(size=(5, 3)) + 0.1

@@ -8,6 +8,7 @@ import pytest
 from repro.privacy.mechanisms import (
     clip_gradients,
     gaussian_noise,
+    gaussian_noise_batch,
     l2_sensitivity_of_sum,
     normalize_gradients,
 )
@@ -105,6 +106,83 @@ class TestNormalizeGradients:
         normalized = normalize_gradients(np.array([0.0, 3.0, 4.0]))
         assert normalized.shape == (1, 3)
         np.testing.assert_allclose(normalized, [[0.0, 0.6, 0.8]])
+
+
+class TestStackedLayouts:
+    """The stacked (n_workers, batch, d) layout matches per-worker 2-D calls."""
+
+    def test_normalize_stacked_matches_per_worker(self, rng):
+        stacked = rng.normal(size=(4, 6, 9)) * rng.uniform(0.01, 50.0, size=(4, 6, 1))
+        batched = normalize_gradients(stacked)
+        for worker in range(stacked.shape[0]):
+            np.testing.assert_array_equal(
+                batched[worker], normalize_gradients(stacked[worker])
+            )
+
+    def test_clip_stacked_matches_per_worker(self, rng):
+        stacked = rng.normal(size=(3, 5, 7)) * rng.uniform(0.1, 20.0, size=(3, 5, 1))
+        batched = clip_gradients(stacked, clip_norm=1.5)
+        for worker in range(stacked.shape[0]):
+            np.testing.assert_array_equal(
+                batched[worker], clip_gradients(stacked[worker], clip_norm=1.5)
+            )
+
+    def test_normalize_stacked_zero_rows_stay_zero(self, rng):
+        stacked = rng.normal(size=(2, 4, 5))
+        stacked[0, 2] = 0.0
+        stacked[1, 0] = 0.0
+        normalized = normalize_gradients(stacked)
+        np.testing.assert_array_equal(normalized[0, 2], 0.0)
+        np.testing.assert_array_equal(normalized[1, 0], 0.0)
+        other = np.linalg.norm(normalized[1, 1])
+        assert other == pytest.approx(1.0)
+
+    def test_normalize_out_in_place(self, rng):
+        gradients = rng.normal(size=(3, 4, 6))
+        expected = normalize_gradients(gradients)
+        returned = normalize_gradients(gradients, out=gradients)
+        assert returned is gradients
+        np.testing.assert_array_equal(gradients, expected)
+
+    def test_clip_out_in_place(self, rng):
+        gradients = rng.normal(size=(5, 8)) * 10.0
+        expected = clip_gradients(gradients, clip_norm=2.0)
+        returned = clip_gradients(gradients, clip_norm=2.0, out=gradients)
+        assert returned is gradients
+        np.testing.assert_array_equal(gradients, expected)
+
+    def test_out_shape_mismatch_rejected(self, rng):
+        gradients = rng.normal(size=(3, 4))
+        with pytest.raises(ValueError):
+            normalize_gradients(gradients, out=np.empty((4, 3)))
+        with pytest.raises(ValueError):
+            clip_gradients(gradients, 1.0, out=np.empty((2, 4)))
+
+
+class TestGaussianNoiseBatch:
+    def test_rows_match_per_worker_draws(self):
+        rngs = [np.random.default_rng(seed) for seed in (1, 2, 3)]
+        reference = [
+            gaussian_noise(12, 0.8, np.random.default_rng(seed)) for seed in (1, 2, 3)
+        ]
+        batched = gaussian_noise_batch(12, 0.8, rngs)
+        assert batched.shape == (3, 12)
+        for row, expected in zip(batched, reference):
+            np.testing.assert_array_equal(row, expected)
+
+    def test_zero_sigma_returns_zeros_without_consuming_streams(self):
+        rngs = [np.random.default_rng(7)]
+        batched = gaussian_noise_batch(5, 0.0, rngs)
+        np.testing.assert_array_equal(batched, 0.0)
+        np.testing.assert_array_equal(
+            rngs[0].normal(size=3), np.random.default_rng(7).normal(size=3)
+        )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            gaussian_noise_batch(0, 1.0, [np.random.default_rng(0)])
+        with pytest.raises(ValueError):
+            gaussian_noise_batch(4, -1.0, [np.random.default_rng(0)])
 
 
 class TestSensitivity:

@@ -1,0 +1,110 @@
+"""Property tests: the batched client path matches the scalar protocol.
+
+``local_update_batch`` must reproduce, worker for worker, what the scalar
+:func:`local_update` pipeline computes (momentum update, normalise/clip,
+per-worker noise, slot overwrite), and the stacked ``(n, b, d)`` layouts of
+``normalize_gradients``/``clip_gradients`` must agree with their per-worker
+2-D application.  Inputs are generated from Hypothesis-drawn seeds/shapes
+through a continuous RNG; every comparison is exact (the batched path
+performs elementwise operations and axis reductions in the same order as
+the scalar path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DPConfig
+from repro.core.dp_protocol import BatchedDPState, local_update_batch
+from repro.privacy.mechanisms import (
+    clip_gradients,
+    gaussian_noise,
+    normalize_gradients,
+)
+
+# Row multipliers covering zero rows, tiny rows near the norm floor and
+# rows large enough to be clipped.
+row_scales = st.sampled_from([0.0, 1e-14, 0.2, 1.0, 1.0, 5.0])
+
+
+def stacked_gradients(rng, n, b, d, scales):
+    multipliers = np.array((scales * (n * b))[: n * b], dtype=np.float64)
+    rows = rng.normal(size=(n * b, d)) * multipliers[:, None]
+    return rows.reshape(n, b, d)
+
+
+class TestStackedBoundingEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        b=st.integers(1, 6),
+        d=st.integers(1, 32),
+        seed=st.integers(0, 2**32 - 1),
+        scales=st.lists(row_scales, min_size=1, max_size=8),
+    )
+    def test_normalize_stacked_matches_per_worker(self, n, b, d, seed, scales):
+        stacked = stacked_gradients(np.random.default_rng(seed), n, b, d, scales)
+        batched = normalize_gradients(stacked)
+        for i in range(n):
+            np.testing.assert_array_equal(batched[i], normalize_gradients(stacked[i]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        b=st.integers(1, 6),
+        d=st.integers(1, 32),
+        seed=st.integers(0, 2**32 - 1),
+        clip_norm=st.floats(0.1, 10.0),
+        scales=st.lists(row_scales, min_size=1, max_size=8),
+    )
+    def test_clip_stacked_matches_per_worker(self, n, b, d, seed, clip_norm, scales):
+        stacked = stacked_gradients(np.random.default_rng(seed), n, b, d, scales)
+        batched = clip_gradients(stacked, clip_norm)
+        for i in range(n):
+            np.testing.assert_array_equal(
+                batched[i], clip_gradients(stacked[i], clip_norm)
+            )
+
+
+class TestLocalUpdateBatchEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 5),
+        b=st.integers(1, 5),
+        d=st.integers(1, 24),
+        seed=st.integers(0, 2**32 - 1),
+        sigma=st.sampled_from([0.0, 0.3, 2.0]),
+        momentum=st.sampled_from([0.0, 0.1, 0.9]),
+        bounding=st.sampled_from(["normalize", "clip"]),
+        rounds=st.integers(1, 3),
+    )
+    def test_batch_matches_scalar_over_rounds(
+        self, n, b, d, seed, sigma, momentum, bounding, rounds
+    ):
+        config = DPConfig(
+            batch_size=b, sigma=sigma, momentum=momentum, bounding=bounding
+        )
+        data_rng = np.random.default_rng(seed)
+        state = BatchedDPState()
+        batch_rngs = [np.random.default_rng(seed + 1 + i) for i in range(n)]
+        scalar_rngs = [np.random.default_rng(seed + 1 + i) for i in range(n)]
+        scalar_momentum = np.zeros((n, b, d))
+
+        for _ in range(rounds):
+            per_example = data_rng.normal(size=(n, b, d))
+            batched = local_update_batch(per_example.copy(), state, config, batch_rngs)
+
+            for i in range(n):
+                updated = (
+                    (1.0 - momentum) * per_example[i] + momentum * scalar_momentum[i]
+                )
+                if bounding == "normalize":
+                    bounded = normalize_gradients(updated)
+                else:
+                    bounded = clip_gradients(updated, config.clip_norm)
+                noise = gaussian_noise(d, sigma, scalar_rngs[i])
+                upload = (bounded.sum(axis=0) + noise) / b
+                scalar_momentum[i] = np.tile(upload, (b, 1))
+                np.testing.assert_array_equal(batched[i], upload)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -71,6 +71,10 @@ def test_normalization_is_idempotent(gradients):
 @settings(max_examples=60, deadline=None)
 @given(gradients=finite_matrices, scale=st.floats(0.001, 1000.0))
 def test_normalization_is_scale_invariant(gradients, scale):
+    # Scale invariance intentionally breaks at the 1e-12 zero-floor (a row
+    # can cross it when scaled); keep generated norms clear of the boundary.
+    norms = np.linalg.norm(gradients, axis=1)
+    assume(np.all((norms == 0.0) | (norms > 1e-8)))
     base = normalize_gradients(gradients)
     scaled = normalize_gradients(gradients * scale)
     np.testing.assert_allclose(base, scaled, atol=1e-8)
