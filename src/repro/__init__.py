@@ -16,6 +16,9 @@ The package is organised as:
 - :mod:`repro.experiments` -- the shared experiment runner used by the
   examples and the benchmark harness.
 - :mod:`repro.analysis` -- result summaries and table formatting.
+- :mod:`repro.registry` -- the generic component registry framework; the
+  attack/defense/dataset/model registries are instances of it, and
+  third-party components plug in through its public ``register`` API.
 
 Quick start::
 
@@ -30,7 +33,8 @@ Quick start::
 """
 
 from repro.experiments import ExperimentConfig, run_experiment, run_seeds
+from repro.registry import Registry
 
 __version__ = "1.0.0"
 
-__all__ = ["ExperimentConfig", "run_experiment", "run_seeds", "__version__"]
+__all__ = ["ExperimentConfig", "Registry", "run_experiment", "run_seeds", "__version__"]

@@ -19,6 +19,11 @@ The attacks considered in the paper's evaluation:
 
 All attackers are *omniscient*: they see the honest uploads of the current
 round, the DP noise level and the aggregation rule (Section 3.1).
+
+Every attack is registered in :data:`~repro.byzantine.registry.ATTACKS`
+(a :class:`repro.registry.Registry`); third-party attacks register with
+``@ATTACKS.register("name")`` and are then accepted by experiment configs
+and the CLI like any built-in.
 """
 
 from repro.byzantine.adaptive import AdaptiveAttack
@@ -28,9 +33,10 @@ from repro.byzantine.gaussian import GaussianAttack
 from repro.byzantine.inner import InnerProductAttack
 from repro.byzantine.label_flip import LabelFlipAttack
 from repro.byzantine.lmp import LocalModelPoisoningAttack
-from repro.byzantine.registry import available_attacks, build_attack
+from repro.byzantine.registry import ATTACKS, available_attacks, build_attack
 
 __all__ = [
+    "ATTACKS",
     "Attack",
     "AttackContext",
     "GaussianAttack",

@@ -12,11 +12,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.byzantine.base import Attack, AttackContext
+from repro.byzantine.registry import ATTACKS
 from repro.stats.distributions import normal_ppf
 
 __all__ = ["ALittleAttack"]
 
 
+@ATTACKS.register(
+    "alittle",
+    summary='"A little is enough": shift the benign mean by z stds (Baruch et al.)',
+)
 class ALittleAttack(Attack):
     """Shift the benign coordinate-wise mean by ``z`` standard deviations.
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.byzantine.base import Attack, AttackContext
+from repro.byzantine.registry import ATTACKS
 
 __all__ = ["GaussianAttack"]
 
 
+@ATTACKS.register(
+    "gaussian",
+    summary="upload pure N(0, scale^2 I) noise (Guideline 1)",
+)
 class GaussianAttack(Attack):
     """Upload ``N(0, scale^2 I)`` noise.
 

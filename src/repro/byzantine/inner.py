@@ -10,10 +10,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.byzantine.base import Attack, AttackContext
+from repro.byzantine.registry import ATTACKS
 
 __all__ = ["InnerProductAttack"]
 
 
+@ATTACKS.register(
+    "inner",
+    summary='inner-product manipulation / "Fall of empires" (Xie et al.)',
+)
 class InnerProductAttack(Attack):
     """Upload ``-epsilon_scale * mean(benign uploads)``.
 

@@ -9,11 +9,16 @@ ones (passing the first stage) but point the model towards wrong labels.
 from __future__ import annotations
 
 from repro.byzantine.base import Attack
+from repro.byzantine.registry import ATTACKS
 from repro.data.dataset import Dataset
 
 __all__ = ["LabelFlipAttack"]
 
 
+@ATTACKS.register(
+    "label_flip",
+    summary="flip label I to H-1-I, then follow the protocol honestly",
+)
 class LabelFlipAttack(Attack):
     """Poison the local dataset with flipped labels and behave honestly."""
 

@@ -22,10 +22,15 @@ import math
 import numpy as np
 
 from repro.byzantine.base import Attack, AttackContext
+from repro.byzantine.registry import ATTACKS
 
 __all__ = ["LocalModelPoisoningAttack"]
 
 
+@ATTACKS.register(
+    "lmp",
+    summary="Optimized Local Model Poisoning: invert the benign aggregate (Eq. 10)",
+)
 class LocalModelPoisoningAttack(Attack):
     """Directional inversion of the benign aggregate (Equation 10).
 

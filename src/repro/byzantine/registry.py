@@ -1,27 +1,35 @@
-"""Name-based construction of attacks (used by experiment configs)."""
+"""The attack registry (used by experiment configs and the CLI).
+
+:data:`ATTACKS` is a :class:`repro.registry.Registry`; every attack module
+registers its class with ``@ATTACKS.register(...)``, and third-party
+attacks plug in the same way without touching repro source::
+
+    from repro.byzantine import ATTACKS
+    from repro.byzantine.base import Attack
+
+    @ATTACKS.register("sign_flip", summary="negate the benign mean")
+    class SignFlipAttack(Attack):
+        ...
+
+:func:`build_attack` adds one naming convention on top of the registry:
+``adaptive_<base>`` wraps the base attack in an
+:class:`~repro.byzantine.adaptive.AdaptiveAttack` activating after the
+``ttbb`` fraction of training, so every registered attack (built-in or
+third-party) automatically has an adaptive variant.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.byzantine.adaptive import AdaptiveAttack
-from repro.byzantine.alittle import ALittleAttack
 from repro.byzantine.base import Attack
-from repro.byzantine.gaussian import GaussianAttack
-from repro.byzantine.inner import InnerProductAttack
-from repro.byzantine.label_flip import LabelFlipAttack
-from repro.byzantine.lmp import LocalModelPoisoningAttack
+from repro.registry import Registry
 
-__all__ = ["available_attacks", "build_attack"]
+__all__ = ["ATTACKS", "available_attacks", "build_attack"]
 
-_BUILDERS: dict[str, Callable[..., Attack]] = {
-    "none": lambda **kw: _NoAttack(),
-    "gaussian": GaussianAttack,
-    "label_flip": LabelFlipAttack,
-    "lmp": LocalModelPoisoningAttack,
-    "alittle": ALittleAttack,
-    "inner": InnerProductAttack,
-}
+#: Global registry of Byzantine attacks.
+ATTACKS = Registry("attack")
+
+_ADAPTIVE_PREFIX = "adaptive_"
 
 
 class _NoAttack(Attack):
@@ -34,9 +42,19 @@ class _NoAttack(Attack):
     follows_protocol = True
 
 
+@ATTACKS.register(
+    "none", summary="Byzantine workers follow the protocol honestly (Table 4)"
+)
+def _build_no_attack(**_ignored) -> _NoAttack:
+    # Accepts and discards any kwargs so grids can sweep attack names with
+    # shared attack_kwargs and still include the "none" baseline.
+    return _NoAttack()
+
+
 def available_attacks() -> list[str]:
     """Names accepted by :func:`build_attack` (adaptive variants via ``adaptive_<name>``)."""
-    return sorted(_BUILDERS) + [f"adaptive_{name}" for name in sorted(_BUILDERS) if name != "none"]
+    names = ATTACKS.names()
+    return names + [f"{_ADAPTIVE_PREFIX}{name}" for name in names if name != "none"]
 
 
 def build_attack(name: str, ttbb: float = 0.0, **kwargs) -> Attack:
@@ -45,9 +63,7 @@ def build_attack(name: str, ttbb: float = 0.0, **kwargs) -> Attack:
     ``adaptive_<base>`` wraps the base attack in an
     :class:`~repro.byzantine.adaptive.AdaptiveAttack` with the given ``ttbb``.
     """
-    if name.startswith("adaptive_"):
-        base = build_attack(name[len("adaptive_") :], **kwargs)
+    if name.startswith(_ADAPTIVE_PREFIX):
+        base = build_attack(name[len(_ADAPTIVE_PREFIX) :], **kwargs)
         return AdaptiveAttack(base, ttbb=ttbb)
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown attack {name!r}; available: {available_attacks()}")
-    return _BUILDERS[name](**kwargs)
+    return ATTACKS.build(name, **kwargs)

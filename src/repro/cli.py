@@ -5,7 +5,15 @@ Three subcommands cover the common workflows:
 - ``run``     -- run a single experiment and print the outcome;
 - ``compare`` -- run the protocol, the undefended mean and the Reference
   Accuracy for one attack scenario and print them side by side;
-- ``list``    -- show the registered datasets, attacks, defenses and models.
+- ``list``    -- show every registered component (datasets, attacks,
+  defenses, models) straight from the registries' ``describe()`` API.
+
+``run`` and ``compare`` accept either individual flags or a full
+:class:`~repro.experiments.configs.ExperimentConfig` serialised to JSON
+via ``--config file.json`` (produced by ``ExperimentConfig.to_json()``);
+components registered by third-party code through the public
+:class:`repro.registry.Registry` API are accepted wherever a built-in
+name is.
 
 Examples
 --------
@@ -14,24 +22,28 @@ Examples
     python -m repro list
     python -m repro run --dataset mnist_like --attack label_flip \
         --defense two_stage --byzantine 0.6 --epsilon 1.0
+    python -m repro run --config experiment.json
     python -m repro compare --attack lmp --byzantine 0.9 --save results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis.io import save_results
 from repro.analysis.tables import format_table
-from repro.byzantine.registry import available_attacks
-from repro.data.registry import available_datasets
-from repro.defenses.registry import available_defenses
+from repro.byzantine.registry import ATTACKS, available_attacks
+from repro.data.registry import DATASETS, available_datasets
+from repro.defenses.registry import DEFENSES
+from repro.experiments.configs import ExperimentConfig
 from repro.experiments.presets import benchmark_preset, paper_preset
 from repro.experiments.reference import reference_accuracy
 from repro.experiments.runner import run_experiment
-from repro.nn.models import available_models
+from repro.nn.models import MODELS, available_models
 
 __all__ = ["main", "build_parser"]
 
@@ -45,9 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_experiment_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--config", default=None, metavar="FILE.json",
+                         help="load the full ExperimentConfig from this JSON file "
+                              "(the other experiment flags are then ignored)")
         sub.add_argument("--dataset", default="mnist_like", choices=available_datasets())
-        sub.add_argument("--attack", default="label_flip")
-        sub.add_argument("--defense", default="two_stage", choices=available_defenses())
+        sub.add_argument("--attack", default="label_flip", choices=available_attacks())
+        # choices include aliases so every name build_defense accepts works here
+        sub.add_argument("--defense", default="two_stage",
+                         choices=DEFENSES.names(include_aliases=True))
         sub.add_argument("--byzantine", type=float, default=0.6,
                          help="fraction of the total worker population that is Byzantine")
         sub.add_argument("--epsilon", type=float, default=2.0,
@@ -72,11 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_experiment_arguments(compare_parser)
 
-    subparsers.add_parser("list", help="list datasets, attacks, defenses and models")
+    list_parser = subparsers.add_parser(
+        "list", help="list the registered datasets, attacks, defenses and models"
+    )
+    list_parser.add_argument("--json", action="store_true",
+                             help="emit the registries' describe() rows as JSON")
     return parser
 
 
-def _config_from_arguments(arguments: argparse.Namespace):
+def _load_config_file(path: str) -> ExperimentConfig:
+    """Load an ExperimentConfig from JSON, exiting cleanly on bad input."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read --config {path!r}: {error}")
+    try:
+        return ExperimentConfig.from_json(text)
+    except (TypeError, ValueError) as error:  # JSONDecodeError is a ValueError
+        raise SystemExit(f"repro: invalid --config {path!r}: {error}")
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
+    if arguments.config is not None:
+        return _load_config_file(arguments.config)
     preset = paper_preset if arguments.paper_scale else benchmark_preset
     return preset(
         dataset=arguments.dataset,
@@ -92,13 +127,23 @@ def _config_from_arguments(arguments: argparse.Namespace):
     )
 
 
-def _command_list() -> int:
-    print(format_table(["kind", "registered names"], [
-        ["datasets", ", ".join(available_datasets())],
-        ["attacks", ", ".join(available_attacks())],
-        ["defenses", ", ".join(available_defenses())],
-        ["models", ", ".join(available_models())],
-    ]))
+_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS)
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    rows = [row for registry in _REGISTRIES for row in registry.describe()]
+    if getattr(arguments, "json", False):
+        # Metadata may hold non-JSON values (dataset specs, callables).
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
+    table = [
+        [row["kind"], row["name"], ", ".join(row["aliases"]), row["summary"]]
+        for row in rows
+    ]
+    print(format_table(["kind", "name", "aliases", "summary"], table,
+                       title="Registered components"))
+    print("\nEvery attack also has an adaptive variant: adaptive_<name> "
+          "(dormant until --ttbb of training).")
     return 0
 
 
@@ -131,7 +176,7 @@ def _command_compare(arguments: argparse.Namespace) -> int:
         [f"undefended mean under {config.attack}", undefended.final_accuracy],
         [f"{config.defense} under {config.attack}", protected.final_accuracy],
     ], title=(
-        f"{config.dataset}: {int(arguments.byzantine * 100)}% Byzantine workers, "
+        f"{config.dataset}: {int(config.byzantine_fraction * 100)}% Byzantine workers, "
         f"epsilon = {'non-private' if config.epsilon is None else config.epsilon}"
     )))
     if arguments.save:
@@ -147,7 +192,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = build_parser().parse_args(argv)
     if arguments.command == "list":
-        return _command_list()
+        return _command_list(arguments)
     if arguments.command == "run":
         return _command_run(arguments)
     if arguments.command == "compare":

@@ -22,7 +22,14 @@ space to reproduce the Table 17 mismatch experiment.
 from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
 from repro.data.dataset import Dataset
 from repro.data.partition import partition_iid, partition_noniid
-from repro.data.registry import DATASET_SPECS, available_datasets, load_dataset
+from repro.data.registry import (
+    DATASET_SPECS,
+    DATASETS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    register_dataset_spec,
+)
 from repro.data.synthetic import make_classification, make_mismatched_space
 
 __all__ = [
@@ -33,7 +40,10 @@ __all__ = [
     "partition_noniid",
     "sample_auxiliary",
     "sample_mismatched_auxiliary",
+    "DATASETS",
     "DATASET_SPECS",
+    "DatasetSpec",
     "available_datasets",
     "load_dataset",
+    "register_dataset_spec",
 ]

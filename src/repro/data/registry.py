@@ -1,10 +1,28 @@
 """Registry of the synthetic stand-in datasets.
 
-Each spec mirrors one of the paper's benchmark datasets in class count,
-relative size and relative difficulty.  ``scale`` lets experiments and
-benchmarks shrink every dataset proportionally (e.g. ``scale=0.25``) so the
-full table/figure sweeps complete quickly on CPU; the default ``scale=1.0``
-sizes are already modest compared to the real datasets (see DESIGN.md §2).
+:data:`DATASETS` is a :class:`repro.registry.Registry` of dataset
+*loaders*: callables ``loader(scale=..., seed=...) -> (train, test)``
+returning two :class:`~repro.data.dataset.Dataset` splits.  The built-in
+datasets are spec-driven -- each mirrors one of the paper's benchmark
+datasets in class count, relative size and relative difficulty -- and are
+registered through :func:`register_dataset_spec`, which also records the
+spec and the dataset's default model in the entry metadata.  Third-party
+datasets register a loader directly::
+
+    from repro.data import DATASETS
+
+    @DATASETS.register("my_data", summary="...", metadata={"default_model": "mlp_small"})
+    def load_my_data(scale=1.0, seed=0):
+        return train, test
+
+and are then accepted by :class:`~repro.experiments.configs.ExperimentConfig`
+and the CLI like any built-in (the experiment runner sizes the model from
+the loaded train split, so no spec is required).
+
+``scale`` lets experiments and benchmarks shrink every dataset
+proportionally (e.g. ``scale=0.25``) so the full table/figure sweeps
+complete quickly on CPU; the default ``scale=1.0`` sizes are already
+modest compared to the real datasets (see DESIGN.md §2).
 """
 
 from __future__ import annotations
@@ -15,8 +33,22 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.data.synthetic import make_classification
+from repro.registry import Registry
 
-__all__ = ["DatasetSpec", "DATASET_SPECS", "available_datasets", "load_dataset"]
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_dataset",
+    "register_dataset_spec",
+]
+
+#: Global registry of dataset loaders.
+DATASETS = Registry("dataset")
+
+#: Back-compat view: generation spec of every registered *synthetic* dataset.
+DATASET_SPECS: dict[str, DatasetSpec] = {}
 
 
 @dataclass(frozen=True)
@@ -33,9 +65,37 @@ class DatasetSpec:
     seed_offset: int
 
 
-DATASET_SPECS: dict[str, DatasetSpec] = {
+def register_dataset_spec(
+    spec: DatasetSpec,
+    *,
+    summary: str = "",
+    default_model: str = "mlp_small",
+    replace: bool = False,
+) -> DatasetSpec:
+    """Register a synthetic dataset generated from ``spec``.
+
+    The loader produced here is what :func:`load_dataset` invokes; the
+    spec itself and ``default_model`` (consulted by
+    :func:`repro.nn.models.model_for_dataset`) land in the entry metadata.
+    """
+
+    def loader(scale: float = 1.0, seed: int = 0) -> tuple[Dataset, Dataset]:
+        return _load_from_spec(spec, scale=scale, seed=seed)
+
+    DATASETS.register(
+        spec.name,
+        loader,
+        summary=summary,
+        metadata={"spec": spec, "default_model": default_model},
+        replace=replace,
+    )
+    DATASET_SPECS[spec.name] = spec
+    return spec
+
+
+register_dataset_spec(
     # MNIST: large, easy.
-    "mnist_like": DatasetSpec(
+    DatasetSpec(
         name="mnist_like",
         n_classes=10,
         n_features=64,
@@ -45,8 +105,12 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
         within_class_std=1.0,
         seed_offset=101,
     ),
+    summary="mirrors MNIST: 10 classes, largest and easiest",
+    default_model="mlp_medium",
+)
+register_dataset_spec(
     # Fashion-MNIST: large, noticeably harder than MNIST.
-    "fashion_like": DatasetSpec(
+    DatasetSpec(
         name="fashion_like",
         n_classes=10,
         n_features=64,
@@ -56,8 +120,12 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
         within_class_std=1.1,
         seed_offset=202,
     ),
+    summary="mirrors Fashion-MNIST: 10 classes, large, harder than MNIST",
+    default_model="mlp_small",
+)
+register_dataset_spec(
     # USPS: smaller, medium difficulty.
-    "usps_like": DatasetSpec(
+    DatasetSpec(
         name="usps_like",
         n_classes=10,
         n_features=64,
@@ -67,8 +135,12 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
         within_class_std=1.0,
         seed_offset=303,
     ),
+    summary="mirrors USPS: 10 classes, smaller, medium difficulty",
+    default_model="mlp_small",
+)
+register_dataset_spec(
     # Colorectal: smallest and hardest (8 classes, high within-class noise).
-    "colorectal_like": DatasetSpec(
+    DatasetSpec(
         name="colorectal_like",
         n_classes=8,
         n_features=96,
@@ -78,12 +150,14 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
         within_class_std=1.3,
         seed_offset=404,
     ),
-}
+    summary="mirrors Colorectal: 8 classes, smallest and hardest",
+    default_model="mlp_medium",
+)
 
 
 def available_datasets() -> list[str]:
     """Names accepted by :func:`load_dataset`."""
-    return sorted(DATASET_SPECS)
+    return DATASETS.names()
 
 
 def load_dataset(
@@ -91,7 +165,7 @@ def load_dataset(
     scale: float = 1.0,
     seed: int = 0,
 ) -> tuple[Dataset, Dataset]:
-    """Generate the train and test splits of a registered dataset.
+    """Load the train and test splits of a registered dataset.
 
     Parameters
     ----------
@@ -110,12 +184,17 @@ def load_dataset(
         Two :class:`~repro.data.dataset.Dataset` objects drawn from the same
         generative distribution.
     """
-    if name not in DATASET_SPECS:
-        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
     if scale <= 0:
         raise ValueError("scale must be positive")
-    spec = DATASET_SPECS[name]
+    return DATASETS.build(name, scale=scale, seed=seed)
 
+
+def _load_from_spec(
+    spec: DatasetSpec, scale: float = 1.0, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Generate the train/test splits of a synthetic spec-driven dataset."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
     train_size = max(4 * spec.n_classes, int(round(spec.train_size * scale)))
     test_size = max(4 * spec.n_classes, int(round(spec.test_size * scale)))
 

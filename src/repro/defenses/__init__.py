@@ -17,6 +17,13 @@ related-work discussion):
 All of them implement :class:`~repro.defenses.base.Aggregator`, so any
 attack can be evaluated against any defense, including the paper's
 :class:`~repro.core.protocol.TwoStageAggregator`.
+
+Every defense is registered in :data:`~repro.defenses.registry.DEFENSES`
+(a :class:`repro.registry.Registry`); third-party defenses register with
+``@DEFENSES.register("name")`` -- optionally declaring ``config_defaults``
+metadata so the experiment runner wires config-derived defaults without
+name-based special cases -- and are then accepted by experiment configs
+and the CLI like any built-in.
 """
 
 from repro.defenses.base import AggregationContext, Aggregator
@@ -25,12 +32,18 @@ from repro.defenses.fltrust import FLTrustAggregator
 from repro.defenses.krum import KrumAggregator
 from repro.defenses.mean import MeanAggregator
 from repro.defenses.median import CoordinateMedianAggregator
-from repro.defenses.registry import available_defenses, build_defense
+from repro.defenses.registry import (
+    DEFENSES,
+    available_defenses,
+    build_defense,
+    defense_config_defaults,
+)
 from repro.defenses.rfa import GeometricMedianAggregator
 from repro.defenses.signsgd import SignAggregator
 from repro.defenses.trimmed_mean import TrimmedMeanAggregator
 
 __all__ = [
+    "DEFENSES",
     "Aggregator",
     "AggregationContext",
     "MeanAggregator",
@@ -43,4 +56,5 @@ __all__ = [
     "SignAggregator",
     "available_defenses",
     "build_defense",
+    "defense_config_defaults",
 ]

@@ -14,10 +14,16 @@ import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
 from repro.defenses.krum import krum_scores
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["BulyanAggregator"]
 
 
+@DEFENSES.register(
+    "bulyan",
+    summary="iterated Krum selection + trimmed coordinate mean (Guerraoui et al.)",
+    metadata={"config_defaults": {"byzantine_fraction": "byzantine_fraction"}},
+)
 class BulyanAggregator(Aggregator):
     """Bulyan: iterated Krum selection followed by a trimmed coordinate mean.
 

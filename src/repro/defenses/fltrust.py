@@ -12,10 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["FLTrustAggregator"]
 
 
+@DEFENSES.register(
+    "fltrust",
+    summary="cosine-similarity trust weighting against a server gradient (Cao et al.)",
+)
 class FLTrustAggregator(Aggregator):
     """Cosine-similarity weighted aggregation against a server gradient."""
 

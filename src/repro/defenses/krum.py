@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["KrumAggregator", "krum_scores"]
 
@@ -30,6 +31,11 @@ def krum_scores(stacked: np.ndarray, n_byzantine: int) -> np.ndarray:
     return sorted_distances[:, :neighbours].sum(axis=1)
 
 
+@DEFENSES.register(
+    "krum",
+    summary="Krum nearest-neighbour selection (Blanchard et al.)",
+    metadata={"config_defaults": {"byzantine_fraction": "byzantine_fraction"}},
+)
 class KrumAggregator(Aggregator):
     """Krum (``multi=1``) or Multi-Krum (``multi > 1``).
 
@@ -60,3 +66,12 @@ class KrumAggregator(Aggregator):
         order = np.argsort(scores, kind="stable")
         chosen = order[: min(self.multi, n)]
         return stacked[chosen].mean(axis=0)
+
+
+@DEFENSES.register(
+    "multi_krum",
+    summary="Multi-Krum: average the best-scoring Krum selections",
+    metadata={"config_defaults": {"byzantine_fraction": "byzantine_fraction"}},
+)
+def _build_multi_krum(byzantine_fraction: float = 0.2, multi: int = 3) -> KrumAggregator:
+    return KrumAggregator(byzantine_fraction=byzantine_fraction, multi=multi)

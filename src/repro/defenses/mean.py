@@ -5,10 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["MeanAggregator"]
 
 
+@DEFENSES.register(
+    "mean", summary="plain FedAvg averaging; the undefended baseline"
+)
 class MeanAggregator(Aggregator):
     """Average all uploads.  No Byzantine resilience; used for the
     "Reference Accuracy" runs (DP only, no attack, no defense)."""

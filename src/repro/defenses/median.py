@@ -5,10 +5,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["CoordinateMedianAggregator"]
 
 
+@DEFENSES.register(
+    "median",
+    aliases=("coordinate_median",),
+    summary="coordinate-wise median (Yin et al.)",
+)
 class CoordinateMedianAggregator(Aggregator):
     """Take the median of every coordinate across uploads."""
 

@@ -1,22 +1,72 @@
-"""Name-based construction of defenses (used by experiment configs)."""
+"""The defense registry (used by experiment configs and the CLI).
+
+:data:`DEFENSES` is a :class:`repro.registry.Registry`; every defense
+module registers its aggregator with ``@DEFENSES.register(...)``, and
+third-party defenses plug in the same way without touching repro source::
+
+    from repro.defenses import DEFENSES
+    from repro.defenses.base import Aggregator
+
+    @DEFENSES.register("my_rule", summary="clip then average")
+    class MyRule(Aggregator):
+        ...
+
+Per-defense experiment wiring is declarative: a registration may carry
+``metadata={"config_defaults": {...}}`` mapping constructor keywords to
+either an :class:`~repro.experiments.configs.ExperimentConfig` field name
+or a callable of the config.  :func:`defense_config_defaults` exposes the
+mapping and the experiment runner applies it generically, so adding a
+defense that needs e.g. ``byzantine_fraction`` never requires editing the
+runner -- declare the default where the defense is registered.
+
+The paper's own protocol variants (``two_stage``, ``first_stage_only``,
+``second_stage_only``) are registered here as builder functions because
+they live in :mod:`repro.core`, which must stay importable without the
+defenses package (the import is deferred to build time).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Mapping
 
 from repro.defenses.base import Aggregator
-from repro.defenses.bulyan import BulyanAggregator
-from repro.defenses.fltrust import FLTrustAggregator
-from repro.defenses.krum import KrumAggregator
-from repro.defenses.mean import MeanAggregator
-from repro.defenses.median import CoordinateMedianAggregator
-from repro.defenses.rfa import GeometricMedianAggregator
-from repro.defenses.signsgd import SignAggregator
-from repro.defenses.trimmed_mean import TrimmedMeanAggregator
+from repro.registry import Registry
 
-__all__ = ["available_defenses", "build_defense"]
+__all__ = ["DEFENSES", "available_defenses", "build_defense", "defense_config_defaults"]
+
+#: Global registry of server-side aggregation rules.
+DEFENSES = Registry("defense")
+
+def _protocol_kwargs(*excluded: str):
+    """Keywords the protocol builders accept: the ProtocolConfig fields.
+
+    Returned as a lazy callable (resolved at validation time) because the
+    builders forward ``**kwargs`` -- introspection sees nothing -- and
+    :mod:`repro.core` must not be imported at registration time.
+    """
+
+    def resolve() -> tuple[str, ...]:
+        import dataclasses
+
+        from repro.core.config import ProtocolConfig
+
+        return tuple(
+            f.name for f in dataclasses.fields(ProtocolConfig) if f.name not in excluded
+        )
+
+    return resolve
+
+#: The two-stage protocol keeps ``ceil(gamma n)`` uploads; seed its belief
+#: from the experiment's gamma unless the caller overrides it.
+_GAMMA_DEFAULT = {"gamma": "gamma"}
 
 
+@DEFENSES.register(
+    "two_stage",
+    summary="the paper's protocol: FirstAGG statistical filter + FilterGradient",
+    metadata={"config_defaults": _GAMMA_DEFAULT},
+    valid_kwargs=_protocol_kwargs(),
+)
 def _build_two_stage(**kwargs) -> Aggregator:
     # Imported lazily to avoid a circular import with repro.core.
     from repro.core.config import ProtocolConfig
@@ -25,6 +75,12 @@ def _build_two_stage(**kwargs) -> Aggregator:
     return TwoStageAggregator(ProtocolConfig(**kwargs))
 
 
+@DEFENSES.register(
+    "first_stage_only",
+    summary="ablation: FirstAGG statistical filter only",
+    metadata={"config_defaults": _GAMMA_DEFAULT},
+    valid_kwargs=_protocol_kwargs("use_second_stage"),
+)
 def _build_first_stage_only(**kwargs) -> Aggregator:
     from repro.core.config import ProtocolConfig
     from repro.core.protocol import TwoStageAggregator
@@ -32,6 +88,12 @@ def _build_first_stage_only(**kwargs) -> Aggregator:
     return TwoStageAggregator(ProtocolConfig(use_second_stage=False, **kwargs))
 
 
+@DEFENSES.register(
+    "second_stage_only",
+    summary="ablation: FilterGradient selection only",
+    metadata={"config_defaults": _GAMMA_DEFAULT},
+    valid_kwargs=_protocol_kwargs("use_first_stage"),
+)
 def _build_second_stage_only(**kwargs) -> Aggregator:
     from repro.core.config import ProtocolConfig
     from repro.core.protocol import TwoStageAggregator
@@ -39,29 +101,22 @@ def _build_second_stage_only(**kwargs) -> Aggregator:
     return TwoStageAggregator(ProtocolConfig(use_first_stage=False, **kwargs))
 
 
-_BUILDERS: dict[str, Callable[..., Aggregator]] = {
-    "mean": MeanAggregator,
-    "krum": KrumAggregator,
-    "bulyan": BulyanAggregator,
-    "multi_krum": lambda **kw: KrumAggregator(multi=kw.pop("multi", 3), **kw),
-    "median": CoordinateMedianAggregator,
-    "trimmed_mean": TrimmedMeanAggregator,
-    "rfa": GeometricMedianAggregator,
-    "fltrust": FLTrustAggregator,
-    "signsgd": SignAggregator,
-    "two_stage": _build_two_stage,
-    "first_stage_only": _build_first_stage_only,
-    "second_stage_only": _build_second_stage_only,
-}
-
-
 def available_defenses() -> list[str]:
     """Names accepted by :func:`build_defense`."""
-    return sorted(_BUILDERS)
+    return DEFENSES.names()
 
 
 def build_defense(name: str, **kwargs) -> Aggregator:
     """Instantiate a defense by name, forwarding keyword arguments."""
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown defense {name!r}; available: {available_defenses()}")
-    return _BUILDERS[name](**kwargs)
+    return DEFENSES.build(name, **kwargs)
+
+
+def defense_config_defaults(name: str) -> Mapping:
+    """The registered ``config_defaults`` wiring of a defense (may be empty).
+
+    Maps constructor keyword names to either an
+    :class:`~repro.experiments.configs.ExperimentConfig` field name or a
+    callable of the config computing the default.  Returned as a copy:
+    mutating it never rewires the registry.
+    """
+    return dict(DEFENSES.metadata(name).get("config_defaults", {}))

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["GeometricMedianAggregator", "geometric_median"]
 
@@ -33,6 +34,11 @@ def geometric_median(
     return median
 
 
+@DEFENSES.register(
+    "rfa",
+    aliases=("geometric_median",),
+    summary="robust federated averaging via the geometric median (Pillutla et al.)",
+)
 class GeometricMedianAggregator(Aggregator):
     """RFA: aggregate to the geometric median of the uploads."""
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["SignAggregator"]
 
 
+@DEFENSES.register(
+    "signsgd",
+    summary="majority vote over coordinate signs (robust sign-SGD)",
+)
 class SignAggregator(Aggregator):
     """Majority vote over the signs of the uploads.
 

@@ -9,10 +9,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import AggregationContext, Aggregator
+from repro.defenses.registry import DEFENSES
 
 __all__ = ["TrimmedMeanAggregator"]
 
 
+def _default_trim_fraction(config) -> float:
+    """Trim a bit more than half the assumed Byzantine fraction per side."""
+    return min(0.45, config.byzantine_fraction / 2 + 0.1)
+
+
+@DEFENSES.register(
+    "trimmed_mean",
+    summary="coordinate-wise trimmed mean (Yin et al.)",
+    metadata={"config_defaults": {"trim_fraction": _default_trim_fraction}},
+)
 class TrimmedMeanAggregator(Aggregator):
     """Trimmed mean with a symmetric trim fraction per side."""
 

@@ -6,11 +6,19 @@ defense, the privacy level and the training schedule.  The defaults follow
 the paper's system settings (Section 6.1): batch size 16, momentum 0.1,
 base learning rate 0.2 tuned at epsilon = 2, gamma = 0.5, two auxiliary
 samples per class, delta = 1 / |D_i|^1.1.
+
+Configs serialise: :meth:`ExperimentConfig.to_dict` /
+:meth:`~ExperimentConfig.from_dict` round-trip through plain dicts (with
+validation naming any unknown key) and :meth:`~ExperimentConfig.to_json`
+/ :meth:`~ExperimentConfig.from_json` through JSON text, which is what
+``python -m repro run --config file.json`` loads.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 __all__ = ["ExperimentConfig"]
@@ -117,3 +125,42 @@ class ExperimentConfig:
     def replace(self, **changes) -> "ExperimentConfig":
         """Copy of the config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict view of every field (kwargs dicts are deep-copied)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentConfig":
+        """Build a config from a mapping, validating the keys.
+
+        Unknown keys raise a ``TypeError`` naming them (so typos in config
+        files fail at load time); field values are validated by
+        ``__post_init__`` as usual.
+        """
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"ExperimentConfig.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown ExperimentConfig key(s) {unknown}; valid keys: {sorted(valid)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text for :meth:`from_json` (keys sorted for stable diffs)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        """Build a config from JSON text (see :meth:`from_dict`)."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise TypeError("ExperimentConfig JSON must be an object at the top level")
+        return cls.from_dict(data)

@@ -1,8 +1,23 @@
-"""Build and run one federated experiment from an :class:`ExperimentConfig`."""
+"""Build and run one federated experiment from an :class:`ExperimentConfig`.
+
+The builder path is explicit and shared: :func:`prepare_experiment` turns
+a config into a ready :class:`~repro.federated.simulation.FederatedSimulation`
+(plus the derived schedule and privacy parameters) purely through the
+component registries -- attacks, defenses, datasets and models are looked
+up by name, so third-party components registered through the public
+:class:`repro.registry.Registry` API run here without any repro changes.
+:func:`run_experiment` (used by the CLI, the sweeps and the benchmarks)
+is a thin wrapper that prepares, runs and summarises; it forwards
+:class:`~repro.federated.pipeline.RoundCallback` hooks to the round
+pipeline, so early stopping, logging and checkpointing work from any
+entry point.
+"""
 
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -12,25 +27,31 @@ from repro.core.config import DPConfig
 from repro.core.hyperparams import protocol_sigma, transfer_learning_rate
 from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
 from repro.data.partition import partition_iid, partition_noniid
-from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.data.registry import load_dataset
 from repro.defenses.base import Aggregator
-from repro.defenses.registry import build_defense
+from repro.defenses.registry import DEFENSES, build_defense, defense_config_defaults
 from repro.experiments.configs import ExperimentConfig
+from repro.federated.pipeline import RoundCallback
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.nn.models import build_model, model_for_dataset
 
-__all__ = ["run_experiment", "run_seeds"]
+__all__ = ["ExperimentSetup", "prepare_experiment", "run_experiment", "run_seeds"]
 
 
 def _build_defense_for(config: ExperimentConfig) -> Aggregator:
-    """Instantiate the configured defense, forwarding the relevant settings."""
+    """Instantiate the configured defense, forwarding the relevant settings.
+
+    Config-derived constructor defaults come from the defense registry's
+    ``config_defaults`` metadata (a mapping from keyword name to either a
+    config field name or a callable of the config), so a new defense
+    declares its wiring where it registers instead of being special-cased
+    here.  Explicit ``defense_kwargs`` always win.
+    """
     kwargs = dict(config.defense_kwargs)
-    if config.defense in ("two_stage", "first_stage_only", "second_stage_only"):
-        kwargs.setdefault("gamma", config.gamma)
-    if config.defense in ("krum", "multi_krum", "bulyan"):
-        kwargs.setdefault("byzantine_fraction", config.byzantine_fraction)
-    if config.defense == "trimmed_mean":
-        kwargs.setdefault("trim_fraction", min(0.45, config.byzantine_fraction / 2 + 0.1))
+    if config.defense in DEFENSES:
+        for key, source in defense_config_defaults(config.defense).items():
+            value = source(config) if callable(source) else getattr(config, source)
+            kwargs.setdefault(key, value)
     return build_defense(config.defense, **kwargs)
 
 
@@ -49,15 +70,41 @@ def _privacy_parameters(
     return sigma, learning_rate, delta
 
 
-def run_experiment(config: ExperimentConfig, seed: int | None = None) -> RunResult:
-    """Run one federated training experiment.
+@dataclass
+class ExperimentSetup:
+    """Everything :func:`prepare_experiment` derived from a config.
 
-    Parameters
+    Attributes
     ----------
-    config:
-        The experiment specification.
-    seed:
-        Override for ``config.seed`` (used when sweeping seeds).
+    config, seed:
+        The specification the setup was built from (``seed`` already
+        resolved against any override).
+    simulation:
+        A ready-to-run :class:`FederatedSimulation`.
+    total_rounds, sigma, learning_rate, delta:
+        The derived training schedule and privacy calibration.
+    local_size:
+        Size of the smallest honest worker shard.
+    """
+
+    config: ExperimentConfig
+    seed: int
+    simulation: FederatedSimulation
+    total_rounds: int
+    sigma: float
+    learning_rate: float
+    delta: float | None
+    local_size: int
+
+
+def prepare_experiment(
+    config: ExperimentConfig, seed: int | None = None
+) -> ExperimentSetup:
+    """Build the simulation for a config without running it.
+
+    All components are resolved through the registries, so anything
+    registered via the public ``Registry`` API (third-party attacks,
+    defenses, datasets, models) is built exactly like the built-ins.
     """
     seed = config.seed if seed is None else seed
     rng = np.random.default_rng(seed)
@@ -85,12 +132,12 @@ def run_experiment(config: ExperimentConfig, seed: int | None = None) -> RunResu
         clip_norm=config.clip_norm,
     )
 
-    # Model, attack, defense.
-    spec = DATASET_SPECS[config.dataset]
+    # Model, attack, defense.  The model is sized from the loaded data, so
+    # third-party datasets need no registered spec.
     if config.model is None:
-        model = model_for_dataset(config.dataset, spec.n_features, spec.n_classes, rng)
+        model = model_for_dataset(config.dataset, train.dim, train.num_classes, rng)
     else:
-        model = build_model(config.model, spec.n_features, spec.n_classes, rng)
+        model = build_model(config.model, train.dim, train.num_classes, rng)
 
     attack = None
     if config.n_byzantine > 0:
@@ -121,22 +168,53 @@ def run_experiment(config: ExperimentConfig, seed: int | None = None) -> RunResu
         settings=settings,
         seed=seed,
     )
-    history = simulation.run()
+    return ExperimentSetup(
+        config=config,
+        seed=seed,
+        simulation=simulation,
+        total_rounds=total_rounds,
+        sigma=sigma,
+        learning_rate=learning_rate,
+        delta=delta,
+        local_size=local_size,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    seed: int | None = None,
+    callbacks: Iterable[RoundCallback] = (),
+) -> RunResult:
+    """Run one federated training experiment.
+
+    Parameters
+    ----------
+    config:
+        The experiment specification.
+    seed:
+        Override for ``config.seed`` (used when sweeping seeds).
+    callbacks:
+        Extra round-pipeline hooks (see
+        :class:`~repro.federated.pipeline.RoundCallback`); a callback's
+        ``should_stop`` may terminate the run early.
+    """
+    setup = prepare_experiment(config, seed=seed)
+    history = setup.simulation.run(callbacks)
 
     return RunResult(
         final_accuracy=history.final_accuracy,
         history=history,
-        sigma=sigma,
-        learning_rate=learning_rate,
+        sigma=setup.sigma,
+        learning_rate=setup.learning_rate,
         epsilon=config.epsilon,
-        seed=seed,
+        seed=setup.seed,
         metadata={
-            "total_rounds": total_rounds,
-            "delta": delta,
+            "total_rounds": setup.total_rounds,
+            "delta": setup.delta,
             "n_byzantine": config.n_byzantine,
             "n_honest": config.n_honest,
-            "local_dataset_size": local_size,
-            "model_size": model.num_parameters,
+            "local_dataset_size": setup.local_size,
+            "model_size": setup.simulation.model.num_parameters,
         },
     )
 

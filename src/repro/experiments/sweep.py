@@ -8,6 +8,14 @@ benchmark code stays declarative: build the grid, run it, format the table.
 Each (cell, seed) run is independent and fully seeded, so ``run_grid`` can
 optionally fan the runs out over worker processes (``max_workers``) with
 results identical to a serial sweep.
+
+Every cell goes through the same registry-driven builder path as the CLI
+(:func:`~repro.experiments.runner.run_experiment` ->
+:func:`~repro.experiments.runner.prepare_experiment`), so grids may name
+any component registered through the public :class:`repro.registry.Registry`
+API; with ``max_workers`` the worker processes must import the module that
+registers those components (e.g. via the config's import side effects)
+before building -- registries are per-process.
 """
 
 from __future__ import annotations

@@ -10,10 +10,29 @@
 - :class:`~repro.federated.simulation.FederatedSimulation` -- the training
   loop (broadcast, local computation, Byzantine crafting, aggregation,
   model update, evaluation).
-- :class:`~repro.federated.history.TrainingHistory` -- per-round records.
+- :class:`~repro.federated.pipeline.RoundPipeline` -- explicit stage-by-
+  stage execution of the loop, emitting typed
+  :class:`~repro.federated.pipeline.RoundEvent` objects to
+  :class:`~repro.federated.pipeline.RoundCallback` hooks (early stopping,
+  logging and checkpoint callbacks ship as built-ins).
+- :class:`~repro.federated.history.TrainingHistory` -- per-round records,
+  populated by the default
+  :class:`~repro.federated.pipeline.HistoryRecorder` event consumer.
 """
 
 from repro.federated.history import TrainingHistory
+from repro.federated.pipeline import (
+    Checkpoint,
+    EarlyStopping,
+    EvaluationEvent,
+    HistoryRecorder,
+    RoundCallback,
+    RoundEndEvent,
+    RoundEvent,
+    RoundLogger,
+    RoundPipeline,
+    RoundStartEvent,
+)
 from repro.federated.server import Server
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.federated.worker import HonestWorker, WorkerPool, WorkerSlot
@@ -26,4 +45,14 @@ __all__ = [
     "FederatedSimulation",
     "SimulationSettings",
     "TrainingHistory",
+    "RoundPipeline",
+    "RoundEvent",
+    "RoundStartEvent",
+    "EvaluationEvent",
+    "RoundEndEvent",
+    "RoundCallback",
+    "HistoryRecorder",
+    "EarlyStopping",
+    "RoundLogger",
+    "Checkpoint",
 ]

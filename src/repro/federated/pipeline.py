@@ -1,0 +1,429 @@
+"""Hook-driven execution of the federated training loop.
+
+:class:`RoundPipeline` makes the stages of one aggregation round explicit
+
+    broadcast -> honest uploads -> byzantine uploads -> aggregate +
+    server update -> evaluate
+
+and emits typed :class:`RoundEvent` objects to a list of
+:class:`RoundCallback` hooks, so callers observe or extend training
+without forking the loop:
+
+- ``on_round_start(event)``  -- before any stage of the round runs;
+- ``on_evaluation(event)``   -- after the global model was evaluated on
+  the held-out test set (every ``eval_every`` rounds, on the final round,
+  and on the round an early stop triggers);
+- ``on_round_end(event)``    -- after all stages of the round finished;
+- ``should_stop(event)``     -- consulted after ``on_round_end``; any
+  callback returning ``True`` terminates training early (with a final
+  evaluation so the recorded history always ends at the stop round; that
+  stop-triggered evaluation fires after the round's ``on_round_end``,
+  since the stop decision is what requested it).
+
+:class:`TrainingHistory` is populated by the default event consumer
+:class:`HistoryRecorder`; :class:`EarlyStopping`, :class:`RoundLogger`
+and :class:`Checkpoint` ship as built-in callbacks.  The default run
+(no extra callbacks) is decision-identical to the pre-pipeline loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.federated.history import TrainingHistory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.federated.simulation import FederatedSimulation
+
+__all__ = [
+    "RoundEvent",
+    "RoundStartEvent",
+    "EvaluationEvent",
+    "RoundEndEvent",
+    "RoundCallback",
+    "HistoryRecorder",
+    "EarlyStopping",
+    "RoundLogger",
+    "Checkpoint",
+    "RoundPipeline",
+]
+
+
+# ---------------------------------------------------------------------- #
+# events
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RoundEvent:
+    """Base class of all pipeline events.
+
+    Attributes
+    ----------
+    round_index:
+        0-based index of the round the event belongs to.
+    total_rounds:
+        Scheduled number of rounds ``T`` (an early stop may end sooner).
+    """
+
+    round_index: int
+    total_rounds: int
+
+
+@dataclass(frozen=True)
+class RoundStartEvent(RoundEvent):
+    """Emitted before any stage of a round runs."""
+
+
+@dataclass(frozen=True)
+class EvaluationEvent(RoundEvent):
+    """Emitted after the global model was evaluated on the test set.
+
+    Attributes
+    ----------
+    accuracy:
+        Test accuracy of the global model after this round's update.
+    diagnostics:
+        The round's diagnostics (e.g. ``byzantine_selected_fraction``).
+    """
+
+    accuracy: float = 0.0
+    diagnostics: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RoundEndEvent(RoundEvent):
+    """Emitted after all stages of a round finished.
+
+    Attributes
+    ----------
+    diagnostics:
+        The round's diagnostics (e.g. ``byzantine_selected_fraction``).
+    accuracy:
+        Test accuracy if this round was evaluated, else ``None``.
+    """
+
+    diagnostics: Mapping[str, float] = field(default_factory=dict)
+    accuracy: float | None = None
+
+
+# ---------------------------------------------------------------------- #
+# callbacks
+# ---------------------------------------------------------------------- #
+class RoundCallback:
+    """Base class for pipeline hooks; every method is an optional no-op."""
+
+    def on_round_start(self, event: RoundStartEvent) -> None:
+        """Called before any stage of the round runs."""
+
+    def on_evaluation(self, event: EvaluationEvent) -> None:
+        """Called after the global model was evaluated on the test set."""
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        """Called after all stages of the round finished."""
+
+    def should_stop(self, event: RoundEndEvent) -> bool:
+        """Return ``True`` to terminate training after this round."""
+        return False
+
+
+class HistoryRecorder(RoundCallback):
+    """Default event consumer: feeds a :class:`TrainingHistory`.
+
+    Records one point per :class:`EvaluationEvent`, reproducing exactly
+    what the pre-pipeline loop stored.
+    """
+
+    def __init__(self, history: TrainingHistory | None = None) -> None:
+        self.history = history if history is not None else TrainingHistory()
+
+    def on_evaluation(self, event: EvaluationEvent) -> None:
+        self.history.record(
+            round_index=event.round_index,
+            accuracy=event.accuracy,
+            byzantine_selected=event.diagnostics.get(
+                "byzantine_selected_fraction", 0.0
+            ),
+        )
+
+
+class EarlyStopping(RoundCallback):
+    """Stop when a target accuracy is reached or progress stalls.
+
+    Parameters
+    ----------
+    target_accuracy:
+        Stop as soon as an evaluation reaches this accuracy (``None``
+        disables the criterion).
+    patience:
+        Stop after this many consecutive evaluations without an
+        improvement of at least ``min_delta`` over the best accuracy so
+        far (``None`` disables the criterion).
+    min_delta:
+        Minimum improvement that resets the patience counter.
+
+    An instance tracks one run; call :meth:`reset` before reusing it for
+    another run, or its stored stop decision carries over.
+    """
+
+    def __init__(
+        self,
+        target_accuracy: float | None = None,
+        patience: int | None = None,
+        min_delta: float = 0.0,
+    ) -> None:
+        if target_accuracy is None and patience is None:
+            raise ValueError("set target_accuracy and/or patience")
+        if patience is not None and patience <= 0:
+            raise ValueError("patience must be positive when set")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.target_accuracy = target_accuracy
+        self.patience = patience
+        self.min_delta = min_delta
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the per-run state so the instance can watch another run."""
+        self.best_accuracy = -np.inf
+        self.evaluations_without_improvement = 0
+        self.stopped_round: int | None = None
+        self._stop = False
+
+    def on_evaluation(self, event: EvaluationEvent) -> None:
+        if event.accuracy > self.best_accuracy + self.min_delta:
+            self.best_accuracy = event.accuracy
+            self.evaluations_without_improvement = 0
+        else:
+            self.best_accuracy = max(self.best_accuracy, event.accuracy)
+            self.evaluations_without_improvement += 1
+        if self.target_accuracy is not None and event.accuracy >= self.target_accuracy:
+            self._stop = True
+        if (
+            self.patience is not None
+            and self.evaluations_without_improvement >= self.patience
+        ):
+            self._stop = True
+
+    def should_stop(self, event: RoundEndEvent) -> bool:
+        if self._stop and self.stopped_round is None:
+            self.stopped_round = event.round_index
+        return self._stop
+
+
+class RoundLogger(RoundCallback):
+    """Log one line per round (accuracy included on evaluated rounds).
+
+    Parameters
+    ----------
+    log:
+        Sink for the formatted lines (default: :func:`print`).
+    every:
+        Only log rounds where ``(round_index + 1) % every == 0``;
+        evaluated rounds are always logged.
+    """
+
+    def __init__(self, log: Callable[[str], None] = print, every: int = 1) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.log = log
+        self.every = every
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        due = (event.round_index + 1) % self.every == 0
+        if not due and event.accuracy is None:
+            return
+        line = f"round {event.round_index + 1}/{event.total_rounds}"
+        if event.accuracy is not None:
+            line += f"  accuracy {event.accuracy:.3f}"
+        selected = event.diagnostics.get("byzantine_selected_fraction")
+        if selected:
+            line += f"  byzantine_selected {selected:.2f}"
+        self.log(line)
+
+
+class Checkpoint(RoundCallback):
+    """Snapshot the global model's flat parameter vector periodically.
+
+    Parameters
+    ----------
+    every:
+        Snapshot cadence in rounds.  The final scheduled round is always
+        captured regardless of cadence; a run terminated early by
+        ``should_stop`` keeps the cadence snapshots taken before the stop
+        (use ``every=1`` to capture every round).
+    directory:
+        If given, each snapshot is also written to
+        ``<directory>/round_<index>.npy``; otherwise snapshots are kept
+        in memory only (``snapshots`` maps round index to the vector).
+    """
+
+    def __init__(self, every: int = 10, directory: str | Path | None = None) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = every
+        self.directory = None if directory is None else Path(directory)
+        self.snapshots: dict[int, np.ndarray] = {}
+        self._pipeline: RoundPipeline | None = None
+
+    def bind(self, pipeline: RoundPipeline) -> None:
+        self._pipeline = pipeline
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        due = (event.round_index + 1) % self.every == 0
+        is_last = event.round_index == event.total_rounds - 1
+        if not due and not is_last:
+            return
+        if self._pipeline is None:
+            raise RuntimeError("Checkpoint must be run by a RoundPipeline")
+        parameters = self._pipeline.simulation.model.get_flat_parameters().copy()
+        self.snapshots[event.round_index] = parameters
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            np.save(self.directory / f"round_{event.round_index}.npy", parameters)
+
+
+# ---------------------------------------------------------------------- #
+# the pipeline
+# ---------------------------------------------------------------------- #
+class RoundPipeline:
+    """Run a :class:`FederatedSimulation` stage by stage, emitting events.
+
+    Parameters
+    ----------
+    simulation:
+        The simulation whose state (pools, server, model) the stages
+        operate on.
+    callbacks:
+        Hooks receiving the pipeline's events, in order.  Callbacks with
+        a ``bind`` method are handed the pipeline before the run (used by
+        :class:`Checkpoint` to reach the model).
+    """
+
+    def __init__(
+        self,
+        simulation: "FederatedSimulation",
+        callbacks: Iterable[RoundCallback] = (),
+    ) -> None:
+        self.simulation = simulation
+        self.callbacks = list(callbacks)
+        for callback in self.callbacks:
+            bind = getattr(callback, "bind", None)
+            if callable(bind):
+                bind(self)
+
+    # ------------------------------------------------------------------ #
+    # stages
+    # ------------------------------------------------------------------ #
+    def broadcast(self) -> np.ndarray:
+        """Stage 1: the server broadcasts the current global parameters.
+
+        All workers share the server's model object, so the broadcast is
+        a logical stage; it returns ``w_{t-1}`` for observability.
+        """
+        return self.simulation.server.broadcast()
+
+    def honest_uploads(self) -> np.ndarray:
+        """Stage 2: the honest pool computes its DP uploads, ``(n_honest, d)``."""
+        return self.simulation.honest_uploads()
+
+    def byzantine_uploads(
+        self, honest_uploads: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Stage 3: the attacker produces its uploads, ``(n_byzantine, d)``."""
+        return self.simulation.byzantine_uploads(honest_uploads, round_index)
+
+    def aggregate_and_update(self, uploads: np.ndarray) -> dict[str, float]:
+        """Stages 4+5: aggregate the stacked uploads and update the model."""
+        simulation = self.simulation
+        simulation.server.update(uploads)
+        byz_selected = 0.0
+        selected = getattr(simulation.server.aggregator, "last_selected", None)
+        if selected is not None and simulation.n_byzantine > 0:
+            byz_selected = float(
+                np.mean(np.asarray(selected) >= simulation.n_honest)
+            )
+        return {"byzantine_selected_fraction": byz_selected}
+
+    def evaluate(self) -> float:
+        """Stage 6: test accuracy of the current global model."""
+        return self.simulation.server.evaluate(self.simulation.test_dataset)
+
+    def run_round(self, round_index: int) -> dict[str, float]:
+        """Run stages 1-5 of one round; returns the round diagnostics.
+
+        The broadcast stage is implicit here: all workers share the
+        server's model object, so no parameter copy is materialised on
+        the hot path (:meth:`broadcast` stays available to callers that
+        want to observe ``w_{t-1}``).
+        """
+        honest = self.honest_uploads()
+        byzantine = self.byzantine_uploads(honest, round_index)
+        uploads = np.concatenate((honest, byzantine), axis=0)
+        return self.aggregate_and_update(uploads)
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def _emit(self, hook: str, event: RoundEvent) -> None:
+        for callback in self.callbacks:
+            getattr(callback, hook)(event)
+
+    def _evaluate_and_emit(
+        self, round_index: int, total_rounds: int, diagnostics: dict[str, float]
+    ) -> float:
+        accuracy = self.evaluate()
+        self._emit(
+            "on_evaluation",
+            EvaluationEvent(
+                round_index=round_index,
+                total_rounds=total_rounds,
+                accuracy=accuracy,
+                diagnostics=diagnostics,
+            ),
+        )
+        return accuracy
+
+    def run(self) -> None:
+        """Run the full training loop, emitting events to the callbacks.
+
+        Evaluation happens every ``settings.eval_every`` rounds and on
+        the final round, matching the plain loop; when a callback's
+        ``should_stop`` answers ``True`` the loop terminates after a
+        final evaluation of the stop round (if it was not already due).
+        In that case the extra ``on_evaluation`` necessarily fires
+        *after* the stop round's ``on_round_end`` (whose ``accuracy`` is
+        ``None`` -- the stop decision is what triggered the evaluation).
+        """
+        settings = self.simulation.settings
+        total_rounds = settings.total_rounds
+        for round_index in range(total_rounds):
+            self._emit(
+                "on_round_start",
+                RoundStartEvent(round_index=round_index, total_rounds=total_rounds),
+            )
+            diagnostics = self.run_round(round_index)
+
+            is_last = round_index == total_rounds - 1
+            accuracy: float | None = None
+            if (round_index + 1) % settings.eval_every == 0 or is_last:
+                accuracy = self._evaluate_and_emit(
+                    round_index, total_rounds, diagnostics
+                )
+
+            end_event = RoundEndEvent(
+                round_index=round_index,
+                total_rounds=total_rounds,
+                diagnostics=diagnostics,
+                accuracy=accuracy,
+            )
+            self._emit("on_round_end", end_event)
+
+            if any(callback.should_stop(end_event) for callback in self.callbacks):
+                if accuracy is None:
+                    # Record the state the run actually stopped at.
+                    self._evaluate_and_emit(round_index, total_rounds, diagnostics)
+                return

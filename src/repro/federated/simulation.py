@@ -15,10 +15,19 @@ One round of :class:`FederatedSimulation` performs:
 Both client populations travel through the batched pool path, so a round
 performs two model passes at most (honest pool, Byzantine pool) instead of
 one small forward/backward per worker.
+
+The loop itself is executed by a
+:class:`~repro.federated.pipeline.RoundPipeline`, which makes the stages
+above explicit and emits typed events to
+:class:`~repro.federated.pipeline.RoundCallback` hooks;
+:meth:`FederatedSimulation.run` accepts extra callbacks (early stopping,
+logging, checkpoints) and records history through the default
+:class:`~repro.federated.pipeline.HistoryRecorder` consumer.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +39,7 @@ from repro.core.dp_protocol import upload_noise_std
 from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
 from repro.federated.history import TrainingHistory
+from repro.federated.pipeline import HistoryRecorder, RoundCallback, RoundPipeline
 from repro.federated.server import Server
 from repro.federated.worker import WorkerPool, WorkerSlot
 from repro.nn.network import Sequential
@@ -197,12 +207,14 @@ class FederatedSimulation:
         """Per-worker views into the Byzantine pool (empty for crafting attacks)."""
         return self.byzantine_pool.slots if self.byzantine_pool is not None else []
 
-    def _honest_uploads(self) -> np.ndarray:
+    def honest_uploads(self) -> np.ndarray:
+        """This round's honest uploads, shape ``(n_honest, d)``."""
         return self.honest_pool.compute_uploads(self.model)
 
-    def _byzantine_uploads(
+    def byzantine_uploads(
         self, honest_uploads: np.ndarray, round_index: int
     ) -> np.ndarray:
+        """This round's Byzantine uploads, shape ``(n_byzantine, d)``."""
         if self.n_byzantine == 0 or self.attack is None:
             return np.zeros((0, honest_uploads.shape[1]))
 
@@ -231,6 +243,10 @@ class FederatedSimulation:
             return self.byzantine_pool.compute_uploads(self.model)
         return np.asarray(attack.craft(context), dtype=np.float64)
 
+    # Backwards-compatible aliases for the pre-pipeline private names.
+    _honest_uploads = honest_uploads
+    _byzantine_uploads = byzantine_uploads
+
     def run_round(self, round_index: int) -> dict[str, float]:
         """Execute one aggregation round; returns per-round diagnostics.
 
@@ -239,28 +255,19 @@ class FederatedSimulation:
         pipeline is array-first end-to-end, so no per-upload Python lists
         are materialised on the hot path.
         """
-        honest_uploads = self._honest_uploads()
-        byzantine_uploads = self._byzantine_uploads(honest_uploads, round_index)
-        uploads = np.concatenate((honest_uploads, byzantine_uploads), axis=0)
-        self.server.update(uploads)
+        return RoundPipeline(self).run_round(round_index)
 
-        byz_selected = 0.0
-        selected = getattr(self.server.aggregator, "last_selected", None)
-        if selected is not None and self.n_byzantine > 0:
-            byz_selected = float(np.mean(np.asarray(selected) >= self.n_honest))
-        return {"byzantine_selected_fraction": byz_selected}
+    def run(self, callbacks: Iterable[RoundCallback] = ()) -> TrainingHistory:
+        """Run the full training loop and return the recorded history.
 
-    def run(self) -> TrainingHistory:
-        """Run the full training loop and return the recorded history."""
-        history = TrainingHistory()
-        for round_index in range(self.settings.total_rounds):
-            diagnostics = self.run_round(round_index)
-            is_last = round_index == self.settings.total_rounds - 1
-            if (round_index + 1) % self.settings.eval_every == 0 or is_last:
-                accuracy = self.server.evaluate(self.test_dataset)
-                history.record(
-                    round_index=round_index,
-                    accuracy=accuracy,
-                    byzantine_selected=diagnostics["byzantine_selected_fraction"],
-                )
-        return history
+        Parameters
+        ----------
+        callbacks:
+            Extra :class:`~repro.federated.pipeline.RoundCallback` hooks;
+            they run after the default
+            :class:`~repro.federated.pipeline.HistoryRecorder`, and any
+            callback's ``should_stop`` may terminate training early.
+        """
+        recorder = HistoryRecorder()
+        RoundPipeline(self, [recorder, *callbacks]).run()
+        return recorder.history

@@ -23,7 +23,7 @@ Public API
 from repro.nn.layers import ELU, Flatten, Layer, Linear, ReLU, Tanh
 from repro.nn.losses import softmax, softmax_cross_entropy
 from repro.nn.metrics import accuracy, confusion_matrix
-from repro.nn.models import available_models, build_model, model_for_dataset
+from repro.nn.models import MODELS, available_models, build_model, model_for_dataset
 from repro.nn.network import Sequential
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "softmax_cross_entropy",
     "accuracy",
     "confusion_matrix",
+    "MODELS",
     "available_models",
     "build_model",
     "model_for_dataset",

@@ -7,6 +7,13 @@ per-example gradients through dense layers are cheap batched einsums, the
 protocol only consumes flat gradient vectors, and the first-stage
 aggregation's requirement sigma^2 * d / b_c^2 >> 1 already holds for
 d of a few thousand with the paper's batch size b_c = 16.
+
+:data:`MODELS` is a :class:`repro.registry.Registry` of model builders
+``builder(rng, input_dim, num_classes) -> Sequential``; third-party
+architectures register with ``@MODELS.register("name")`` and are then
+accepted by ``ExperimentConfig(model="name")`` and the CLI.  The default
+model of each dataset comes from the dataset registry's ``default_model``
+metadata (see :func:`model_for_dataset`).
 """
 
 from __future__ import annotations
@@ -17,8 +24,12 @@ import numpy as np
 
 from repro.nn.layers import ELU, Linear, ReLU, Tanh
 from repro.nn.network import Sequential
+from repro.registry import Registry
 
-__all__ = ["build_model", "available_models", "model_for_dataset"]
+__all__ = ["MODELS", "build_model", "available_models", "model_for_dataset"]
+
+#: Global registry of model builders.
+MODELS = Registry("model")
 
 
 def _mlp(
@@ -45,39 +56,37 @@ def _mlp(
     return Sequential(layers)
 
 
+@MODELS.register("mlp_small", summary="MLP with one hidden layer of 32, ELU")
+def _mlp_small(
+    rng: np.random.Generator, input_dim: int, num_classes: int
+) -> Sequential:
+    return _mlp(rng, input_dim, num_classes, hidden=(32,))
+
+
+@MODELS.register("mlp_medium", summary="MLP with hidden layers 64-32, ELU")
+def _mlp_medium(
+    rng: np.random.Generator, input_dim: int, num_classes: int
+) -> Sequential:
+    return _mlp(rng, input_dim, num_classes, hidden=(64, 32))
+
+
+@MODELS.register("mlp_large", summary="MLP with hidden layers 128-64, ELU")
+def _mlp_large(
+    rng: np.random.Generator, input_dim: int, num_classes: int
+) -> Sequential:
+    return _mlp(rng, input_dim, num_classes, hidden=(128, 64))
+
+
+@MODELS.register("linear", summary="single linear layer (multinomial logistic)")
 def _linear_model(
     rng: np.random.Generator, input_dim: int, num_classes: int
 ) -> Sequential:
     return Sequential([Linear(input_dim, num_classes, rng)])
 
 
-_BUILDERS: dict[str, Callable[..., Sequential]] = {
-    "mlp_small": lambda rng, input_dim, num_classes: _mlp(
-        rng, input_dim, num_classes, hidden=(32,)
-    ),
-    "mlp_medium": lambda rng, input_dim, num_classes: _mlp(
-        rng, input_dim, num_classes, hidden=(64, 32)
-    ),
-    "mlp_large": lambda rng, input_dim, num_classes: _mlp(
-        rng, input_dim, num_classes, hidden=(128, 64)
-    ),
-    "linear": _linear_model,
-}
-
-# Default model for each synthetic stand-in dataset (see repro.data.registry).
-# MNIST/Colorectal used the larger CNN in the paper; we map them to the
-# medium MLP, and the MLP-based Fashion/USPS to the small MLP.
-_DATASET_DEFAULTS: dict[str, str] = {
-    "mnist_like": "mlp_medium",
-    "colorectal_like": "mlp_medium",
-    "fashion_like": "mlp_small",
-    "usps_like": "mlp_small",
-}
-
-
 def available_models() -> list[str]:
     """Names accepted by :func:`build_model`."""
-    return sorted(_BUILDERS)
+    return MODELS.names()
 
 
 def build_model(
@@ -97,11 +106,9 @@ def build_model(
     rng:
         Generator or seed used for weight initialisation.
     """
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
-    return _BUILDERS[name](rng, input_dim, num_classes)
+    return MODELS.build(name, rng=rng, input_dim=input_dim, num_classes=num_classes)
 
 
 def model_for_dataset(
@@ -110,6 +117,18 @@ def model_for_dataset(
     num_classes: int,
     rng: np.random.Generator | int | None = None,
 ) -> Sequential:
-    """Build the default model for one of the registered datasets."""
-    model_name = _DATASET_DEFAULTS.get(dataset_name, "mlp_small")
+    """Build the default model for a registered dataset.
+
+    The choice comes from the dataset registry's ``default_model``
+    metadata (datasets without one, including unregistered names, fall
+    back to ``mlp_small``); MNIST/Colorectal used the larger CNN in the
+    paper and map to the medium MLP, the MLP-based Fashion/USPS to the
+    small one.
+    """
+    # Imported here: the model registry stays usable without the data layer.
+    from repro.data.registry import DATASETS
+
+    model_name = "mlp_small"
+    if dataset_name in DATASETS:
+        model_name = DATASETS.metadata(dataset_name).get("default_model", "mlp_small")
     return build_model(model_name, input_dim, num_classes, rng)

@@ -49,6 +49,11 @@ class TestRegistry:
         attack = build_attack("lmp", lambda_override=2.0)
         assert attack.lambda_override == 2.0
 
+    def test_none_attack_ignores_kwargs(self):
+        """Grids sweep attack names with shared kwargs; 'none' must tolerate them."""
+        attack = build_attack("none", scale=2.0)
+        assert attack.follows_protocol
+
     def test_none_attack_behaves_honestly(self):
         """The 'none' attack follows the protocol and leaves data untouched."""
         attack = build_attack("none")

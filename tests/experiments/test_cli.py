@@ -34,6 +34,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--defense", "blockchain"])
 
+    def test_rejects_unknown_attack(self, capsys):
+        # A bad --attack must exit at the parser, not deep inside the run.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--attack", "quantum"])
+        assert excinfo.value.code == 2
+        assert "--attack" in capsys.readouterr().err
+
+    def test_accepts_adaptive_attacks(self):
+        arguments = build_parser().parse_args(["run", "--attack", "adaptive_lmp"])
+        assert arguments.attack == "adaptive_lmp"
+
+    def test_accepts_defense_aliases(self):
+        # Registry aliases are valid everywhere, including the CLI flag.
+        arguments = build_parser().parse_args(["run", "--defense", "geometric_median"])
+        assert arguments.defense == "geometric_median"
+
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -45,6 +61,44 @@ class TestCommands:
         output = capsys.readouterr().out
         for expected in ("mnist_like", "label_flip", "two_stage", "mlp_small"):
             assert expected in output
+
+    def test_list_json_emits_describe_rows(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"dataset", "attack", "defense", "model"}
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["two_stage"]["summary"]
+
+    def test_run_from_config_file(self, tmp_path, capsys):
+        from repro.experiments.presets import benchmark_preset
+
+        config = benchmark_preset(
+            dataset="usps_like", byzantine_fraction=0.5, attack="gaussian",
+            epochs=1, scale=0.2, n_honest=4,
+        )
+        path = tmp_path / "experiment.json"
+        path.write_text(config.to_json())
+        assert main(["run", "--config", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "usps_like" in output
+        assert "gaussian / two_stage" in output
+
+    def test_config_file_with_unknown_key_exits_cleanly(self, tmp_path):
+        path = tmp_path / "experiment.json"
+        path.write_text(json.dumps({"dataset": "usps_like", "atack": "lmp"}))
+        with pytest.raises(SystemExit, match="atack"):
+            main(["run", "--config", str(path)])
+
+    def test_missing_config_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["run", "--config", str(tmp_path / "nope.json")])
+
+    def test_malformed_config_json_exits_cleanly(self, tmp_path):
+        path = tmp_path / "experiment.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid --config"):
+            main(["run", "--config", str(path)])
 
     def test_run_prints_accuracy(self, capsys):
         code = main(["run", *FAST_ARGUMENTS, "--attack", "gaussian"])

@@ -2,9 +2,37 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.experiments.configs import ExperimentConfig
+from repro.experiments.presets import (
+    BYZANTINE_LEVELS,
+    benchmark_preset,
+    paper_preset,
+)
+
+#: Every preset family x dataset, with non-trivial attack/defense kwargs.
+ALL_PRESETS = {}
+for dataset in ("mnist_like", "fashion_like", "usps_like", "colorectal_like"):
+    for fraction in (0.0, *BYZANTINE_LEVELS):
+        key = f"benchmark-{dataset}-{fraction}"
+        ALL_PRESETS[key] = benchmark_preset(
+            dataset=dataset,
+            byzantine_fraction=fraction,
+            attack="none" if fraction == 0.0 else "adaptive_lmp",
+            ttbb=0.0 if fraction == 0.0 else 0.5,
+            attack_kwargs={} if fraction == 0.0 else {"lambda_override": 2.0},
+            defense_kwargs={"ks_significance": 0.1},
+        )
+        ALL_PRESETS[f"paper-{dataset}-{fraction}"] = paper_preset(
+            dataset=dataset,
+            byzantine_fraction=fraction,
+            attack="none" if fraction == 0.0 else "lmp",
+            epsilon=0.25,
+        )
 
 
 class TestDefaults:
@@ -89,3 +117,73 @@ class TestReplace:
     def test_replace_validates(self):
         with pytest.raises(ValueError):
             ExperimentConfig().replace(gamma=2.0)
+
+
+class TestSerialization:
+    def test_to_dict_contains_every_field(self):
+        config = ExperimentConfig()
+        data = config.to_dict()
+        assert data["dataset"] == "mnist_like"
+        assert data["attack_kwargs"] == {}
+        assert set(data) == {f.name for f in dataclasses.fields(ExperimentConfig)}
+
+    def test_to_dict_copies_kwargs(self):
+        config = ExperimentConfig(attack_kwargs={"scale": 2.0})
+        data = config.to_dict()
+        data["attack_kwargs"]["scale"] = 99.0
+        assert config.attack_kwargs == {"scale": 2.0}
+
+    def test_from_dict_round_trip(self):
+        config = ExperimentConfig(dataset="usps_like", epsilon=None, gamma=0.4)
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError) as excinfo:
+            ExperimentConfig.from_dict({"dataset": "usps_like", "datasets": "oops"})
+        assert "datasets" in str(excinfo.value)
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(TypeError):
+            ExperimentConfig.from_dict(["dataset"])  # type: ignore[arg-type]
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig.from_dict({"gamma": 2.0})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(TypeError):
+            ExperimentConfig.from_json("[1, 2]")
+
+    def test_json_is_stable_and_parseable(self):
+        text = ExperimentConfig().to_json()
+        assert json.loads(text)["dataset"] == "mnist_like"
+        assert ExperimentConfig().to_json() == text
+
+    @pytest.mark.parametrize("key", sorted(ALL_PRESETS), ids=str)
+    def test_every_preset_round_trips_via_dict(self, key):
+        config = ALL_PRESETS[key]
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("key", sorted(ALL_PRESETS), ids=str)
+    def test_every_preset_round_trips_via_json(self, key):
+        config = ALL_PRESETS[key]
+        restored = ExperimentConfig.from_json(config.to_json())
+        assert restored == config
+        # Exactness, field by field (== on the dataclass already implies
+        # this; spelled out so a failure names the offending field).
+        for field_name, value in config.to_dict().items():
+            assert getattr(restored, field_name) == value, field_name
+
+    def test_kwargs_survive_json_round_trip(self):
+        config = benchmark_preset(
+            attack="gaussian",
+            byzantine_fraction=0.4,
+            attack_kwargs={"scale": 1.5},
+            defense_kwargs={"ks_significance": 0.01, "use_second_stage": False},
+        )
+        restored = ExperimentConfig.from_json(config.to_json())
+        assert restored.attack_kwargs == {"scale": 1.5}
+        assert restored.defense_kwargs == {
+            "ks_significance": 0.01,
+            "use_second_stage": False,
+        }

@@ -1,0 +1,319 @@
+"""Tests for the hook-driven round pipeline and its built-in callbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig
+from repro.data.auxiliary import sample_auxiliary
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_classification
+from repro.defenses.mean import MeanAggregator
+from repro.federated.pipeline import (
+    Checkpoint,
+    EarlyStopping,
+    EvaluationEvent,
+    HistoryRecorder,
+    RoundCallback,
+    RoundEndEvent,
+    RoundLogger,
+    RoundPipeline,
+    RoundStartEvent,
+)
+from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.nn.layers import Linear
+from repro.nn.network import Sequential
+
+
+def build_simulation(
+    total_rounds: int = 6, eval_every: int = 2, seed: int = 0
+) -> FederatedSimulation:
+    rng = np.random.default_rng(seed)
+    data = make_classification(120, 6, 3, class_separation=4.0, within_class_std=0.6,
+                               nonlinear=False, rng=rng, name="pipe")
+    test = make_classification(60, 6, 3, class_separation=4.0, within_class_std=0.6,
+                               nonlinear=False, rng=rng, name="pipe_test")
+    shards = partition_iid(data, 3, rng)
+    model = Sequential([Linear(6, 3, rng)])
+    settings = SimulationSettings(
+        total_rounds=total_rounds, learning_rate=0.5, eval_every=eval_every
+    )
+    return FederatedSimulation(
+        model=model,
+        honest_datasets=shards,
+        n_byzantine=0,
+        attack=None,
+        aggregator=MeanAggregator(),
+        dp_config=DPConfig(batch_size=8, sigma=0.3),
+        auxiliary=sample_auxiliary(test, per_class=2, rng=rng),
+        test_dataset=test,
+        settings=settings,
+        seed=seed,
+    )
+
+
+class EventSpy(RoundCallback):
+    """Records every hook invocation in order."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def on_round_start(self, event: RoundStartEvent) -> None:
+        self.events.append(("start", event))
+
+    def on_evaluation(self, event: EvaluationEvent) -> None:
+        self.events.append(("evaluation", event))
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        self.events.append(("end", event))
+
+
+class StopAfter(RoundCallback):
+    def __init__(self, stop_round: int) -> None:
+        self.stop_round = stop_round
+
+    def should_stop(self, event: RoundEndEvent) -> bool:
+        return event.round_index >= self.stop_round
+
+
+class TestEvents:
+    def test_event_order_and_counts(self):
+        spy = EventSpy()
+        simulation = build_simulation(total_rounds=4, eval_every=2)
+        RoundPipeline(simulation, [spy]).run()
+        kinds = [kind for kind, _ in spy.events]
+        # Rounds 0-3, evaluations after rounds 1 and 3 (eval_every=2).
+        assert kinds == [
+            "start", "end",
+            "start", "evaluation", "end",
+            "start", "end",
+            "start", "evaluation", "end",
+        ]
+
+    def test_round_indices_and_totals(self):
+        spy = EventSpy()
+        simulation = build_simulation(total_rounds=3, eval_every=5)
+        RoundPipeline(simulation, [spy]).run()
+        starts = [e for kind, e in spy.events if kind == "start"]
+        assert [e.round_index for e in starts] == [0, 1, 2]
+        assert all(e.total_rounds == 3 for e in starts)
+        # eval_every=5 > total_rounds: only the final round is evaluated.
+        evaluations = [e for kind, e in spy.events if kind == "evaluation"]
+        assert [e.round_index for e in evaluations] == [2]
+
+    def test_end_event_carries_diagnostics_and_accuracy(self):
+        spy = EventSpy()
+        simulation = build_simulation(total_rounds=2, eval_every=1)
+        RoundPipeline(simulation, [spy]).run()
+        ends = [e for kind, e in spy.events if kind == "end"]
+        assert all("byzantine_selected_fraction" in e.diagnostics for e in ends)
+        assert all(e.accuracy is not None for e in ends)
+
+    def test_unevaluated_round_has_no_accuracy(self):
+        spy = EventSpy()
+        simulation = build_simulation(total_rounds=2, eval_every=2)
+        RoundPipeline(simulation, [spy]).run()
+        ends = [e for kind, e in spy.events if kind == "end"]
+        assert ends[0].accuracy is None
+        assert ends[1].accuracy is not None
+
+
+class TestStages:
+    def test_run_round_matches_simulation_run_round(self):
+        simulation = build_simulation()
+        diagnostics = RoundPipeline(simulation).run_round(0)
+        assert "byzantine_selected_fraction" in diagnostics
+
+    def test_broadcast_returns_current_parameters(self):
+        simulation = build_simulation()
+        pipeline = RoundPipeline(simulation)
+        np.testing.assert_array_equal(
+            pipeline.broadcast(), simulation.model.get_flat_parameters()
+        )
+
+    def test_pipeline_run_is_identical_to_simulation_run(self):
+        history_direct = build_simulation(seed=7).run()
+        recorder = HistoryRecorder()
+        RoundPipeline(build_simulation(seed=7), [recorder]).run()
+        assert history_direct.as_dict() == recorder.history.as_dict()
+
+
+class TestShouldStop:
+    def test_stop_terminates_early(self):
+        spy = EventSpy()
+        simulation = build_simulation(total_rounds=10, eval_every=2)
+        RoundPipeline(simulation, [spy, StopAfter(2)]).run()
+        starts = [e for kind, e in spy.events if kind == "start"]
+        assert [e.round_index for e in starts] == [0, 1, 2]
+
+    def test_stop_round_gets_a_final_evaluation(self):
+        # Round 2 is not an eval_every round; the stop must still evaluate
+        # it so the recorded history ends at the stop round.
+        recorder = HistoryRecorder()
+        simulation = build_simulation(total_rounds=10, eval_every=2)
+        RoundPipeline(simulation, [recorder, StopAfter(2)]).run()
+        assert recorder.history.rounds[-1] == 2
+
+    def test_stop_on_evaluated_round_does_not_double_evaluate(self):
+        recorder = HistoryRecorder()
+        simulation = build_simulation(total_rounds=10, eval_every=2)
+        RoundPipeline(simulation, [recorder, StopAfter(3)]).run()
+        assert recorder.history.rounds == [1, 3]
+
+    def test_simulation_run_accepts_callbacks(self):
+        history = build_simulation(total_rounds=10, eval_every=2).run(
+            callbacks=[StopAfter(1)]
+        )
+        assert history.rounds[-1] == 1
+
+
+class TestHistoryRecorder:
+    def test_records_evaluations(self):
+        recorder = HistoryRecorder()
+        recorder.on_evaluation(
+            EvaluationEvent(
+                round_index=4,
+                total_rounds=10,
+                accuracy=0.5,
+                diagnostics={"byzantine_selected_fraction": 0.25},
+            )
+        )
+        assert recorder.history.rounds == [4]
+        assert recorder.history.test_accuracy == [0.5]
+        assert recorder.history.byzantine_selected_fraction == [0.25]
+
+    def test_external_history_used(self):
+        from repro.federated.history import TrainingHistory
+
+        history = TrainingHistory()
+        recorder = HistoryRecorder(history)
+        assert recorder.history is history
+
+
+class TestEarlyStopping:
+    def evaluation(self, round_index: int, accuracy: float) -> EvaluationEvent:
+        return EvaluationEvent(
+            round_index=round_index, total_rounds=100, accuracy=accuracy
+        )
+
+    def end(self, round_index: int) -> RoundEndEvent:
+        return RoundEndEvent(round_index=round_index, total_rounds=100)
+
+    def test_requires_a_criterion(self):
+        with pytest.raises(ValueError):
+            EarlyStopping()
+
+    def test_target_accuracy_triggers(self):
+        stopper = EarlyStopping(target_accuracy=0.8)
+        stopper.on_evaluation(self.evaluation(0, 0.5))
+        assert not stopper.should_stop(self.end(0))
+        stopper.on_evaluation(self.evaluation(1, 0.85))
+        assert stopper.should_stop(self.end(1))
+        assert stopper.stopped_round == 1
+
+    def test_patience_triggers_without_improvement(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.01)
+        stopper.on_evaluation(self.evaluation(0, 0.5))
+        stopper.on_evaluation(self.evaluation(1, 0.505))  # below min_delta
+        assert not stopper.should_stop(self.end(1))
+        stopper.on_evaluation(self.evaluation(2, 0.5))
+        assert stopper.should_stop(self.end(2))
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.on_evaluation(self.evaluation(0, 0.5))
+        stopper.on_evaluation(self.evaluation(1, 0.4))
+        stopper.on_evaluation(self.evaluation(2, 0.6))  # improvement
+        assert not stopper.should_stop(self.end(2))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(target_accuracy=0.5, min_delta=-1.0)
+
+    def test_reset_allows_reuse_across_runs(self):
+        stopper = EarlyStopping(target_accuracy=0.0)
+        first = build_simulation(total_rounds=6, eval_every=2).run(callbacks=[stopper])
+        assert first.rounds == [1]
+        stopper.reset()
+        second = build_simulation(total_rounds=6, eval_every=2).run(callbacks=[stopper])
+        assert second.rounds == [1]  # stops at its own first evaluation, not round 0
+
+    def test_stops_a_real_run(self):
+        stopper = EarlyStopping(target_accuracy=0.0)  # any accuracy suffices
+        history = build_simulation(total_rounds=10, eval_every=2).run(
+            callbacks=[stopper]
+        )
+        assert history.rounds == [1]
+        assert stopper.stopped_round == 1
+
+
+class TestRoundLogger:
+    def test_logs_every_round_by_default(self):
+        lines: list[str] = []
+        simulation = build_simulation(total_rounds=3, eval_every=2)
+        RoundPipeline(simulation, [RoundLogger(log=lines.append)]).run()
+        assert len(lines) == 3
+        assert lines[0].startswith("round 1/3")
+        assert "accuracy" in lines[1]  # round 2 is evaluated
+        assert "accuracy" in lines[2]  # final round always evaluated
+
+    def test_every_skips_unevaluated_rounds(self):
+        lines: list[str] = []
+        simulation = build_simulation(total_rounds=4, eval_every=4)
+        RoundPipeline(simulation, [RoundLogger(log=lines.append, every=2)]).run()
+        # Rounds 2 and 4 logged by cadence; round 4 is also the evaluation.
+        assert [line.split()[1] for line in lines] == ["2/4", "4/4"]
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            RoundLogger(every=0)
+
+
+class TestCheckpoint:
+    def test_snapshots_in_memory(self):
+        checkpoint = Checkpoint(every=2)
+        simulation = build_simulation(total_rounds=5, eval_every=2)
+        RoundPipeline(simulation, [checkpoint]).run()
+        # Cadence rounds 1 and 3 plus the final round, which is always kept.
+        assert sorted(checkpoint.snapshots) == [1, 3, 4]
+        for parameters in checkpoint.snapshots.values():
+            assert parameters.shape == simulation.model.get_flat_parameters().shape
+
+    def test_final_round_captured_regardless_of_cadence(self):
+        checkpoint = Checkpoint(every=100)
+        simulation = build_simulation(total_rounds=3, eval_every=2)
+        RoundPipeline(simulation, [checkpoint]).run()
+        assert sorted(checkpoint.snapshots) == [2]
+        np.testing.assert_array_equal(
+            checkpoint.snapshots[2], simulation.model.get_flat_parameters()
+        )
+
+    def test_snapshots_written_to_directory(self, tmp_path):
+        checkpoint = Checkpoint(every=2, directory=tmp_path)
+        simulation = build_simulation(total_rounds=4, eval_every=2)
+        RoundPipeline(simulation, [checkpoint]).run()
+        files = sorted(p.name for p in tmp_path.glob("*.npy"))
+        assert files == ["round_1.npy", "round_3.npy"]
+        loaded = np.load(tmp_path / "round_3.npy")
+        np.testing.assert_array_equal(loaded, checkpoint.snapshots[3])
+
+    def test_snapshot_is_a_copy(self):
+        checkpoint = Checkpoint(every=1)
+        simulation = build_simulation(total_rounds=2, eval_every=2)
+        RoundPipeline(simulation, [checkpoint]).run()
+        # The model moved after round 0; the stored snapshot must not.
+        assert not np.array_equal(
+            checkpoint.snapshots[0], simulation.model.get_flat_parameters()
+        )
+
+    def test_requires_pipeline_binding(self):
+        checkpoint = Checkpoint(every=1)
+        with pytest.raises(RuntimeError):
+            checkpoint.on_round_end(RoundEndEvent(round_index=0, total_rounds=1))
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            Checkpoint(every=0)

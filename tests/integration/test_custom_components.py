@@ -1,0 +1,138 @@
+"""Third-party components through the public Registry API, end to end.
+
+Registers an attack and a defense exactly as external code would (no
+repro internals), then drives them through ``run_experiment`` -- the same
+builder path the CLI and the sweeps use -- with a ``should_stop``
+callback terminating the run early.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byzantine import ATTACKS
+from repro.byzantine.base import Attack, AttackContext
+from repro.defenses import DEFENSES
+from repro.defenses.base import AggregationContext, Aggregator
+from repro.experiments import benchmark_preset, run_experiment
+from repro.federated import EarlyStopping, RoundCallback
+
+
+class NegatedMeanAttack(Attack):
+    """Upload ``-scale * mean(benign uploads)`` from every Byzantine worker."""
+
+    def __init__(self, scale: float = 2.0) -> None:
+        self.scale = scale
+
+    def craft(self, context: AttackContext) -> np.ndarray:
+        mean = context.honest_uploads.mean(axis=0)
+        return np.tile(-self.scale * mean, (context.n_byzantine, 1))
+
+
+class MedianOfMeansAggregator(Aggregator):
+    """Split uploads into three buckets, average each, take the median."""
+
+    def aggregate(
+        self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
+    ) -> np.ndarray:
+        stacked = self._validate(uploads)
+        buckets = np.array_split(stacked, min(3, stacked.shape[0]), axis=0)
+        means = np.stack([bucket.mean(axis=0) for bucket in buckets])
+        return np.median(means, axis=0)
+
+
+class StopAfterRounds(RoundCallback):
+    """Unconditional early stop; records what it saw for assertions."""
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+        self.seen: list[int] = []
+
+    def should_stop(self, event) -> bool:
+        self.seen.append(event.round_index)
+        return event.round_index + 1 >= self.rounds
+
+
+@pytest.fixture()
+def third_party_components():
+    """Register the components like external code would; clean up after."""
+    ATTACKS.register(
+        "test_negated_mean",
+        NegatedMeanAttack,
+        summary="integration-test attack",
+    )
+    DEFENSES.register(
+        "test_median_of_means",
+        MedianOfMeansAggregator,
+        summary="integration-test defense",
+        metadata={"config_defaults": {}},
+    )
+    try:
+        yield
+    finally:
+        ATTACKS.unregister("test_negated_mean")
+        DEFENSES.unregister("test_median_of_means")
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        dataset="usps_like",
+        byzantine_fraction=0.4,
+        attack="test_negated_mean",
+        defense="test_median_of_means",
+        scale=0.2,
+        n_honest=4,
+        epochs=2,
+    )
+    defaults.update(overrides)
+    return benchmark_preset(**defaults)
+
+
+class TestThirdPartyComponents:
+    def test_registered_names_are_discoverable(self, third_party_components):
+        from repro.byzantine.registry import available_attacks
+        from repro.defenses.registry import available_defenses
+
+        assert "test_negated_mean" in available_attacks()
+        assert "adaptive_test_negated_mean" in available_attacks()
+        assert "test_median_of_means" in available_defenses()
+
+    def test_end_to_end_with_early_stop(self, third_party_components):
+        stopper = StopAfterRounds(rounds=2)
+        result = run_experiment(tiny_config(), callbacks=[stopper])
+
+        # The run terminated early: two rounds observed, history ends at
+        # the stop round with a recorded evaluation.
+        assert stopper.seen == [0, 1]
+        assert result.history.rounds[-1] == 1
+        assert result.metadata["total_rounds"] > 2
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_attack_kwargs_flow_through_registry(self, third_party_components):
+        stopper = StopAfterRounds(rounds=1)
+        result = run_experiment(
+            tiny_config(attack_kwargs={"scale": 3.0}), callbacks=[stopper]
+        )
+        assert result.history.rounds == [0]
+
+    def test_unknown_attack_kwarg_fails_with_component_name(
+        self, third_party_components
+    ):
+        with pytest.raises(TypeError, match="test_negated_mean"):
+            run_experiment(tiny_config(attack_kwargs={"scales": 3.0}))
+
+    def test_early_stopping_builtin_terminates_run(self, third_party_components):
+        stopper = EarlyStopping(target_accuracy=0.0)  # first evaluation wins
+        result = run_experiment(tiny_config(epochs=4), callbacks=[stopper])
+        assert result.history.rounds[-1] < result.metadata["total_rounds"] - 1
+
+    def test_adaptive_wrapper_applies_to_registered_attack(
+        self, third_party_components
+    ):
+        stopper = StopAfterRounds(rounds=1)
+        result = run_experiment(
+            tiny_config(attack="adaptive_test_negated_mean", ttbb=0.5),
+            callbacks=[stopper],
+        )
+        assert result.history.rounds == [0]
