@@ -1,13 +1,15 @@
-"""Plug a custom attack and defense into the experiment platform.
+"""Plug a custom attack, defense and client engine into the platform.
 
-Every component family (attacks, defenses, datasets, models) lives in a
-public :class:`repro.registry.Registry`; registering a class makes its
-name a first-class citizen everywhere -- ``ExperimentConfig``, presets,
-sweeps and the CLI -- without touching repro source.  This example
+Every component family (attacks, defenses, datasets, models, client
+compute engines) lives in a public :class:`repro.registry.Registry`;
+registering a class makes its name a first-class citizen everywhere --
+``ExperimentConfig``, presets, sweeps and the CLI -- without touching
+repro source.  This example
 
 1. registers a *sign-flip* attack (negate the benign mean) with
-   ``@ATTACKS.register`` and a *clipped-mean* defense with
-   ``@DEFENSES.register``;
+   ``@ATTACKS.register``, a *clipped-mean* defense with
+   ``@DEFENSES.register`` and an upload-norm-tracing client engine with
+   ``@ENGINES.register``;
 2. runs them through the exact builder path the CLI uses
    (``benchmark_preset`` -> ``run_experiment``), attaching an
    :class:`~repro.federated.EarlyStopping` callback that terminates
@@ -30,7 +32,7 @@ from repro.byzantine.base import Attack, AttackContext
 from repro.defenses import DEFENSES
 from repro.defenses.base import AggregationContext, Aggregator
 from repro.experiments import benchmark_preset, run_experiment
-from repro.federated import EarlyStopping, RoundLogger
+from repro.federated import ENGINES, EarlyStopping, MaterializedEngine, RoundLogger
 
 # ``replace=True`` keeps re-imports (notebooks, test runners) idempotent.
 
@@ -71,14 +73,47 @@ class ClippedMeanAggregator(Aggregator):
         return (stacked * scale[:, None]).mean(axis=0)
 
 
+@ENGINES.register(
+    "norm_trace_demo",
+    summary="materialized engine that records mean upload norms (example component)",
+    replace=True,
+)
+class NormTracingEngine(MaterializedEngine):
+    """A client engine that traces the mean upload norm of every call.
+
+    Subclassing :class:`~repro.federated.MaterializedEngine` keeps the
+    exact stacked-gradient compute path; the subclass only observes the
+    uploads.  Registered engines are selected like any other component:
+    ``ExperimentConfig(engine="norm_trace_demo")`` or
+    ``python -m repro run --engine norm_trace_demo``.
+    """
+
+    #: the most recently built instance (each worker pool builds its own)
+    last_instance: "NormTracingEngine | None" = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mean_upload_norms: list[float] = []
+        NormTracingEngine.last_instance = self
+
+    def compute_uploads(self, model, features, labels, n_workers, *rest):
+        uploads = super().compute_uploads(model, features, labels, n_workers, *rest)
+        self.mean_upload_norms.append(
+            float(np.linalg.norm(uploads, axis=1).mean())
+        )
+        return uploads
+
+
 def main() -> None:
     # The CLI builder path: a preset produces the ExperimentConfig, the
-    # runner resolves every component name through the registries.
+    # runner resolves every component name through the registries --
+    # including the client compute engine.
     config = benchmark_preset(
         dataset="usps_like",
         byzantine_fraction=0.4,
         attack="sign_flip_demo",
         defense="clipped_mean_demo",
+        engine="norm_trace_demo",
         epochs=3,
         scale=0.2,
         n_honest=5,
@@ -96,6 +131,12 @@ def main() -> None:
             if early_stopping.stopped_round is not None
             else ""
         )
+    )
+    print(
+        "custom engine traced "
+        f"{len(NormTracingEngine.last_instance.mean_upload_norms)} pool calls; "
+        f"first mean upload norm "
+        f"{NormTracingEngine.last_instance.mean_upload_norms[0]:.3f}"
     )
 
     # The CLI sees registered components immediately -- same names, same

@@ -43,6 +43,7 @@ from repro.experiments.configs import ExperimentConfig
 from repro.experiments.presets import benchmark_preset, paper_preset
 from repro.experiments.reference import reference_accuracy
 from repro.experiments.runner import run_experiment
+from repro.federated.engines import ENGINES
 from repro.nn.models import MODELS, available_models
 
 __all__ = ["main", "build_parser"]
@@ -77,12 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--ttbb", type=float, default=0.0,
                          help="activation point of adaptive_* attacks")
         sub.add_argument("--noniid", action="store_true", help="non-i.i.d. partitioning")
+        # choices include aliases so every name build_engine accepts works here
+        sub.add_argument("--engine", default="materialized",
+                         choices=ENGINES.names(include_aliases=True),
+                         help="client compute engine (ghost_norm never materialises "
+                              "per-example gradients)")
+        sub.add_argument("--shard-size", type=int, default=None, metavar="K",
+                         help="max workers per stacked engine call (bounds client "
+                              "memory; bitwise-identical to unsharded)")
         sub.add_argument("--paper-scale", action="store_true",
                          help="use the paper's full-scale settings (slow on CPU)")
         sub.add_argument("--save", default=None, help="write results to this JSON file")
 
     run_parser = subparsers.add_parser("run", help="run a single experiment")
     add_experiment_arguments(run_parser)
+    # run-only: resuming a three-way compare from one snapshot is ill-defined
+    run_parser.add_argument("--resume-from", default=None, metavar="SNAPSHOT",
+                            help="restore a Checkpoint round_<i>.npy snapshot (or "
+                                 "the latest one in a directory) and continue the "
+                                 "schedule")
 
     compare_parser = subparsers.add_parser(
         "compare", help="run protocol vs undefended vs Reference Accuracy"
@@ -123,11 +137,13 @@ def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
         seed=arguments.seed,
         ttbb=arguments.ttbb,
         iid=not arguments.noniid,
+        engine=arguments.engine,
+        shard_size=arguments.shard_size,
         **({} if arguments.paper_scale else {"epochs": arguments.epochs}),
     )
 
 
-_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS)
+_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES)
 
 
 def _command_list(arguments: argparse.Namespace) -> int:
@@ -147,9 +163,30 @@ def _command_list(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_resume(arguments: argparse.Namespace):
+    """Resolve --resume-from to a (round, vector) pair, exiting cleanly."""
+    if arguments.resume_from is None:
+        return None
+    from repro.experiments.runner import resolve_checkpoint
+
+    try:
+        return resolve_checkpoint(arguments.resume_from)
+    except (OSError, ValueError) as error:
+        raise SystemExit(
+            f"repro: cannot resume from {arguments.resume_from!r}: {error}"
+        )
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
+    from repro.experiments.runner import CheckpointMismatchError
+
     config = _config_from_arguments(arguments)
-    result = run_experiment(config)
+    try:
+        result = run_experiment(config, resume_from=_resolve_resume(arguments))
+    except CheckpointMismatchError as error:
+        raise SystemExit(
+            f"repro: cannot resume from {arguments.resume_from!r}: {error}"
+        )
     print(format_table(["field", "value"], [
         ["dataset", config.dataset],
         ["attack / defense", f"{config.attack} / {config.defense}"],

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, field
 
-__all__ = ["DPConfig", "ProtocolConfig"]
+__all__ = ["DPConfig", "EngineConfig", "ProtocolConfig"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,44 @@ class DPConfig:
             raise ValueError("bounding must be 'normalize' or 'clip'")
         if self.clip_norm <= 0:
             raise ValueError("clip_norm must be positive")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Client-side compute engine selection (how uploads are computed).
+
+    The *engine* decides how a :class:`~repro.federated.worker.WorkerPool`
+    turns sampled mini-batches into protocol uploads -- e.g. the
+    materialized stacked per-example-gradient path, or the ghost-norm
+    Gram-matrix path that never builds the ``(n b_c, d)`` gradient tensor.
+    Engines are registered in :data:`repro.federated.engines.ENGINES`;
+    this config is pure data so it serialises with the experiment config.
+
+    Attributes
+    ----------
+    name:
+        Registered engine name (see
+        :func:`repro.federated.engines.available_engines`).
+    shard_size:
+        Upper bound on the number of workers a pool runs through one
+        stacked engine call; ``None`` keeps the whole pool in one shard.
+        Sharding caps the pool's peak scratch memory (sampling buffers and
+        the engine's gradient scratch are sized by the largest shard, not
+        the population) and is bitwise-identical to the unsharded pool.
+    options:
+        Extra keyword arguments for the engine builder.
+    """
+
+    name: str = "materialized"
+    shard_size: int | None = None
+    options: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("engine name must be a non-empty string")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive when set")
+        object.__setattr__(self, "options", dict(self.options))
 
 
 @dataclass(frozen=True)

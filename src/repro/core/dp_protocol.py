@@ -47,11 +47,67 @@ from repro.privacy.mechanisms import (
 __all__ = [
     "BatchedDPState",
     "LocalDPState",
+    "bounding_factors",
+    "finalize_uploads",
     "local_update",
     "local_update_batch",
     "noise_to_signal_ratio",
     "upload_noise_std",
 ]
+
+#: Norm floor protecting against division by zero, matching
+#: :mod:`repro.privacy.mechanisms`.
+_NORM_FLOOR = 1e-12
+
+
+def bounding_factors(norms: np.ndarray, config: DPConfig) -> np.ndarray:
+    """Per-slot multipliers of the sensitivity-bounding step, given norms.
+
+    This is the *norms-provided* variant of normalise/clip: engines that
+    obtain slot norms without materialising the slot vectors (the ghost-norm
+    Gram-matrix path) turn them into the exact multipliers
+    :func:`repro.privacy.mechanisms.normalize_gradients` /
+    :func:`~repro.privacy.mechanisms.clip_gradients` would have applied --
+    including the zero-norm floor semantics (normalise maps a vanishing slot
+    to zero; clip leaves it untouched).
+
+    Parameters
+    ----------
+    norms:
+        l2 norms of the momentum slots, any shape.
+    config:
+        The DP settings selecting ``"normalize"`` or ``"clip"`` bounding.
+    """
+    norms = np.asarray(norms, dtype=np.float64)
+    if config.bounding == "normalize":
+        return np.where(norms > _NORM_FLOOR, 1.0 / np.maximum(norms, _NORM_FLOOR), 0.0)
+    return np.minimum(1.0, config.clip_norm / np.maximum(norms, _NORM_FLOOR))
+
+
+def finalize_uploads(
+    slot_sums: np.ndarray,
+    state: BatchedDPState,
+    config: DPConfig,
+    rngs: list[np.random.Generator],
+) -> np.ndarray:
+    """Noise, average and momentum overwrite shared by every client engine.
+
+    ``slot_sums`` holds each worker's summed bounded momentum slots, shape
+    ``(n_workers, d)``; the array is updated **in place** (Algorithm 1 line
+    10: add per-worker Gaussian noise, divide by the batch size) and every
+    momentum slot is overwritten with the upload (line 11, stored rank-1 in
+    ``state``).  Worker ``i``'s noise comes from ``rngs[i]`` with exactly
+    the same draw the scalar protocol makes, so engines that share sampling
+    and noise streams differ only in gradient summation order.
+    """
+    n_workers, dimension = slot_sums.shape
+    if len(rngs) != n_workers:
+        raise ValueError(f"expected {n_workers} generators, got {len(rngs)}")
+    noise = gaussian_noise_batch(dimension, config.sigma, rngs)
+    np.add(slot_sums, noise, out=slot_sums)
+    np.divide(slot_sums, config.batch_size, out=slot_sums)
+    np.copyto(state.slot_momentum, slot_sums)
+    return slot_sums
 
 
 @dataclass
@@ -198,16 +254,10 @@ def local_update_batch(
     else:
         clip_gradients(per_example, config.clip_norm, out=per_example)
 
-    # Average the slots and add per-worker Gaussian noise (line 10).
-    uploads = per_example.sum(axis=1)
-    noise = gaussian_noise_batch(dimension, config.sigma, rngs)
-    np.add(uploads, noise, out=uploads)
-    np.divide(uploads, config.batch_size, out=uploads)
-
-    # Line 11: every momentum slot of worker i becomes upload i; stored
-    # rank-1 (one (n_workers, d) copy) instead of tiling (n_workers, b_c, d).
-    np.copyto(state.slot_momentum, uploads)
-    return uploads
+    # Average the slots, add per-worker Gaussian noise (line 10) and
+    # overwrite the momentum (line 11, stored rank-1) -- the finalisation
+    # shared with the ghost-norm engine, bitwise the same ops as before.
+    return finalize_uploads(per_example.sum(axis=1), state, config, rngs)
 
 
 def noise_to_signal_ratio(config: DPConfig, dimension: int) -> float:

@@ -70,6 +70,15 @@ class ExperimentConfig:
         Server auxiliary data settings (Table 17 uses ``aux_mismatched``).
     model:
         Model registry name, or ``None`` for the dataset default.
+    engine, engine_kwargs:
+        Client compute engine name (see
+        :func:`repro.federated.available_engines`; ``"materialized"`` is
+        the exact stacked-gradient reference, ``"ghost_norm"`` the
+        Gram-matrix path for linear-layer stacks) and builder arguments.
+    shard_size:
+        Maximum workers per stacked engine call (``None``: whole pool in
+        one shard).  Bitwise-identical to unsharded; bounds peak client
+        memory by the shard.
     eval_every:
         Evaluation cadence in rounds (``None``: about 8 points per run).
     seed:
@@ -99,6 +108,9 @@ class ExperimentConfig:
     aux_per_class: int = 2
     aux_mismatched: bool = False
     model: str | None = None
+    engine: str = "materialized"
+    engine_kwargs: dict = field(default_factory=dict)
+    shard_size: int | None = None
     eval_every: int | None = None
     seed: int = 1
 
@@ -113,6 +125,8 @@ class ExperimentConfig:
             raise ValueError("epochs must be positive")
         if not 0.0 < self.gamma <= 1.0:
             raise ValueError("gamma must be in (0, 1]")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive or None")
 
     @property
     def n_byzantine(self) -> int:

@@ -16,14 +16,16 @@ entry point.
 from __future__ import annotations
 
 import math
+import re
 from collections.abc import Iterable
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.results import RunResult, SeedSummary, summarize_runs
 from repro.byzantine.registry import build_attack
-from repro.core.config import DPConfig
+from repro.core.config import DPConfig, EngineConfig
 from repro.core.hyperparams import protocol_sigma, transfer_learning_rate
 from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
 from repro.data.partition import partition_iid, partition_noniid
@@ -35,7 +37,56 @@ from repro.federated.pipeline import RoundCallback
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.nn.models import build_model, model_for_dataset
 
-__all__ = ["ExperimentSetup", "prepare_experiment", "run_experiment", "run_seeds"]
+__all__ = [
+    "CheckpointMismatchError",
+    "ExperimentSetup",
+    "prepare_experiment",
+    "resolve_checkpoint",
+    "run_experiment",
+    "run_seeds",
+]
+
+
+class CheckpointMismatchError(ValueError):
+    """A resolved checkpoint does not fit the experiment it should resume
+    (round outside the schedule, or parameter vector of the wrong size)."""
+
+#: File-name pattern of the snapshots the ``Checkpoint`` callback writes.
+_CHECKPOINT_PATTERN = re.compile(r"round_(\d+)\.npy$")
+
+
+def resolve_checkpoint(
+    resume_from: str | Path | tuple[int, np.ndarray],
+) -> tuple[int, np.ndarray]:
+    """Resolve a resume specification to ``(round_index, flat_parameters)``.
+
+    ``resume_from`` may be a ``(round_index, vector)`` pair, the path of a
+    ``round_<index>.npy`` snapshot written by the
+    :class:`~repro.federated.pipeline.Checkpoint` callback, or a directory
+    of such snapshots (the latest round wins).
+    """
+    if isinstance(resume_from, tuple):
+        round_index, parameters = resume_from
+        return int(round_index), np.asarray(parameters, dtype=np.float64)
+    path = Path(resume_from)
+    if path.is_dir():
+        candidates = [
+            (int(match.group(1)), entry)
+            for entry in path.glob("round_*.npy")
+            if (match := _CHECKPOINT_PATTERN.search(entry.name))
+        ]
+        if not candidates:
+            raise FileNotFoundError(
+                f"no round_<index>.npy checkpoint snapshots in {path}"
+            )
+        _, path = max(candidates)
+    match = _CHECKPOINT_PATTERN.search(path.name)
+    if match is None:
+        raise ValueError(
+            f"cannot infer the round index from {path.name!r}; expected a "
+            "round_<index>.npy snapshot (or pass a (round, vector) tuple)"
+        )
+    return int(match.group(1)), np.load(path)
 
 
 def _build_defense_for(config: ExperimentConfig) -> Aggregator:
@@ -98,13 +149,25 @@ class ExperimentSetup:
 
 
 def prepare_experiment(
-    config: ExperimentConfig, seed: int | None = None
+    config: ExperimentConfig,
+    seed: int | None = None,
+    resume_from: str | Path | tuple[int, np.ndarray] | None = None,
 ) -> ExperimentSetup:
     """Build the simulation for a config without running it.
 
     All components are resolved through the registries, so anything
     registered via the public ``Registry`` API (third-party attacks,
-    defenses, datasets, models) is built exactly like the built-ins.
+    defenses, datasets, models, client engines) is built exactly like the
+    built-ins.
+
+    ``resume_from`` restores a :class:`~repro.federated.pipeline
+    .Checkpoint` snapshot (see :func:`resolve_checkpoint`): the flat
+    parameter vector is loaded into the global model and the round counter
+    advances past the snapshot round, so :meth:`FederatedSimulation.run`
+    continues with the remaining rounds.  (Worker generator streams
+    restart from their seeds -- the restored run is a faithful
+    continuation of the *model*, not a bitwise replay of the interrupted
+    process.)
     """
     seed = config.seed if seed is None else seed
     rng = np.random.default_rng(seed)
@@ -156,6 +219,11 @@ def prepare_experiment(
         eval_every=eval_every,
     )
 
+    engine_config = EngineConfig(
+        name=config.engine,
+        shard_size=config.shard_size,
+        options=config.engine_kwargs,
+    )
     simulation = FederatedSimulation(
         model=model,
         honest_datasets=shards,
@@ -167,7 +235,23 @@ def prepare_experiment(
         test_dataset=test,
         settings=settings,
         seed=seed,
+        engine=engine_config,
     )
+    if resume_from is not None:
+        restored_round, parameters = resolve_checkpoint(resume_from)
+        if not 0 <= restored_round < total_rounds:
+            raise CheckpointMismatchError(
+                f"checkpoint round {restored_round} outside the schedule "
+                f"of {total_rounds} rounds"
+            )
+        try:
+            simulation.model.set_flat_parameters(parameters)
+        except ValueError as error:
+            raise CheckpointMismatchError(
+                f"checkpoint parameters do not fit the model: {error}"
+            ) from error
+        simulation.server.round_index = restored_round + 1
+        simulation.start_round = restored_round + 1
     return ExperimentSetup(
         config=config,
         seed=seed,
@@ -184,6 +268,7 @@ def run_experiment(
     config: ExperimentConfig,
     seed: int | None = None,
     callbacks: Iterable[RoundCallback] = (),
+    resume_from: str | Path | tuple[int, np.ndarray] | None = None,
 ) -> RunResult:
     """Run one federated training experiment.
 
@@ -197,8 +282,11 @@ def run_experiment(
         Extra round-pipeline hooks (see
         :class:`~repro.federated.pipeline.RoundCallback`); a callback's
         ``should_stop`` may terminate the run early.
+    resume_from:
+        Optional :class:`~repro.federated.pipeline.Checkpoint` snapshot to
+        restore before running (see :func:`prepare_experiment`).
     """
-    setup = prepare_experiment(config, seed=seed)
+    setup = prepare_experiment(config, seed=seed, resume_from=resume_from)
     history = setup.simulation.run(callbacks)
 
     return RunResult(

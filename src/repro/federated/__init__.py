@@ -18,8 +18,20 @@
 - :class:`~repro.federated.history.TrainingHistory` -- per-round records,
   populated by the default
   :class:`~repro.federated.pipeline.HistoryRecorder` event consumer.
+- :mod:`repro.federated.engines` -- pluggable client compute engines
+  (:data:`~repro.federated.engines.ENGINES` registry): the materialized
+  stacked-gradient path and the ghost-norm Gram-matrix path, driven over
+  bounded-size pool shards.
 """
 
+from repro.federated.engines import (
+    ENGINES,
+    ClientEngine,
+    GhostNormEngine,
+    MaterializedEngine,
+    available_engines,
+    build_engine,
+)
 from repro.federated.history import TrainingHistory
 from repro.federated.pipeline import (
     Checkpoint,
@@ -32,12 +44,19 @@ from repro.federated.pipeline import (
     RoundLogger,
     RoundPipeline,
     RoundStartEvent,
+    StreamingEvaluation,
 )
 from repro.federated.server import Server
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.federated.worker import HonestWorker, WorkerPool, WorkerSlot
 
 __all__ = [
+    "ENGINES",
+    "ClientEngine",
+    "MaterializedEngine",
+    "GhostNormEngine",
+    "available_engines",
+    "build_engine",
     "HonestWorker",
     "WorkerPool",
     "WorkerSlot",
@@ -55,4 +74,5 @@ __all__ = [
     "EarlyStopping",
     "RoundLogger",
     "Checkpoint",
+    "StreamingEvaluation",
 ]

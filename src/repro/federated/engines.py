@@ -1,0 +1,373 @@
+"""Pluggable client compute engines.
+
+A *client engine* is the strategy a :class:`~repro.federated.worker
+.WorkerPool` uses to turn one shard's sampled mini-batches into protocol
+uploads (Algorithm 1, lines 4-12).  Engines are registered in the
+:data:`ENGINES` registry, so the compute backend is a scenario axis like
+attacks, defenses, datasets and models: ``ExperimentConfig(engine=...)``,
+``python -m repro run --engine ...`` and ``python -m repro list`` all see
+third-party engines registered through the public
+:class:`repro.registry.Registry` API.
+
+Two engines ship built-in:
+
+- :class:`MaterializedEngine` -- the stacked per-example-gradient path:
+  one ``(n b_c, d)`` forward/backward whose flat gradients feed
+  :func:`repro.core.dp_protocol.local_update_batch`.  This is the exact
+  batched reference implementation (bitwise identical to the scalar
+  protocol's summation order).
+- :class:`GhostNormEngine` -- the "ghost norm" trick for stacks of
+  :class:`~repro.nn.layers.Linear` layers.  The per-example gradient of a
+  linear layer is the rank-1 outer product ``x_j (x) delta_j``, so the
+  slot Gram matrix factorises as ``(X X^T) (.) (Delta Delta^T)`` and
+
+  * slot norms come from the Gram *diagonals* plus three small momentum
+    cross terms, and
+  * the normalised (or clipped) slot sum comes from one weighted batched
+    GEMM per layer,
+
+  without ever allocating the ``(n b_c, d)`` per-example gradient tensor.
+  Uploads agree with the materialized path to ~1e-15 relative (different
+  floating-point summation order); the equivalence gate is therefore
+  tolerance-based (``rtol 1e-9``), not bitwise.  Noise and sampling use
+  the same per-worker generator draws, so the DP noise is bit-identical
+  across engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DPConfig, EngineConfig
+from repro.core.dp_protocol import (
+    BatchedDPState,
+    bounding_factors,
+    finalize_uploads,
+    local_update_batch,
+)
+from repro.nn.network import Sequential
+from repro.registry import Registry
+
+__all__ = [
+    "ENGINES",
+    "ClientEngine",
+    "GhostNormEngine",
+    "MaterializedEngine",
+    "available_engines",
+    "build_engine",
+    "pairwise_gradient_gram",
+]
+
+#: Global registry of client compute engines.
+ENGINES = Registry("engine")
+
+
+class ClientEngine:
+    """Base class of client compute engines.
+
+    An engine is a stateless-between-rounds compute strategy; per-round
+    scratch buffers may be cached on the instance (they are keyed by shape,
+    so one engine instance can serve several pool shards, and honest and
+    Byzantine pools may share an instance).
+    """
+
+    def compute_uploads(
+        self,
+        model: Sequential,
+        features: np.ndarray,
+        labels: np.ndarray,
+        n_workers: int,
+        state: BatchedDPState,
+        config: DPConfig,
+        rngs: list[np.random.Generator],
+    ) -> np.ndarray:
+        """One protocol iteration for ``n_workers`` workers.
+
+        Parameters
+        ----------
+        model:
+            The current global model (parameters already broadcast).
+        features, labels:
+            The stacked sampled mini-batches, shapes ``(n_workers * b_c,
+            dim)`` and ``(n_workers * b_c,)``, worker-major.
+        n_workers:
+            Number of workers in this shard.
+        state:
+            The shard's momentum state (``slot_momentum`` may be a view
+            into the pool's full state), updated in place.
+        config:
+            Shared client-side DP settings.
+        rngs:
+            One generator per worker, in worker order (noise draws).
+
+        Returns
+        -------
+        Uploads of shape ``(n_workers, d)``.  The array may be engine-owned
+        scratch reused by the next call -- the caller copies it out.
+        """
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Drop any cached scratch buffers (no-op by default)."""
+
+
+@ENGINES.register(
+    "materialized",
+    aliases=("stacked",),
+    summary="stacked per-example gradients through local_update_batch (exact reference)",
+)
+class MaterializedEngine(ClientEngine):
+    """The stacked per-example-gradient path, extracted from ``WorkerPool``.
+
+    Allocates one ``(n_workers * b_c, d)`` flat gradient buffer (reused
+    across rounds; sized by the largest shard it has served) and feeds it
+    to :func:`~repro.core.dp_protocol.local_update_batch`.  Bitwise
+    identical to the scalar per-worker protocol.
+    """
+
+    def __init__(self) -> None:
+        self._gradients: np.ndarray | None = None
+        # Row-sliced views of the scratch, cached per row count so repeated
+        # calls hand ``Sequential.per_example_gradients`` the *same* array
+        # object -- its gradient-buffer binding is identity-cached, so a
+        # fresh slice every round would force a re-bind every round.
+        self._views: dict[int, np.ndarray] = {}
+
+    def _scratch(self, rows: int, dimension: int) -> np.ndarray:
+        if (
+            self._gradients is None
+            or self._gradients.shape[0] < rows
+            or self._gradients.shape[1] != dimension
+        ):
+            self._gradients = np.empty((rows, dimension), dtype=np.float64)
+            self._views = {rows: self._gradients}
+        view = self._views.get(rows)
+        if view is None:
+            view = self._gradients[:rows]
+            self._views[rows] = view
+        return view
+
+    def compute_uploads(
+        self,
+        model: Sequential,
+        features: np.ndarray,
+        labels: np.ndarray,
+        n_workers: int,
+        state: BatchedDPState,
+        config: DPConfig,
+        rngs: list[np.random.Generator],
+    ) -> np.ndarray:
+        batch = config.batch_size
+        dimension = model.num_parameters
+        scratch = self._scratch(n_workers * batch, dimension)
+        _, gradients = model.per_example_gradients(features, labels, out=scratch)
+        stacked = gradients.reshape(n_workers, batch, dimension)
+        return local_update_batch(stacked, state, config, rngs)
+
+    def release(self) -> None:
+        self._gradients = None
+        self._views = {}
+
+
+@ENGINES.register(
+    "ghost_norm",
+    aliases=("ghost",),
+    summary="Gram-matrix slot norms + weighted GEMM sums; never materialises per-example gradients",
+)
+class GhostNormEngine(ClientEngine):
+    """Ghost-norm client path for stacks of linear layers.
+
+    With momentum state ``m_i`` (rank-1 across slots, Algorithm 1 line 11)
+    and per-example gradient ``g_ij``, the momentum slot is ``phi_ij =
+    (1 - beta) g_ij + beta m_i`` and everything the protocol needs follows
+    from inner products that factorise through the layer factors
+    ``(X, Delta)`` captured by
+    :meth:`~repro.nn.network.Sequential.per_example_grad_factors`:
+
+    - ``||g_ij||^2  = sum_l (||x^l_ij||^2 + 1) ||delta^l_ij||^2``
+      (the diagonal of the slot Gram matrix
+      ``(X X^T + 1) (.) (Delta Delta^T)``; the ``+1`` is the bias block);
+    - ``<g_ij, m_i> = sum_l (x^l_ij)^T M^l_i delta^l_ij + (c^l_i)^T
+      delta^l_ij`` with ``M^l_i, c^l_i`` the per-layer blocks of ``m_i``
+      (two batched GEMM-shaped contractions);
+    - ``||phi_ij||^2 = (1-beta)^2 ||g_ij||^2 + 2 beta (1-beta)
+      <g_ij, m_i> + beta^2 ||m_i||^2``;
+    - the bounded slot sum ``sum_j w_ij phi_ij = (1-beta) sum_l X_l^T
+      (w (.) Delta_l) + beta (sum_j w_ij) m_i`` where ``w`` are the
+      norms-provided bounding factors
+      (:func:`~repro.core.dp_protocol.bounding_factors`).
+
+    Total cost is ~2 batched GEMMs per layer (the same order as the
+    forward pass) and the peak extra memory is one ``(n_workers, d)``
+    bounded-sum buffer -- the ``(n_workers * b_c, d)`` gradient tensor of
+    the materialized path never exists.
+    """
+
+    def __init__(self) -> None:
+        # Capacity buffer plus row-sliced views, so uneven shard sizes
+        # (e.g. 8,8,8,6) reuse one allocation instead of thrashing.
+        self._bounded: np.ndarray | None = None
+        self._bounded_views: dict[int, np.ndarray] = {}
+
+    def _bounded_scratch(self, n_workers: int, dimension: int) -> np.ndarray:
+        if (
+            self._bounded is None
+            or self._bounded.shape[0] < n_workers
+            or self._bounded.shape[1] != dimension
+        ):
+            self._bounded = np.empty((n_workers, dimension), dtype=np.float64)
+            self._bounded_views = {n_workers: self._bounded}
+        view = self._bounded_views.get(n_workers)
+        if view is None:
+            view = self._bounded[:n_workers]
+            self._bounded_views[n_workers] = view
+        return view
+
+    def compute_uploads(
+        self,
+        model: Sequential,
+        features: np.ndarray,
+        labels: np.ndarray,
+        n_workers: int,
+        state: BatchedDPState,
+        config: DPConfig,
+        rngs: list[np.random.Generator],
+    ) -> np.ndarray:
+        batch = config.batch_size
+        dimension = model.num_parameters
+        beta = config.momentum
+        state.ensure_shape(n_workers, batch, dimension)
+        momentum = state.slot_momentum  # (n, d), rank-1 across slots
+
+        _, factors = model.per_example_grad_factors(features, labels)
+        layout = model.parameter_layout()
+
+        # Per-layer factors reshaped worker-major: X_l (n, b, in), D_l (n, b, out).
+        shaped: list[tuple[np.ndarray, np.ndarray]] = []
+        for (layer, _), (_, inputs, deltas) in zip(layout, factors):
+            if len(layer.parameters) != 2 or layer.parameters[0].shape != (
+                inputs.shape[1],
+                deltas.shape[1],
+            ):
+                raise RuntimeError(
+                    f"{type(layer).__name__} does not follow the linear "
+                    "(weight, bias) factor convention the ghost-norm engine "
+                    "requires; use the materialized engine for this model"
+                )
+            shaped.append(
+                (
+                    inputs.reshape(n_workers, batch, -1),
+                    deltas.reshape(n_workers, batch, -1),
+                )
+            )
+
+        # Slot gradient norms from the Gram diagonals:
+        # ||g_ij||^2 = sum_l (||x||^2 + 1) ||delta||^2.
+        slot_sq = np.zeros((n_workers, batch), dtype=np.float64)
+        for inputs, deltas in shaped:
+            input_sq = np.einsum("nbi,nbi->nb", inputs, inputs)
+            delta_sq = np.einsum("nbo,nbo->nb", deltas, deltas)
+            input_sq += 1.0  # the bias gradient contributes ||delta||^2
+            input_sq *= delta_sq
+            slot_sq += input_sq
+
+        # ||phi_ij||^2 via the momentum cross terms (skipped at beta = 0,
+        # where phi = (1 - beta) g exactly).
+        np.multiply(slot_sq, (1.0 - beta) ** 2, out=slot_sq)
+        if beta > 0.0:
+            momentum_sq = np.einsum("nd,nd->n", momentum, momentum)
+            cross = np.zeros((n_workers, batch), dtype=np.float64)
+            for ((_, slices), (inputs, deltas)) in zip(layout, shaped):
+                (w_start, w_stop, w_shape), (b_start, b_stop, _) = slices
+                weight_block = momentum[:, w_start:w_stop].reshape(
+                    n_workers, *w_shape
+                )
+                bias_block = momentum[:, b_start:b_stop]
+                # <x (x) delta, M> = x^T M delta, batched over workers.
+                projected = np.matmul(inputs, weight_block)  # (n, b, out)
+                cross += np.einsum("nbo,nbo->nb", projected, deltas)
+                cross += np.einsum("no,nbo->nb", bias_block, deltas)
+            slot_sq += (2.0 * beta * (1.0 - beta)) * cross
+            slot_sq += (beta * beta) * momentum_sq[:, np.newaxis]
+        # The factorised sum can round a true ~0 norm slightly negative.
+        np.maximum(slot_sq, 0.0, out=slot_sq)
+
+        weights = bounding_factors(np.sqrt(slot_sq), config)  # (n, b)
+
+        # Bounded slot sum without materialising the slots:
+        # (1-beta) sum_l X_l^T (w (.) Delta_l)  [+ beta (sum_j w_ij) m_i].
+        bounded = self._bounded_scratch(n_workers, dimension)
+        for ((_, slices), (inputs, deltas)) in zip(layout, shaped):
+            (w_start, w_stop, _), (b_start, b_stop, _) = slices
+            weighted_deltas = weights[:, :, np.newaxis] * deltas  # (n, b, out)
+            weight_sum = np.matmul(
+                inputs.swapaxes(1, 2), weighted_deltas
+            )  # (n, in, out)
+            bounded[:, w_start:w_stop] = weight_sum.reshape(n_workers, -1)
+            bounded[:, b_start:b_stop] = weighted_deltas.sum(axis=1)
+        np.multiply(bounded, 1.0 - beta, out=bounded)
+        if beta > 0.0:
+            bounded += (beta * weights.sum(axis=1))[:, np.newaxis] * momentum
+
+        return finalize_uploads(bounded, state, config, rngs)
+
+    def release(self) -> None:
+        self._bounded = None
+        self._bounded_views = {}
+
+
+def pairwise_gradient_gram(
+    model: Sequential,
+    features: np.ndarray,
+    labels: np.ndarray,
+    n_workers: int,
+) -> np.ndarray:
+    """Per-worker Gram matrices of the per-example flat gradients.
+
+    Returns ``(n_workers, b, b)`` with entry ``[i, j, k] = <g_ij, g_ik>``,
+    computed through the ghost factorisation ``sum_l (X_l X_l^T + 1) (.)
+    (Delta_l Delta_l^T)`` -- the object the ghost-norm engine takes the
+    diagonal of.  Exposed for tests and diagnostics (the full ``b x b``
+    matrix is also what pairwise-similarity defenses would consume).
+    """
+    _, factors = model.per_example_grad_factors(features, labels)
+    batch = features.shape[0] // n_workers
+    gram = np.zeros((n_workers, batch, batch), dtype=np.float64)
+    for (_, inputs, deltas) in factors:
+        x = inputs.reshape(n_workers, batch, -1)
+        d = deltas.reshape(n_workers, batch, -1)
+        input_gram = np.matmul(x, x.swapaxes(1, 2))
+        delta_gram = np.matmul(d, d.swapaxes(1, 2))
+        input_gram += 1.0  # bias block
+        input_gram *= delta_gram
+        gram += input_gram
+    return gram
+
+
+def available_engines() -> list[str]:
+    """Names accepted by :func:`build_engine` (and the ``--engine`` flag)."""
+    return ENGINES.names()
+
+
+def build_engine(
+    engine: str | ClientEngine | EngineConfig | None, **kwargs
+) -> ClientEngine:
+    """Resolve an engine specification to a :class:`ClientEngine` instance.
+
+    ``engine`` may be a registered name, an :class:`~repro.core.config
+    .EngineConfig` (its ``options`` merge under ``kwargs``), an existing
+    instance (returned as-is; ``kwargs`` must then be empty) or ``None``
+    for the default materialized engine.
+    """
+    if engine is None:
+        engine = "materialized"
+    if isinstance(engine, EngineConfig):
+        merged = {**engine.options, **kwargs}
+        return ENGINES.build(engine.name, **merged)
+    if isinstance(engine, ClientEngine):
+        if kwargs:
+            raise TypeError(
+                "cannot pass engine kwargs together with an engine instance"
+            )
+        return engine
+    return ENGINES.build(engine, **kwargs)

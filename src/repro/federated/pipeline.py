@@ -50,6 +50,7 @@ __all__ = [
     "EarlyStopping",
     "RoundLogger",
     "Checkpoint",
+    "StreamingEvaluation",
     "RoundPipeline",
 ]
 
@@ -114,7 +115,13 @@ class RoundEndEvent(RoundEvent):
 # callbacks
 # ---------------------------------------------------------------------- #
 class RoundCallback:
-    """Base class for pipeline hooks; every method is an optional no-op."""
+    """Base class for pipeline hooks; every method is an optional no-op.
+
+    Besides the event hooks, a callback may define an ``evaluate_model(
+    simulation) -> float`` method to *replace* the pipeline's evaluate
+    stage (the full-test-set accuracy pass); the last callback providing
+    one wins.  :class:`StreamingEvaluation` is the built-in replacement.
+    """
 
     def on_round_start(self, event: RoundStartEvent) -> None:
         """Called before any stage of the round runs."""
@@ -286,6 +293,53 @@ class Checkpoint(RoundCallback):
             np.save(self.directory / f"round_{event.round_index}.npy", parameters)
 
 
+class StreamingEvaluation(RoundCallback):
+    """Replace the full-test-set evaluate stage with a bounded-memory one.
+
+    Two independent knobs:
+
+    - ``batch_size``: the forward pass streams the test set in chunks of
+      this size (exact -- chunking never changes a prediction; this only
+      bounds peak activation memory for large test sets).
+    - ``subsample``: if set, accuracy is computed on a fixed random subset
+      of this many test examples (drawn once per dataset from ``seed``),
+      trading exactness for per-evaluation cost on very large test sets.
+
+    With ``subsample=None`` the reported accuracies are identical to
+    :meth:`repro.federated.server.Server.evaluate` on the full test set.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 1024,
+        subsample: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if subsample is not None and subsample <= 0:
+            raise ValueError("subsample must be positive when set")
+        self.batch_size = batch_size
+        self.subsample = subsample
+        self.seed = seed
+        # (source dataset, its subset); the source is held and compared by
+        # identity, so a recycled object id can never serve a stale subset
+        self._subset_cache: tuple[object, object] | None = None
+
+    def _evaluation_dataset(self, dataset):
+        if self.subsample is None or self.subsample >= len(dataset):
+            return dataset
+        if self._subset_cache is None or self._subset_cache[0] is not dataset:
+            rng = np.random.default_rng(self.seed)
+            indices = rng.choice(len(dataset), size=self.subsample, replace=False)
+            self._subset_cache = (dataset, dataset.subset(np.sort(indices)))
+        return self._subset_cache[1]
+
+    def evaluate_model(self, simulation: "FederatedSimulation") -> float:
+        dataset = self._evaluation_dataset(simulation.test_dataset)
+        return simulation.server.evaluate(dataset, batch_size=self.batch_size)
+
+
 # ---------------------------------------------------------------------- #
 # the pipeline
 # ---------------------------------------------------------------------- #
@@ -349,7 +403,17 @@ class RoundPipeline:
         return {"byzantine_selected_fraction": byz_selected}
 
     def evaluate(self) -> float:
-        """Stage 6: test accuracy of the current global model."""
+        """Stage 6: test accuracy of the current global model.
+
+        A callback may replace this stage by defining ``evaluate_model(
+        simulation) -> float`` (e.g. :class:`StreamingEvaluation`); the
+        last such callback wins, and the default is the server's exact
+        full-test-set pass.
+        """
+        for callback in reversed(self.callbacks):
+            evaluate_model = getattr(callback, "evaluate_model", None)
+            if callable(evaluate_model):
+                return float(evaluate_model(self.simulation))
         return self.simulation.server.evaluate(self.simulation.test_dataset)
 
     def run_round(self, round_index: int) -> dict[str, float]:
@@ -397,10 +461,19 @@ class RoundPipeline:
         In that case the extra ``on_evaluation`` necessarily fires
         *after* the stop round's ``on_round_end`` (whose ``accuracy`` is
         ``None`` -- the stop decision is what triggered the evaluation).
+
+        A simulation restored from a checkpoint sets ``start_round``; the
+        loop then resumes at that round instead of round 0.
         """
         settings = self.simulation.settings
         total_rounds = settings.total_rounds
-        for round_index in range(total_rounds):
+        start_round = getattr(self.simulation, "start_round", 0)
+        if start_round >= total_rounds:
+            # Resumed from the final snapshot: nothing left to train, but
+            # evaluate once so the recorded history has its final point.
+            self._evaluate_and_emit(total_rounds - 1, total_rounds, {})
+            return
+        for round_index in range(start_round, total_rounds):
             self._emit(
                 "on_round_start",
                 RoundStartEvent(round_index=round_index, total_rounds=total_rounds),

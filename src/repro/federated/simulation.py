@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.byzantine.adaptive import AdaptiveAttack
 from repro.byzantine.base import Attack, AttackContext
-from repro.core.config import DPConfig
+from repro.core.config import DPConfig, EngineConfig
 from repro.core.dp_protocol import upload_noise_std
 from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
@@ -111,6 +111,17 @@ class FederatedSimulation:
         Local datasets for protocol-following Byzantine workers.  If
         omitted, bootstrap copies of randomly chosen honest shards are used
         (the omniscient attacker knows the honest data anyway).
+    engine:
+        Client compute engine for the worker pools: a registered name, an
+        :class:`~repro.core.config.EngineConfig` (whose ``shard_size``
+        also shards the pools), a ready
+        :class:`~repro.federated.engines.ClientEngine` instance (then
+        shared by both pools), or ``None`` for the default materialized
+        engine.  Each pool otherwise gets its own engine instance.
+    shard_size:
+        Maximum workers per stacked engine call (see
+        :class:`~repro.federated.worker.WorkerPool`); overrides an
+        ``EngineConfig``'s value when both are given.
     """
 
     def __init__(
@@ -126,6 +137,8 @@ class FederatedSimulation:
         settings: SimulationSettings,
         seed: int = 0,
         byzantine_datasets: list[Dataset] | None = None,
+        engine: str | EngineConfig | object | None = None,
+        shard_size: int | None = None,
     ) -> None:
         if not honest_datasets:
             raise ValueError("at least one honest worker is required")
@@ -140,6 +153,12 @@ class FederatedSimulation:
         self.settings = settings
         self.test_dataset = test_dataset
         self.dp_config = dp_config
+        self.engine_spec = engine
+        if shard_size is None and isinstance(engine, EngineConfig):
+            shard_size = engine.shard_size
+        self.shard_size = shard_size
+        #: first round index :meth:`run` executes (set by checkpoint resume)
+        self.start_round = 0
 
         seed_sequence = np.random.SeedSequence(seed)
         worker_seeds = seed_sequence.spawn(len(honest_datasets) + n_byzantine + 2)
@@ -153,6 +172,8 @@ class FederatedSimulation:
                 np.random.default_rng(worker_seeds[2 + i])
                 for i in range(len(honest_datasets))
             ],
+            engine=engine,
+            shard_size=shard_size,
         )
 
         self.byzantine_pool: WorkerPool | None = None
@@ -172,6 +193,8 @@ class FederatedSimulation:
                     np.random.default_rng(worker_seeds[offset + i])
                     for i in range(n_byzantine)
                 ],
+                engine=engine,
+                shard_size=shard_size,
             )
 
         self.server = Server(

@@ -3,11 +3,24 @@
 The hot path is :class:`WorkerPool`: it holds *all* protocol-following
 workers of one population (honest, or Byzantine-but-protocol-following,
 e.g. label flipping), samples each worker's mini-batch from that worker's
-own generator in worker order, stacks the batches, and runs a **single**
-per-example forward/backward through the model per round.  The stacked
-``(n_workers, b_c, d)`` gradients then go through
-:func:`repro.core.dp_protocol.local_update_batch`, which vectorizes
-momentum, normalise/clip and the slot overwrite across workers.
+own generator in worker order, and drives a pluggable
+:class:`~repro.federated.engines.ClientEngine` over bounded-size
+**shards** of the population.  The default (``shard_size=None``) runs the
+whole pool as one shard -- a single stacked forward/backward per round,
+exactly the pre-shard behaviour; with ``shard_size=k`` the engine sees at
+most ``k`` workers at a time, so peak scratch memory (the sampled batch
+and the engine's gradient buffers) is bounded by the shard, not the
+population.  Sharded and unsharded pools produce bitwise-identical
+uploads: every protocol step is per-worker row-wise, so splitting the
+worker axis never changes a single floating-point operation.  (The only
+shape-dependent step is the stacked forward/backward GEMM, where BLAS
+switches micro-kernels -- and accumulation order -- for degenerate row
+counts of 1-3; the protocol's real batch sizes, multiples of 4, keep
+every shard on the same kernel, which the regression tests assert.)
+
+Mini-batches are gathered per worker straight out of each worker's own
+dataset, so the pool no longer keeps a concatenated second copy of its
+shard data alive (the pre-shard gather-matrix).
 
 :class:`HonestWorker` is kept as a thin wrapper around a single-slot pool
 for code (and tests) that talk to one worker at a time; upload-crafting
@@ -19,16 +32,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.config import DPConfig
-from repro.core.dp_protocol import BatchedDPState, LocalDPState, local_update_batch
+from repro.core.config import DPConfig, EngineConfig
+from repro.core.dp_protocol import BatchedDPState, LocalDPState
 from repro.data.dataset import Dataset
+from repro.federated.engines import ClientEngine, build_engine
 from repro.nn.network import Sequential
 
 __all__ = ["HonestWorker", "WorkerPool", "WorkerSlot"]
 
 
 class WorkerPool:
-    """All protocol-following workers of one population, batched.
+    """All protocol-following workers of one population, batched in shards.
 
     Parameters
     ----------
@@ -41,6 +55,17 @@ class WorkerPool:
         noise).  Batches and noise are drawn from each worker's own stream
         in worker order, so the pool reproduces exactly what the workers
         would have drawn sequentially.
+    engine:
+        The client compute engine: a registered name (``"materialized"``,
+        ``"ghost_norm"``), a :class:`~repro.core.config.EngineConfig`, a
+        ready :class:`~repro.federated.engines.ClientEngine` instance, or
+        ``None`` for the default materialized engine.  An
+        ``EngineConfig``'s ``shard_size`` is used when the ``shard_size``
+        argument is not given.
+    shard_size:
+        Maximum number of workers per engine call; ``None`` keeps the pool
+        in one shard.  Sharding bounds peak scratch memory by the largest
+        shard and is bitwise-identical to the unsharded pool.
     """
 
     def __init__(
@@ -48,6 +73,8 @@ class WorkerPool:
         datasets: list[Dataset],
         dp_config: DPConfig,
         rngs: list[np.random.Generator],
+        engine: str | ClientEngine | EngineConfig | None = None,
+        shard_size: int | None = None,
     ) -> None:
         if not datasets:
             raise ValueError("WorkerPool requires at least one worker")
@@ -61,28 +88,25 @@ class WorkerPool:
         for dataset in datasets:
             if len(dataset) == 0:
                 raise ValueError("worker dataset must not be empty")
+        if shard_size is None and isinstance(engine, EngineConfig):
+            shard_size = engine.shard_size
+        if shard_size is not None and shard_size <= 0:
+            raise ValueError("shard_size must be positive when set")
         self.datasets = list(datasets)
         self.dp_config = dp_config
         self.rngs = list(rngs)
+        self.engine = build_engine(engine)
         self.state = BatchedDPState()
-        # All shards concatenated once, so per-round sampling is one gather
-        # over global row indices instead of one fancy-index per worker.
-        # Costs a second copy of the pool's data for the pool's lifetime --
-        # the right trade at this repo's dataset scales; for huge shards,
-        # shard the pool itself (see ROADMAP) before this copy hurts.
-        self._all_features = np.concatenate(
-            [dataset.features for dataset in self.datasets], axis=0
-        )
-        self._all_labels = np.concatenate(
-            [dataset.labels for dataset in self.datasets]
-        )
-        sizes = [len(dataset) for dataset in self.datasets]
-        self._row_offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
-        # Round-reusable scratch: stacked mini-batch and flat gradients.
+        n = len(self.datasets)
+        size = n if shard_size is None else min(shard_size, n)
+        self.shard_size = size
+        self._shard_bounds = [
+            (start, min(start + size, n)) for start in range(0, n, size)
+        ]
+        # Round-reusable sampling scratch, sized by the largest shard.
         self._indices: np.ndarray | None = None
         self._features: np.ndarray | None = None
         self._labels: np.ndarray | None = None
-        self._gradients: np.ndarray | None = None
 
     @property
     def n_workers(self) -> int:
@@ -90,47 +114,78 @@ class WorkerPool:
         return len(self.datasets)
 
     @property
+    def n_shards(self) -> int:
+        """Number of bounded-size shards the engine is driven over."""
+        return len(self._shard_bounds)
+
+    @property
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """Half-open worker-index ranges of the shards, in order."""
+        return list(self._shard_bounds)
+
+    @property
     def slots(self) -> list["WorkerSlot"]:
         """Per-worker views (dataset, generator, momentum) into the pool."""
         return [WorkerSlot(self, index) for index in range(self.n_workers)]
 
-    def _ensure_scratch(self, dimension: int) -> None:
-        n, b = self.n_workers, self.dp_config.batch_size
+    def _ensure_scratch(self) -> None:
+        rows = self.shard_size * self.dp_config.batch_size
         feature_dim = self.datasets[0].dim
-        if self._features is None or self._features.shape != (n * b, feature_dim):
-            self._indices = np.empty(n * b, dtype=np.int64)
-            self._features = np.empty((n * b, feature_dim), dtype=np.float64)
-            self._labels = np.empty(n * b, dtype=np.int64)
-        if self._gradients is None or self._gradients.shape != (n * b, dimension):
-            self._gradients = np.empty((n * b, dimension), dtype=np.float64)
+        if self._features is None or self._features.shape != (rows, feature_dim):
+            self._indices = np.empty(self.dp_config.batch_size, dtype=np.int64)
+            self._features = np.empty((rows, feature_dim), dtype=np.float64)
+            self._labels = np.empty(rows, dtype=np.int64)
+
+    def _sample_shard(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the shard's mini-batches into the shared sampling scratch.
+
+        Same draws as ``Dataset.sample_batch`` (uniform with replacement,
+        each worker's own stream, worker order), gathered per worker
+        straight from that worker's dataset -- no concatenated copy of the
+        pool's data is kept.
+        """
+        assert self._indices is not None
+        assert self._features is not None and self._labels is not None
+        batch = self.dp_config.batch_size
+        for position, index in enumerate(range(start, stop)):
+            dataset, rng = self.datasets[index], self.rngs[index]
+            self._indices[...] = rng.integers(0, len(dataset), size=batch)
+            rows = slice(position * batch, (position + 1) * batch)
+            np.take(dataset.features, self._indices, axis=0, out=self._features[rows])
+            np.take(dataset.labels, self._indices, out=self._labels[rows])
+        rows = (stop - start) * batch
+        return self._features[:rows], self._labels[:rows]
 
     def compute_uploads(self, model: Sequential) -> np.ndarray:
         """One protocol iteration for every worker; returns ``(n_workers, d)``.
 
         The caller is responsible for having loaded the current global
         parameters into ``model`` (model broadcasting, Algorithm 1 line 3).
+        Each shard travels through the pool's engine with a momentum-state
+        view into the pool's full state, so per-worker momentum and noise
+        streams are independent of the sharding.
         """
-        n, b = self.n_workers, self.dp_config.batch_size
+        n, batch = self.n_workers, self.dp_config.batch_size
         dimension = model.num_parameters
-        self._ensure_scratch(dimension)
-        assert self._indices is not None and self._features is not None
-        assert self._labels is not None and self._gradients is not None
-
-        # Same draws as Dataset.sample_batch (uniform with replacement, each
-        # worker's own stream, worker order), shifted to rows of the
-        # concatenated shard matrix and gathered in one pass.
-        for index, (dataset, rng) in enumerate(zip(self.datasets, self.rngs)):
-            block = self._indices[index * b : (index + 1) * b]
-            block[...] = rng.integers(0, len(dataset), size=b)
-            block += self._row_offsets[index]
-        np.take(self._all_features, self._indices, axis=0, out=self._features)
-        np.take(self._all_labels, self._indices, axis=0, out=self._labels)
-
-        _, gradients = model.per_example_gradients(
-            self._features, self._labels, out=self._gradients
-        )
-        stacked = gradients.reshape(n, b, dimension)
-        return local_update_batch(stacked, self.state, self.dp_config, self.rngs)
+        self._ensure_scratch()
+        self.state.ensure_shape(n, batch, dimension)
+        uploads = np.empty((n, dimension), dtype=np.float64)
+        for start, stop in self._shard_bounds:
+            features, labels = self._sample_shard(start, stop)
+            shard_state = BatchedDPState(
+                slot_momentum=self.state.slot_momentum[start:stop],
+                batch_size=batch,
+            )
+            uploads[start:stop] = self.engine.compute_uploads(
+                model,
+                features,
+                labels,
+                stop - start,
+                shard_state,
+                self.dp_config,
+                self.rngs[start:stop],
+            )
+        return uploads
 
     def reset(self) -> None:
         """Clear every worker's momentum state (start of a fresh run)."""
@@ -191,6 +246,9 @@ class HonestWorker:
     rng:
         The worker's private random generator (mini-batch sampling and DP
         noise).
+    engine:
+        Optional client compute engine specification (see
+        :class:`WorkerPool`).
     """
 
     def __init__(
@@ -198,8 +256,9 @@ class HonestWorker:
         dataset: Dataset,
         dp_config: DPConfig,
         rng: np.random.Generator,
+        engine: str | ClientEngine | EngineConfig | None = None,
     ) -> None:
-        self._pool = WorkerPool([dataset], dp_config, [rng])
+        self._pool = WorkerPool([dataset], dp_config, [rng], engine=engine)
 
     @property
     def dataset(self) -> Dataset:

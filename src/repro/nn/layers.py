@@ -40,11 +40,28 @@ class Layer:
     #: toggled per call by the owner (``Sequential``) so a retained binding
     #: is only used by the call that actually passed that buffer
     use_bound_grad_buffers: bool
+    #: whether the layer can run ``backward`` in *capture* mode: instead of
+    #: materialising per-example parameter gradients it records the small
+    #: factors they are built from (for ``Linear``: the layer input ``X`` and
+    #: the output gradient ``Delta``, since ``g_j = x_j (x) delta_j`` is
+    #: rank-1).  The ghost-norm client engine relies on these factors to
+    #: compute slot norms and weighted gradient sums from Gram matrices
+    #: without ever allocating the ``(batch, d)`` gradient tensor.
+    supports_grad_factors: bool = False
+    #: per-call switch for capture mode (set by ``Sequential``); when on,
+    #: ``backward`` stores :attr:`grad_factors` and skips the per-example
+    #: gradient materialisation entirely
+    capture_grad_factors: bool
+    #: the captured ``(input, grad_output)`` pair of the last capture-mode
+    #: backward; ``None`` outside capture mode
+    grad_factors: tuple[np.ndarray, np.ndarray] | None
 
     def __init__(self) -> None:
         self.parameters = []
         self.per_example_grads = None
         self.use_bound_grad_buffers = False
+        self.capture_grad_factors = False
+        self.grad_factors = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -102,6 +119,8 @@ class Linear(Layer):
         Generator used for Glorot initialisation of the weight matrix.
     """
 
+    supports_grad_factors = True
+
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
         super().__init__()
         self.in_features = in_features
@@ -143,6 +162,15 @@ class Linear(Layer):
             raise RuntimeError("backward called before forward")
         x = self._input
         batch = x.shape[0]
+        if self.capture_grad_factors:
+            # Ghost path: the per-example weight gradient is the rank-1
+            # outer product ``x_j (x) delta_j`` and the bias gradient is
+            # ``delta_j``, so recording the two factors is enough for any
+            # consumer that only needs norms, Gram matrices or weighted
+            # sums -- the (batch, in*out) gradient tensor is never built.
+            self.grad_factors = (x, grad_output)
+            self.per_example_grads = None
+            return grad_output @ self.weight.T
         # Per-example gradients land in buffers reused across backward passes
         # -- caller-bound views into a flat gradient matrix when the owner
         # activated them for this call, layer-owned scratch otherwise (so an

@@ -235,6 +235,83 @@ class Sequential:
                 layer.use_bound_grad_buffers = False
             self._grad_binding = None
 
+    def per_example_grad_factors(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[Layer, np.ndarray, np.ndarray]]]:
+        """Rank-1 factors of the per-example gradients, layer by layer.
+
+        Runs one forward/backward with every parametrised layer in
+        *capture* mode: instead of materialising its ``(batch, ...)``
+        per-example parameter gradients, each layer records the pair of
+        small factors they are built from (for :class:`~repro.nn.layers
+        .Linear`: the layer input ``X`` and the output gradient ``Delta``;
+        the flat gradient of example ``j`` is ``[vec(x_j (x) delta_j);
+        delta_j]``).  This is what the ghost-norm client engine consumes --
+        slot norms come from the ``b x b`` Gram matrices ``(X X^T) (.)
+        (Delta Delta^T)`` and weighted gradient sums from two batched
+        GEMMs, so the ``(batch, d)`` gradient tensor never exists.
+
+        Returns
+        -------
+        losses:
+            Per-example loss values, shape ``(batch,)``.
+        factors:
+            One ``(layer, input, grad_output)`` triple per parametrised
+            layer, in network order.  The arrays are views/buffers owned by
+            the forward/backward pass -- consume them before the next pass
+            through the model.
+
+        Raises
+        ------
+        RuntimeError
+            If any parametrised layer does not support factor capture
+            (``supports_grad_factors`` is ``False``).
+        """
+        for layer in self.layers:
+            if layer.parameters and not layer.supports_grad_factors:
+                raise RuntimeError(
+                    f"{type(layer).__name__} does not support per-example "
+                    "gradient factor capture; use the materialized engine "
+                    "for this model"
+                )
+        try:
+            for layer in self.layers:
+                if layer.parameters:
+                    layer.capture_grad_factors = True
+            logits = self.forward(x)
+            losses, grad_logits = softmax_cross_entropy(logits, y)
+            self._backward(grad_logits)
+        finally:
+            for layer in self.layers:
+                layer.capture_grad_factors = False
+        factors = []
+        for layer in self.layers:
+            if not layer.parameters:
+                continue
+            if layer.grad_factors is None:
+                raise RuntimeError("capture-mode backward did not record factors")
+            factors.append((layer, *layer.grad_factors))
+        return losses, factors
+
+    def parameter_layout(self) -> list[tuple[Layer, list[tuple[int, int, tuple[int, ...]]]]]:
+        """Where each layer's parameters live in the flat vector.
+
+        Returns one ``(layer, slices)`` pair per parametrised layer, where
+        ``slices`` holds a ``(start, stop, shape)`` triple per parameter
+        array, in the order :meth:`get_flat_parameters` concatenates them.
+        """
+        layout: list[tuple[Layer, list[tuple[int, int, tuple[int, ...]]]]] = []
+        offset = 0
+        for layer in self.layers:
+            if not layer.parameters:
+                continue
+            slices = []
+            for parameter in layer.parameters:
+                slices.append((offset, offset + parameter.size, parameter.shape))
+                offset += parameter.size
+            layout.append((layer, slices))
+        return layout
+
     def mean_gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
         """Mean loss and mean flat gradient over the batch."""
         losses, gradients = self.per_example_gradients(x, y)

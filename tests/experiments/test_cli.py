@@ -66,7 +66,7 @@ class TestCommands:
         assert main(["list", "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
         kinds = {row["kind"] for row in rows}
-        assert kinds == {"dataset", "attack", "defense", "model"}
+        assert kinds == {"dataset", "attack", "defense", "model", "engine"}
         by_name = {row["name"]: row for row in rows}
         assert by_name["two_stage"]["summary"]
 

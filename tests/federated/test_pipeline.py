@@ -317,3 +317,97 @@ class TestCheckpoint:
     def test_invalid_every(self):
         with pytest.raises(ValueError):
             Checkpoint(every=0)
+
+
+class TestStreamingEvaluation:
+    """The built-in evaluate-stage replacement callback."""
+
+    def test_chunked_mode_is_exact(self):
+        """Chunked evaluation equals Server.evaluate on the full test set."""
+        from repro.federated.pipeline import StreamingEvaluation
+
+        simulation = build_simulation(total_rounds=4, eval_every=2)
+        streaming = StreamingEvaluation(batch_size=7)
+        recorder = HistoryRecorder()
+        RoundPipeline(simulation, [recorder, streaming]).run()
+
+        reference = build_simulation(total_rounds=4, eval_every=2)
+        reference_recorder = HistoryRecorder()
+        RoundPipeline(reference, [reference_recorder]).run()
+        assert recorder.history.test_accuracy == reference_recorder.history.test_accuracy
+        assert recorder.history.rounds == reference_recorder.history.rounds
+
+    def test_replaces_the_evaluate_stage(self):
+        from repro.federated.pipeline import StreamingEvaluation
+
+        simulation = build_simulation()
+        calls = []
+
+        class SpyingStreaming(StreamingEvaluation):
+            def evaluate_model(self, sim):
+                calls.append(True)
+                return super().evaluate_model(sim)
+
+        pipeline = RoundPipeline(simulation, [SpyingStreaming()])
+        accuracy = pipeline.evaluate()
+        assert calls == [True]
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_last_override_wins(self):
+        simulation = build_simulation()
+
+        class Fixed(RoundCallback):
+            def __init__(self, value):
+                self.value = value
+
+            def evaluate_model(self, sim):
+                return self.value
+
+        pipeline = RoundPipeline(simulation, [Fixed(0.25), Fixed(0.75)])
+        assert pipeline.evaluate() == 0.75
+
+    def test_subsampled_mode_uses_fixed_subset(self):
+        from repro.federated.pipeline import StreamingEvaluation
+
+        simulation = build_simulation()
+        streaming = StreamingEvaluation(subsample=20, seed=5)
+        first = streaming.evaluate_model(simulation)
+        second = streaming.evaluate_model(simulation)
+        assert first == second  # the subset is drawn once and cached
+        subset = streaming._subset_cache[1]
+        assert len(subset) == 20
+
+    def test_subsample_larger_than_test_set_is_exact(self):
+        from repro.federated.pipeline import StreamingEvaluation
+
+        simulation = build_simulation()
+        streaming = StreamingEvaluation(subsample=10**6)
+        exact = simulation.server.evaluate(simulation.test_dataset)
+        assert streaming.evaluate_model(simulation) == exact
+
+    def test_validation(self):
+        from repro.federated.pipeline import StreamingEvaluation
+
+        with pytest.raises(ValueError):
+            StreamingEvaluation(batch_size=0)
+        with pytest.raises(ValueError):
+            StreamingEvaluation(subsample=0)
+
+
+class TestStartRound:
+    """Resume support: the loop honours simulation.start_round."""
+
+    def test_loop_starts_at_start_round(self):
+        simulation = build_simulation(total_rounds=6, eval_every=2)
+        simulation.start_round = 3
+        spy = EventSpy()
+        RoundPipeline(simulation, [spy]).run()
+        starts = [e.round_index for kind, e in spy.events if kind == "start"]
+        assert starts == [3, 4, 5]
+
+    def test_start_past_schedule_evaluates_once(self):
+        simulation = build_simulation(total_rounds=4, eval_every=2)
+        simulation.start_round = 4
+        recorder = HistoryRecorder()
+        RoundPipeline(simulation, [recorder]).run()
+        assert recorder.history.rounds == [3]

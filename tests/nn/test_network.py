@@ -200,3 +200,76 @@ class TestGradients:
     def test_loss_is_positive(self, model, batch):
         x, y = batch
         assert model.loss(x, y) > 0.0
+
+
+class TestGradFactorCapture:
+    """per_example_grad_factors: the ghost path's rank-1 factor capture."""
+
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(3)
+
+    def test_factors_reconstruct_per_example_gradients(self, rng):
+        model = Sequential([Linear(4, 6, rng), ELU(), Linear(6, 3, rng)])
+        x = rng.normal(size=(7, 4))
+        y = rng.integers(0, 3, size=7)
+        losses_ref, per_example = model.per_example_gradients(x, y)
+        losses, factors = model.per_example_grad_factors(x, y)
+        np.testing.assert_allclose(losses, losses_ref, rtol=1e-12)
+        assert len(factors) == 2
+        rebuilt = []
+        for layer, inputs, deltas in factors:
+            weight_grads = np.einsum("bi,bo->bio", inputs, deltas)
+            rebuilt.append(weight_grads.reshape(7, -1))
+            rebuilt.append(deltas)
+        np.testing.assert_allclose(
+            np.concatenate(rebuilt, axis=1), per_example, rtol=1e-12, atol=1e-15
+        )
+
+    def test_capture_skips_materialisation(self, rng):
+        model = Sequential([Linear(5, 3, rng)])
+        x = rng.normal(size=(4, 5))
+        y = rng.integers(0, 3, size=4)
+        model.per_example_grad_factors(x, y)
+        assert model.layers[0].per_example_grads is None
+        assert not model.layers[0].capture_grad_factors  # flag restored
+
+    def test_capture_does_not_break_materialized_path(self, rng):
+        """Interleaved capture and materialized passes stay independent."""
+        model = Sequential([Linear(5, 3, rng)])
+        x = rng.normal(size=(4, 5))
+        y = rng.integers(0, 3, size=4)
+        _, before = model.per_example_gradients(x, y)
+        before = before.copy()
+        model.per_example_grad_factors(x, y)
+        _, after = model.per_example_gradients(x, y)
+        np.testing.assert_array_equal(before, after)
+
+    def test_unsupported_layer_raises(self, rng):
+        class OpaqueLinear(Linear):
+            supports_grad_factors = False
+
+        model = Sequential([OpaqueLinear(4, 2, rng)])
+        x = rng.normal(size=(3, 4))
+        y = rng.integers(0, 2, size=3)
+        with pytest.raises(RuntimeError, match="OpaqueLinear"):
+            model.per_example_grad_factors(x, y)
+        # the capture flags must be rolled back even on failure
+        assert not any(layer.capture_grad_factors for layer in model.layers)
+
+
+class TestParameterLayout:
+    def test_layout_matches_flat_concatenation(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(4, 6, rng), ReLU(), Linear(6, 3, rng)])
+        flat = model.get_flat_parameters()
+        layout = model.parameter_layout()
+        assert len(layout) == 2
+        for layer, slices in layout:
+            for (start, stop, shape), parameter in zip(slices, layer.parameters):
+                assert shape == parameter.shape
+                np.testing.assert_array_equal(
+                    flat[start:stop].reshape(shape), parameter
+                )
+        stops = [stop for _, slices in layout for _, stop, _ in slices]
+        assert stops[-1] == model.num_parameters
