@@ -1,0 +1,129 @@
+"""Micro-benchmarks of the parallel execution backends (round throughput).
+
+Two groups compare one full round of honest uploads through the serial
+reference backend against the threaded backend at ``JOBS`` workers, on
+the repo's real client substrate (linear model on 64 features / 10
+classes, d = 650, client batch 16):
+
+- ``micro-parallel-n30``: the paper-scale population (n = 30 workers,
+  4 shards of <= 8);
+- ``micro-parallel-n120``: a 4x population (n = 120 workers, 4 shards of
+  30) -- large enough that per-shard BLAS time dominates dispatch
+  overhead, which is where the threaded backend's speedup must show.
+
+Both pools use the *same* shard partition, so serial vs threaded differ
+only in dispatch.  Every benchmark asserts backend equivalence on
+freshly seeded pools before timing (threaded uploads bitwise equal to
+serial over three rounds), so the CI bench job fails on a determinism
+regression, not only on crashes.
+
+The measured speedup is bounded by the physical core count of the bench
+host -- on a 1-core container serial and threaded are a wash, which is
+why the multi-core CI runner is where ``benchmarks/check_parallel.py``
+enforces the expected ratio from this file's JSON export.
+
+Run (the bench files use a non-default prefix, so the collection
+overrides are required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_parallel.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-only --benchmark-json=BENCH_micro_parallel.json
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig
+from repro.data.synthetic import make_classification
+from repro.federated.backends import build_backend
+from repro.federated.worker import WorkerPool
+from repro.nn.models import build_model
+
+N_FEATURES = 64
+N_CLASSES = 10
+BATCH_SIZE = 16
+SIGMA = 1.0
+JOBS = 4
+POPULATIONS = (30, 120)
+
+
+@pytest.fixture(scope="module")
+def parallel_setup():
+    """Model and per-worker shards for every population size."""
+    rng = np.random.default_rng(0)
+    shards_by_n = {}
+    for n_workers in POPULATIONS:
+        data = make_classification(
+            n_samples=50 * n_workers,
+            n_features=N_FEATURES,
+            n_classes=N_CLASSES,
+            nonlinear=False,
+            rng=rng,
+            name=f"micro-parallel-{n_workers}",
+        )
+        shards_by_n[n_workers] = [
+            data.subset(np.arange(i * 50, (i + 1) * 50)) for i in range(n_workers)
+        ]
+    model = build_model("linear", N_FEATURES, N_CLASSES, rng=1)
+    return model, shards_by_n
+
+
+def shard_size_for(n_workers: int) -> int:
+    """Split the population into exactly ``JOBS`` near-equal shards."""
+    return -(-n_workers // JOBS)
+
+
+def make_pool(shards, backend):
+    return WorkerPool(
+        shards,
+        DPConfig(batch_size=BATCH_SIZE, sigma=SIGMA),
+        [np.random.default_rng(100 + i) for i in range(len(shards))],
+        shard_size=shard_size_for(len(shards)),
+        backend=backend,
+    )
+
+
+def assert_backends_agree(model, shards) -> None:
+    """Equivalence gate run before timing: a mismatch fails the bench job."""
+    serial = make_pool(shards, "serial")
+    threaded = make_pool(shards, build_backend("threaded", max_workers=JOBS))
+    try:
+        for round_index in range(3):
+            np.testing.assert_array_equal(
+                threaded.compute_uploads(model),
+                serial.compute_uploads(model),
+                err_msg=f"threaded backend diverged at round {round_index}",
+            )
+    finally:
+        threaded.backend.shutdown()
+
+
+@pytest.mark.benchmark(group="micro-parallel-n30")
+@pytest.mark.parametrize("backend", ["serial", "threaded"])
+def bench_micro_parallel_n30(benchmark, parallel_setup, backend):
+    """One round of honest uploads at n=30 (4 shards), serial vs threaded."""
+    _run(benchmark, parallel_setup, backend, n_workers=30)
+
+
+@pytest.mark.benchmark(group="micro-parallel-n120")
+@pytest.mark.parametrize("backend", ["serial", "threaded"])
+def bench_micro_parallel_n120(benchmark, parallel_setup, backend):
+    """One round of honest uploads at n=120 (4 shards), serial vs threaded."""
+    _run(benchmark, parallel_setup, backend, n_workers=120)
+
+
+def _run(benchmark, parallel_setup, backend, n_workers):
+    model, shards_by_n = parallel_setup
+    shards = shards_by_n[n_workers]
+    assert_backends_agree(model, shards)
+    pool = make_pool(
+        shards,
+        backend if backend == "serial" else build_backend(backend, max_workers=JOBS),
+    )
+    try:
+        uploads = benchmark(pool.compute_uploads, model)
+        assert uploads.shape == (n_workers, model.num_parameters)
+    finally:
+        pool.backend.shutdown()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+Every CI bench job exports a pytest-benchmark JSON (``BENCH_<name>.json``).
+This script compares each export against its committed baseline in
+``benchmarks/baselines/<name>.json`` -- a compact mapping from benchmark
+``fullname`` to its recorded min time in seconds -- and fails when any
+benchmark slowed down beyond the tolerance, so perf regressions fail CI
+instead of only being archived as artifacts.
+
+Policy (ratio = fresh min / baseline min, min-to-min comparison because
+min is the least noisy robust statistic pytest-benchmark reports):
+
+- ratio >  ``--fail-at`` (default 1.5): **regression** -> exit 1;
+- ratio >  ``--warn-at`` (default 1.2): warning, exit 0;
+- ratio < 1 / ``--fail-at``: big improvement -- informational hint to
+  refresh the baseline (improvements never fail the gate);
+- benchmark missing from the baseline: warning (a new benchmark cannot
+  regress); baseline entries missing from the export are ignored (other
+  bench files share a baseline dir, and partial runs stay usable).
+
+Refresh baselines with ``--update`` after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_engine.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-only --benchmark-json=BENCH_micro_engine.json -q
+    python benchmarks/check_regression.py BENCH_micro_engine.json --update
+
+Baselines are host-dependent; record them on (or at least near) the CI
+runner class the gate runs on.  Only slowdowns trip the gate, so a
+baseline from a slower host is safe, merely less sensitive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE_DIR = Path(__file__).parent / "baselines"
+
+
+def load_results(path: Path) -> dict[str, float]:
+    """``fullname -> min seconds`` from a pytest-benchmark JSON export."""
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise SystemExit(
+            f"{path}: not a pytest-benchmark JSON export (no 'benchmarks' list)"
+        )
+    results: dict[str, float] = {}
+    for bench in benchmarks:
+        results[bench["fullname"]] = float(bench["stats"]["min"])
+    if not results:
+        raise SystemExit(f"{path}: export contains no benchmarks")
+    return results
+
+
+def baseline_path(result_path: Path, baseline_dir: Path) -> Path:
+    return baseline_dir / f"{result_path.stem}.json"
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {name: float(seconds) for name, seconds in data["benchmarks"].items()}
+
+
+def write_baseline(result_path: Path, baseline_dir: Path) -> Path:
+    """Record ``result_path``'s min times as the committed baseline."""
+    results = load_results(result_path)
+    target = baseline_path(result_path, baseline_dir)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "source": result_path.name,
+        "benchmarks": {name: results[name] for name in sorted(results)},
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def check(
+    result_path: Path,
+    baseline_dir: Path,
+    fail_at: float,
+    warn_at: float,
+) -> list[str]:
+    """Compare one export against its baseline; returns failure messages."""
+    target = baseline_path(result_path, baseline_dir)
+    if not target.exists():
+        print(f"WARN  {result_path.name}: no baseline at {target} -- "
+              "run with --update to record one")
+        return []
+    results = load_results(result_path)
+    baseline = load_baseline(target)
+    failures: list[str] = []
+    for name in sorted(results):
+        fresh = results[name]
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"WARN  {name}: not in baseline (new benchmark?)")
+            continue
+        ratio = fresh / recorded
+        line = f"{name}: {recorded * 1e6:.0f}us -> {fresh * 1e6:.0f}us ({ratio:.2f}x)"
+        if ratio > fail_at:
+            failures.append(line)
+            print(f"FAIL  {line}")
+        elif ratio > warn_at:
+            print(f"WARN  {line}")
+        elif ratio < 1.0 / fail_at:
+            print(f"INFO  {line} -- consider refreshing the baseline (--update)")
+        else:
+            print(f"OK    {line}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare pytest-benchmark exports against committed baselines."
+    )
+    parser.add_argument("results", nargs="+", type=Path, metavar="BENCH.json",
+                        help="pytest-benchmark JSON export(s) to check")
+    parser.add_argument("--baseline-dir", type=Path, default=DEFAULT_BASELINE_DIR,
+                        help="directory of committed baselines "
+                             "(default: benchmarks/baselines)")
+    parser.add_argument("--fail-at", type=float, default=1.5,
+                        help="slowdown ratio that fails the gate (default: 1.5)")
+    parser.add_argument("--warn-at", type=float, default=1.2,
+                        help="slowdown ratio that warns (default: 1.2)")
+    parser.add_argument("--update", action="store_true",
+                        help="record the given exports as the new baselines "
+                             "instead of checking")
+    arguments = parser.parse_args(argv)
+    if arguments.fail_at <= 1.0 or arguments.warn_at <= 1.0:
+        parser.error("--fail-at and --warn-at must be greater than 1.0")
+    if arguments.warn_at > arguments.fail_at:
+        parser.error("--warn-at must not exceed --fail-at")
+
+    if arguments.update:
+        for result_path in arguments.results:
+            target = write_baseline(result_path, arguments.baseline_dir)
+            print(f"baseline recorded: {target}")
+        return 0
+
+    failures: list[str] = []
+    for result_path in arguments.results:
+        failures.extend(
+            check(result_path, arguments.baseline_dir,
+                  arguments.fail_at, arguments.warn_at)
+        )
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{arguments.fail_at:.2f}x:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nno benchmark regressed beyond the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

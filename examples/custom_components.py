@@ -1,15 +1,18 @@
-"""Plug a custom attack, defense and client engine into the platform.
+"""Plug a custom attack, defense, client engine and backend into the platform.
 
 Every component family (attacks, defenses, datasets, models, client
-compute engines) lives in a public :class:`repro.registry.Registry`;
-registering a class makes its name a first-class citizen everywhere --
-``ExperimentConfig``, presets, sweeps and the CLI -- without touching
-repro source.  This example
+compute engines, execution backends) lives in a public
+:class:`repro.registry.Registry`; registering a class makes its name a
+first-class citizen everywhere -- ``ExperimentConfig``, presets, sweeps
+and the CLI -- without touching repro source.  This example
 
 1. registers a *sign-flip* attack (negate the benign mean) with
    ``@ATTACKS.register``, a *clipped-mean* defense with
-   ``@DEFENSES.register`` and an upload-norm-tracing client engine with
-   ``@ENGINES.register``;
+   ``@DEFENSES.register``, an upload-norm-tracing client engine with
+   ``@ENGINES.register`` and a reverse-completion execution backend with
+   ``@BACKENDS.register`` (shard results are pinned to worker indices,
+   so completion order is free -- the run is identical to the serial
+   backend's);
 2. runs them through the exact builder path the CLI uses
    (``benchmark_preset`` -> ``run_experiment``), attaching an
    :class:`~repro.federated.EarlyStopping` callback that terminates
@@ -32,7 +35,14 @@ from repro.byzantine.base import Attack, AttackContext
 from repro.defenses import DEFENSES
 from repro.defenses.base import AggregationContext, Aggregator
 from repro.experiments import benchmark_preset, run_experiment
-from repro.federated import ENGINES, EarlyStopping, MaterializedEngine, RoundLogger
+from repro.federated import (
+    BACKENDS,
+    ENGINES,
+    EarlyStopping,
+    ExecutionBackend,
+    MaterializedEngine,
+    RoundLogger,
+)
 
 # ``replace=True`` keeps re-imports (notebooks, test runners) idempotent.
 
@@ -104,20 +114,57 @@ class NormTracingEngine(MaterializedEngine):
         return uploads
 
 
+@BACKENDS.register(
+    "reverse_completion_demo",
+    summary="runs shards in reverse submission order (example component)",
+    replace=True,
+)
+class ReverseCompletionBackend(ExecutionBackend):
+    """An execution backend whose tasks *complete* in reverse order.
+
+    The pool pins every shard's uploads, noise draws and momentum rows
+    to worker indices and backends reduce results in submission order,
+    so completion order is irrelevant -- a run through this backend is
+    identical to the serial reference.  (The built-in ``threaded`` and
+    ``process`` backends rely on exactly this property.)  Registered
+    backends are selected like any other component:
+    ``ExperimentConfig(backend="reverse_completion_demo")`` or ``python
+    -m repro run --backend reverse_completion_demo``.
+    """
+
+    #: submission indices of completed tasks, in completion order (every
+    #: run through this backend appends; cleared by the demo before its run)
+    completed_tasks: list[int] = []
+
+    @property
+    def max_workers(self) -> int:  # parallel slots the pool should prepare
+        return 2
+
+    def map_ordered(self, fn, items):
+        items = list(items)
+        results = [None] * len(items)
+        for index in reversed(range(len(items))):
+            results[index] = fn(items[index])
+            ReverseCompletionBackend.completed_tasks.append(index)
+        return results
+
+
 def main() -> None:
     # The CLI builder path: a preset produces the ExperimentConfig, the
     # runner resolves every component name through the registries --
-    # including the client compute engine.
+    # including the client compute engine and the execution backend.
     config = benchmark_preset(
         dataset="usps_like",
         byzantine_fraction=0.4,
         attack="sign_flip_demo",
         defense="clipped_mean_demo",
         engine="norm_trace_demo",
+        backend="reverse_completion_demo",
         epochs=3,
         scale=0.2,
         n_honest=5,
     )
+    ReverseCompletionBackend.completed_tasks.clear()
     early_stopping = EarlyStopping(target_accuracy=0.9, patience=4)
     result = run_experiment(
         config, callbacks=[early_stopping, RoundLogger(every=5)]
@@ -137,6 +184,23 @@ def main() -> None:
         f"{len(NormTracingEngine.last_instance.mean_upload_norms)} pool calls; "
         f"first mean upload norm "
         f"{NormTracingEngine.last_instance.mean_upload_norms[0]:.3f}"
+    )
+
+    # The custom backend really ran the shards in reverse -- and because
+    # shard results are pinned to worker indices, the recorded history is
+    # identical to the serial reference backend's.
+    assert ReverseCompletionBackend.completed_tasks, "custom backend never ran"
+    reference = run_experiment(
+        config.replace(backend="serial"),
+        callbacks=[EarlyStopping(target_accuracy=0.9, patience=4)],
+    )
+    assert reference.history.as_dict() == result.history.as_dict(), (
+        "reverse-completion backend diverged from the serial reference"
+    )
+    print(
+        "custom backend ran "
+        f"{len(ReverseCompletionBackend.completed_tasks)} shard tasks in "
+        "reverse order; history identical to the serial backend"
     )
 
     # The CLI sees registered components immediately -- same names, same

@@ -6,7 +6,8 @@ Three subcommands cover the common workflows:
 - ``compare`` -- run the protocol, the undefended mean and the Reference
   Accuracy for one attack scenario and print them side by side;
 - ``list``    -- show every registered component (datasets, attacks,
-  defenses, models) straight from the registries' ``describe()`` API.
+  defenses, models, engines, backends) straight from the registries'
+  ``describe()`` API.
 
 ``run`` and ``compare`` accept either individual flags or a full
 :class:`~repro.experiments.configs.ExperimentConfig` serialised to JSON
@@ -43,6 +44,7 @@ from repro.experiments.configs import ExperimentConfig
 from repro.experiments.presets import benchmark_preset, paper_preset
 from repro.experiments.reference import reference_accuracy
 from repro.experiments.runner import run_experiment
+from repro.federated.backends import BACKENDS
 from repro.federated.engines import ENGINES
 from repro.nn.models import MODELS, available_models
 
@@ -86,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--shard-size", type=int, default=None, metavar="K",
                          help="max workers per stacked engine call (bounds client "
                               "memory; bitwise-identical to unsharded)")
+        # choices include aliases so every name build_backend accepts works here
+        sub.add_argument("--backend", default="serial",
+                         choices=BACKENDS.names(include_aliases=True),
+                         help="execution backend for pool shards and evaluation "
+                              "chunks (results are bitwise-identical across "
+                              "backends; threaded/process use --jobs workers)")
+        sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker threads/processes for parallel backends "
+                              "(default: all cores; ignored by --backend serial)")
         sub.add_argument("--paper-scale", action="store_true",
                          help="use the paper's full-scale settings (slow on CPU)")
         sub.add_argument("--save", default=None, help="write results to this JSON file")
@@ -104,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_experiment_arguments(compare_parser)
 
     list_parser = subparsers.add_parser(
-        "list", help="list the registered datasets, attacks, defenses and models"
+        "list",
+        help="list the registered datasets, attacks, defenses, models, "
+             "engines and backends",
     )
     list_parser.add_argument("--json", action="store_true",
                              help="emit the registries' describe() rows as JSON")
@@ -139,11 +152,15 @@ def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
         iid=not arguments.noniid,
         engine=arguments.engine,
         shard_size=arguments.shard_size,
+        backend=arguments.backend,
+        backend_kwargs=(
+            {} if arguments.jobs is None else {"max_workers": arguments.jobs}
+        ),
         **({} if arguments.paper_scale else {"epochs": arguments.epochs}),
     )
 
 
-_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES)
+_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES, BACKENDS)
 
 
 def _command_list(arguments: argparse.Namespace) -> int:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["DPConfig", "EngineConfig", "ProtocolConfig"]
+__all__ = ["BackendConfig", "DPConfig", "EngineConfig", "ProtocolConfig"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,44 @@ class EngineConfig:
             raise ValueError("engine name must be a non-empty string")
         if self.shard_size is not None and self.shard_size <= 0:
             raise ValueError("shard_size must be positive when set")
+        object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Parallel execution backend selection (how round tasks are dispatched).
+
+    The *backend* decides how the independent tasks of a round -- the
+    worker pools' shard finalisations and the server's evaluation chunks
+    -- are executed: in order on the calling thread (``"serial"``),
+    concurrently on a thread pool (``"threaded"``) or over worker
+    processes (``"process"``).  Backends are registered in
+    :data:`repro.federated.backends.BACKENDS`; this config is pure data
+    so it serialises with the experiment config.  Every backend produces
+    bitwise-identical results -- the choice only moves wall-clock time.
+
+    Attributes
+    ----------
+    name:
+        Registered backend name (see
+        :func:`repro.federated.backends.available_backends`).
+    max_workers:
+        Concurrency bound (the CLI's ``--jobs``); ``None`` lets parallel
+        backends use every CPU the host reports.  The serial backend
+        accepts and ignores it, so sweeps can toggle only ``name``.
+    options:
+        Extra keyword arguments for the backend builder.
+    """
+
+    name: str = "serial"
+    max_workers: int | None = None
+    options: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("backend name must be a non-empty string")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive when set")
         object.__setattr__(self, "options", dict(self.options))
 
 

@@ -77,8 +77,16 @@ class ExperimentConfig:
         Gram-matrix path for linear-layer stacks) and builder arguments.
     shard_size:
         Maximum workers per stacked engine call (``None``: whole pool in
-        one shard).  Bitwise-identical to unsharded; bounds peak client
-        memory by the shard.
+        one shard under the serial backend; parallel backends split the
+        pool into near-equal shards per job).  Bitwise-identical to
+        unsharded; bounds peak client memory by the shard.
+    backend, backend_kwargs:
+        Parallel execution backend name (see
+        :func:`repro.federated.available_backends`; ``"serial"`` is the
+        in-order reference, ``"threaded"``/``"process"`` dispatch pool
+        shards and evaluation chunks concurrently with bitwise-identical
+        results) and builder arguments (``{"max_workers": N}`` is the
+        CLI's ``--jobs N``).
     eval_every:
         Evaluation cadence in rounds (``None``: about 8 points per run).
     seed:
@@ -111,6 +119,8 @@ class ExperimentConfig:
     engine: str = "materialized"
     engine_kwargs: dict = field(default_factory=dict)
     shard_size: int | None = None
+    backend: str = "serial"
+    backend_kwargs: dict = field(default_factory=dict)
     eval_every: int | None = None
     seed: int = 1
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.analysis.results import RunResult, SeedSummary, summarize_runs
 from repro.byzantine.registry import build_attack
-from repro.core.config import DPConfig, EngineConfig
+from repro.core.config import BackendConfig, DPConfig, EngineConfig
 from repro.core.hyperparams import protocol_sigma, transfer_learning_rate
 from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
 from repro.data.partition import partition_iid, partition_noniid
@@ -224,6 +224,10 @@ def prepare_experiment(
         shard_size=config.shard_size,
         options=config.engine_kwargs,
     )
+    backend_config = BackendConfig(
+        name=config.backend,
+        options=config.backend_kwargs,
+    )
     simulation = FederatedSimulation(
         model=model,
         honest_datasets=shards,
@@ -236,6 +240,7 @@ def prepare_experiment(
         settings=settings,
         seed=seed,
         engine=engine_config,
+        backend=backend_config,
     )
     if resume_from is not None:
         restored_round, parameters = resolve_checkpoint(resume_from)
@@ -287,7 +292,12 @@ def run_experiment(
         restore before running (see :func:`prepare_experiment`).
     """
     setup = prepare_experiment(config, seed=seed, resume_from=resume_from)
-    history = setup.simulation.run(callbacks)
+    try:
+        history = setup.simulation.run(callbacks)
+    finally:
+        # Parallel backends hold thread/process pools; release them so a
+        # long sweep of runs never accumulates executors.
+        setup.simulation.close()
 
     return RunResult(
         final_accuracy=history.final_accuracy,

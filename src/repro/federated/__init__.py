@@ -22,8 +22,23 @@
   (:data:`~repro.federated.engines.ENGINES` registry): the materialized
   stacked-gradient path and the ghost-norm Gram-matrix path, driven over
   bounded-size pool shards.
+- :mod:`repro.federated.backends` -- pluggable execution backends
+  (:data:`~repro.federated.backends.BACKENDS` registry): serial,
+  threaded and process dispatch of the round's independent tasks (pool
+  shards, evaluation chunks), all bitwise identical to the serial
+  reference.
 """
 
+from repro.federated.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SharedArray,
+    ThreadedBackend,
+    available_backends,
+    build_backend,
+)
 from repro.federated.engines import (
     ENGINES,
     ClientEngine,
@@ -51,6 +66,14 @@ from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.federated.worker import HonestWorker, WorkerPool, WorkerSlot
 
 __all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "ProcessBackend",
+    "SharedArray",
+    "available_backends",
+    "build_backend",
     "ENGINES",
     "ClientEngine",
     "MaterializedEngine",

@@ -1,0 +1,340 @@
+"""Parallel execution backends for the federated round.
+
+An *execution backend* decides how the independent tasks of one round --
+the :class:`~repro.federated.worker.WorkerPool`'s shard finalisations
+(honest and Byzantine populations alike) and the server's evaluation
+chunks -- are dispatched: in order on the calling thread, concurrently
+over a thread pool, or over worker processes.  Backends are registered
+in the :data:`BACKENDS` registry, making execution the sixth scenario
+axis next to attacks, defenses, datasets, models and engines:
+``ExperimentConfig(backend=..., backend_kwargs=...)``, ``python -m repro
+run --backend ... --jobs ...`` and ``python -m repro list`` all see
+third-party backends registered through the public
+:class:`repro.registry.Registry` API.
+
+Three backends ship built-in:
+
+- :class:`SerialBackend` -- the reference: tasks run in submission order
+  on the calling thread.  Zero dispatch overhead; the default.
+- :class:`ThreadedBackend` -- tasks run concurrently on a lazily created
+  thread pool.  NumPy's BLAS releases the GIL inside the stacked GEMMs
+  that dominate shard finalisation, so independent shards genuinely
+  overlap on multi-core hosts.
+- :class:`ProcessBackend` -- tasks run in worker processes, with large
+  read-only arrays (the flat model parameters) published once per round
+  through shared memory (:meth:`ProcessBackend.share_array`).  For
+  workloads dominated by Python overhead rather than BLAS time.
+
+The one contract every backend must honour is the **ordered reduction**:
+:meth:`ExecutionBackend.map_ordered` returns results in *submission*
+order no matter in which order tasks complete.  Combined with the
+per-worker random streams and the disjoint per-shard state slices of the
+worker pool, this makes every backend produce bitwise-identical results:
+parallelism changes wall-clock time and nothing else.
+
+Shared memory uses file-backed :func:`numpy.memmap` views rather than
+:mod:`multiprocessing.shared_memory`: attaching a ``SharedMemory`` block
+in a worker registers it with that process's resource tracker on Python
+3.11/3.12, which unlinks the segment when the worker exits.  A mapped
+temp file has identical sharing semantics without that failure mode.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import tempfile
+import threading
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BackendConfig
+from repro.registry import Registry
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SharedArray",
+    "ThreadedBackend",
+    "available_backends",
+    "build_backend",
+]
+
+#: Global registry of execution backends.
+BACKENDS = Registry("backend")
+
+
+class ExecutionBackend:
+    """Base class of execution backends.
+
+    A backend executes a list of *independent* tasks and reduces their
+    results in submission order.  Subclasses override :meth:`map_ordered`
+    (and usually :attr:`max_workers`); holders of expensive resources
+    (thread/process pools, shared-memory slots) create them lazily and
+    release them in :meth:`shutdown` -- a backend must remain usable
+    after ``shutdown()``, recreating its resources on the next call.
+    """
+
+    #: Whether tasks run in the calling process.  In-process backends may
+    #: be handed closures over live objects; out-of-process backends (the
+    #: process pool) require picklable callables and payloads, and
+    #: callers with unpicklable tasks fall back to serial execution.
+    in_process: bool = True
+
+    @property
+    def max_workers(self) -> int:
+        """Upper bound on concurrently running tasks (1 = serial)."""
+        return 1
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results in **submission order**.
+
+        Tasks may complete in any order, but the returned list is always
+        ordered like ``items`` -- the ordered reduction that keeps
+        parallel rounds bitwise identical to serial ones.  The first
+        task exception propagates to the caller.
+        """
+        raise NotImplementedError
+
+    def map_leased(self, fn: Callable, items: Iterable, resources: list) -> list:
+        """:meth:`map_ordered` with a leased per-task resource.
+
+        Each task borrows one entry of ``resources`` (a workspace, a
+        model replica, ...) from a free list for its duration and returns
+        it afterwards, so at most ``len(resources)`` tasks run at once
+        and no resource is ever shared by two concurrent tasks.  ``fn``
+        is called as ``fn(resource, item)``.
+        """
+        free: queue.SimpleQueue = queue.SimpleQueue()
+        for resource in resources:
+            free.put(resource)
+
+        def run(item):
+            resource = free.get()
+            try:
+                return fn(resource, item)
+            finally:
+                free.put(resource)
+
+        return self.map_ordered(run, items)
+
+    def shutdown(self) -> None:
+        """Release pools/shared resources (no-op by default).
+
+        The backend stays usable: the next :meth:`map_ordered` recreates
+        whatever ``shutdown`` released.
+        """
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+@BACKENDS.register(
+    "serial",
+    summary="tasks run in submission order on the calling thread (the reference)",
+)
+class SerialBackend(ExecutionBackend):
+    """The reference backend: a plain in-order loop.
+
+    ``max_workers`` is accepted (and ignored) so sweep code can toggle
+    only the backend name while passing the same ``--jobs`` value.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when set")
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared lazy-executor machinery of the thread and process backends."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when set")
+        self._max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _create_executor(self):
+        raise NotImplementedError
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._create_executor()
+            return self._executor
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if not items:
+            return []
+        if self.in_process and (len(items) == 1 or self._max_workers == 1):
+            # Nothing to overlap; skip the dispatch overhead entirely.
+            return [fn(item) for item in items]
+        # Executor.map yields results in submission order by construction
+        # and re-raises the first task exception at its position.
+        return list(self._ensure_executor().map(fn, items))
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+
+@BACKENDS.register(
+    "threaded",
+    aliases=("threads",),
+    summary="tasks overlap on a thread pool (BLAS releases the GIL in the stacked GEMMs)",
+)
+class ThreadedBackend(_PooledBackend):
+    """Dispatch tasks over a lazily created :class:`ThreadPoolExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; ``None`` uses every CPU the host reports.
+    """
+
+    def _create_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-backend"
+        )
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """Picklable handle to a read-only array published in shared memory.
+
+    Produced by :meth:`ProcessBackend.share_array`; worker processes call
+    :meth:`open` to map the array without copying it through the task
+    payload.  The backing store is a file-backed memory map, so every
+    process sees the publisher's most recent :meth:`ProcessBackend
+    .share_array` write for this slot.
+    """
+
+    path: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def open(self) -> np.ndarray:
+        """Map the shared array read-only in the calling process."""
+        return np.memmap(self.path, dtype=np.dtype(self.dtype), mode="r",
+                         shape=self.shape)
+
+
+@BACKENDS.register(
+    "process",
+    aliases=("processes",),
+    summary="tasks run in worker processes; flat parameters travel via shared memory",
+)
+class ProcessBackend(_PooledBackend):
+    """Dispatch picklable tasks over a lazily created process pool.
+
+    Meant for client engines dominated by Python overhead rather than
+    BLAS time: each shard pays pickling for its sampled batch, so the
+    per-shard compute must dwarf that cost to win.  Large round-constant
+    arrays (the flat model parameters) are published once per round via
+    :meth:`share_array` and mapped -- not copied -- by the workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count; ``None`` uses every CPU the host reports.
+    """
+
+    in_process = False
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._shared_dir: str | None = None
+        self._shared_slots: dict[tuple, tuple[str, np.memmap]] = {}
+
+    def _create_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self._max_workers)
+
+    def share_array(self, array: np.ndarray) -> SharedArray:
+        """Publish ``array`` to the worker processes; returns its handle.
+
+        One shared slot exists per ``(shape, dtype)``: re-sharing a
+        same-shaped array overwrites the slot in place, which is exactly
+        the per-round parameter refresh the worker pool needs.  Callers
+        must therefore consume every task result built on a handle
+        before sharing the next array of that shape.
+        """
+        array = np.ascontiguousarray(array)
+        key = (array.shape, array.dtype.str)
+        with self._lock:
+            slot = self._shared_slots.get(key)
+            if slot is None:
+                if self._shared_dir is None:
+                    self._shared_dir = tempfile.mkdtemp(prefix="repro-backend-")
+                path = os.path.join(
+                    self._shared_dir, f"shared-{len(self._shared_slots)}.bin"
+                )
+                mapped = np.memmap(
+                    path, dtype=array.dtype, mode="w+", shape=array.shape
+                )
+                slot = (path, mapped)
+                self._shared_slots[key] = slot
+        path, mapped = slot
+        mapped[...] = array
+        mapped.flush()
+        return SharedArray(path=path, shape=array.shape, dtype=array.dtype.str)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        with self._lock:
+            self._shared_slots = {}
+            if self._shared_dir is not None:
+                shutil.rmtree(self._shared_dir, ignore_errors=True)
+                self._shared_dir = None
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`build_backend` (and the ``--backend`` flag)."""
+    return BACKENDS.names()
+
+
+def build_backend(
+    backend: str | ExecutionBackend | BackendConfig | None, **kwargs
+) -> ExecutionBackend:
+    """Resolve a backend specification to an :class:`ExecutionBackend`.
+
+    ``backend`` may be a registered name, a :class:`~repro.core.config
+    .BackendConfig` (its ``max_workers`` and ``options`` merge under
+    ``kwargs``), an existing instance (returned as-is; ``kwargs`` must
+    then be empty) or ``None`` for the default serial backend.
+    """
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, BackendConfig):
+        merged = {**backend.options, **kwargs}
+        if backend.max_workers is not None:
+            merged.setdefault("max_workers", backend.max_workers)
+        return BACKENDS.build(backend.name, **merged)
+    if isinstance(backend, ExecutionBackend):
+        if kwargs:
+            raise TypeError(
+                "cannot pass backend kwargs together with a backend instance"
+            )
+        return backend
+    return BACKENDS.build(backend, **kwargs)

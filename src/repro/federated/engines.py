@@ -36,6 +36,8 @@ Two engines ship built-in:
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.core.config import DPConfig, EngineConfig
@@ -109,6 +111,18 @@ class ClientEngine:
 
     def release(self) -> None:
         """Drop any cached scratch buffers (no-op by default)."""
+
+    def clone(self) -> "ClientEngine":
+        """A fresh engine of the same configuration.
+
+        Parallel execution backends give every concurrent worker slot its
+        own engine (scratch buffers are per-instance and not thread-safe).
+        The default deep-copies the instance and drops the copy's scratch;
+        engines with cheaper fresh-construction may override.
+        """
+        duplicate = copy.deepcopy(self)
+        duplicate.release()
+        return duplicate
 
 
 @ENGINES.register(

@@ -14,7 +14,10 @@ One round of :class:`FederatedSimulation` performs:
 
 Both client populations travel through the batched pool path, so a round
 performs two model passes at most (honest pool, Byzantine pool) instead of
-one small forward/backward per worker.
+one small forward/backward per worker.  Both pools and the server share
+one :class:`~repro.federated.backends.ExecutionBackend`, so pool shards
+and evaluation chunks may run concurrently (threads or worker processes)
+with results bitwise identical to the serial reference.
 
 The loop itself is executed by a
 :class:`~repro.federated.pipeline.RoundPipeline`, which makes the stages
@@ -34,10 +37,11 @@ import numpy as np
 
 from repro.byzantine.adaptive import AdaptiveAttack
 from repro.byzantine.base import Attack, AttackContext
-from repro.core.config import DPConfig, EngineConfig
+from repro.core.config import BackendConfig, DPConfig, EngineConfig
 from repro.core.dp_protocol import upload_noise_std
 from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
+from repro.federated.backends import ExecutionBackend, build_backend
 from repro.federated.history import TrainingHistory
 from repro.federated.pipeline import HistoryRecorder, RoundCallback, RoundPipeline
 from repro.federated.server import Server
@@ -122,6 +126,16 @@ class FederatedSimulation:
         Maximum workers per stacked engine call (see
         :class:`~repro.federated.worker.WorkerPool`); overrides an
         ``EngineConfig``'s value when both are given.
+    backend:
+        Parallel execution backend for the round's independent tasks
+        (honest and Byzantine shard finalisations, evaluation chunks): a
+        registered name (``"serial"``, ``"threaded"``, ``"process"``), a
+        :class:`~repro.core.config.BackendConfig`, a ready
+        :class:`~repro.federated.backends.ExecutionBackend` instance, or
+        ``None`` for the serial reference.  One backend instance (one
+        thread/process pool) is shared by both worker pools and the
+        server; every backend produces bitwise-identical runs.  Call
+        :meth:`close` when done to release pooled threads/processes.
     """
 
     def __init__(
@@ -139,6 +153,7 @@ class FederatedSimulation:
         byzantine_datasets: list[Dataset] | None = None,
         engine: str | EngineConfig | object | None = None,
         shard_size: int | None = None,
+        backend: str | BackendConfig | ExecutionBackend | None = None,
     ) -> None:
         if not honest_datasets:
             raise ValueError("at least one honest worker is required")
@@ -157,6 +172,7 @@ class FederatedSimulation:
         if shard_size is None and isinstance(engine, EngineConfig):
             shard_size = engine.shard_size
         self.shard_size = shard_size
+        self.backend = build_backend(backend)
         #: first round index :meth:`run` executes (set by checkpoint resume)
         self.start_round = 0
 
@@ -174,6 +190,7 @@ class FederatedSimulation:
             ],
             engine=engine,
             shard_size=shard_size,
+            backend=self.backend,
         )
 
         self.byzantine_pool: WorkerPool | None = None
@@ -195,6 +212,7 @@ class FederatedSimulation:
                 ],
                 engine=engine,
                 shard_size=shard_size,
+                backend=self.backend,
             )
 
         self.server = Server(
@@ -205,6 +223,7 @@ class FederatedSimulation:
             auxiliary=auxiliary,
             gamma=settings.gamma,
             rng=self._server_rng,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -294,3 +313,11 @@ class FederatedSimulation:
         recorder = HistoryRecorder()
         RoundPipeline(self, [recorder, *callbacks]).run()
         return recorder.history
+
+    def close(self) -> None:
+        """Release the execution backend's pooled threads/processes.
+
+        Safe to call repeatedly; the backend lazily recreates its pools
+        if the simulation runs again afterwards.
+        """
+        self.backend.shutdown()

@@ -18,6 +18,22 @@ switches micro-kernels -- and accumulation order -- for degenerate row
 counts of 1-3; the protocol's real batch sizes, multiples of 4, keep
 every shard on the same kernel, which the regression tests assert.)
 
+Shards are **independent between finalisations**: each shard touches only
+its own workers' generators (sampling and noise), its own rows of the
+pool's momentum state and its own rows of the upload matrix.  A pool may
+therefore dispatch its shards through a parallel
+:class:`~repro.federated.backends.ExecutionBackend` -- concurrently over
+threads, or over worker processes with the flat parameters in shared
+memory -- and still produce uploads bitwise identical to the serial
+in-order loop, no matter in which order shards complete (the backend's
+ordered reduction plus the per-worker streams pin every result to its
+worker index).  Each concurrent slot gets its own sampling scratch, its
+own engine instance and -- because a :class:`~repro.nn.network
+.Sequential` caches per-call state on its layers -- its own model
+replica, refreshed from the true model's flat parameters each round.
+When no ``shard_size`` is given, parallel backends split the pool into
+``max_workers`` near-equal shards so the concurrency is actually used.
+
 Mini-batches are gathered per worker straight out of each worker's own
 dataset, so the pool no longer keeps a concatenated second copy of its
 shard data alive (the pre-shard gather-matrix).
@@ -30,15 +46,122 @@ all its fake workers at once).
 
 from __future__ import annotations
 
+import pickle
+import uuid
+
 import numpy as np
 
-from repro.core.config import DPConfig, EngineConfig
+from repro.core.config import BackendConfig, DPConfig, EngineConfig
 from repro.core.dp_protocol import BatchedDPState, LocalDPState
 from repro.data.dataset import Dataset
+from repro.federated.backends import ExecutionBackend, SharedArray, build_backend
 from repro.federated.engines import ClientEngine, build_engine
 from repro.nn.network import Sequential
 
 __all__ = ["HonestWorker", "WorkerPool", "WorkerSlot"]
+
+
+class _ShardWorkspace:
+    """Scratch of one concurrent execution slot.
+
+    Holds the sampling buffers (sized by the largest shard), the slot's
+    engine instance and -- for the parallel slots only -- a private model
+    replica (``model is None`` means "use the caller's model directly",
+    which is what the serial path and the first parallel slot do).
+    """
+
+    __slots__ = ("engine", "model", "_indices", "_features", "_labels")
+
+    def __init__(self, engine: ClientEngine, model: Sequential | None = None) -> None:
+        self.engine = engine
+        self.model = model
+        self._indices: np.ndarray | None = None
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def ensure_scratch(self, batch: int, rows: int, feature_dim: int) -> None:
+        if self._features is None or self._features.shape != (rows, feature_dim):
+            self._indices = np.empty(batch, dtype=np.int64)
+            self._features = np.empty((rows, feature_dim), dtype=np.float64)
+            self._labels = np.empty(rows, dtype=np.int64)
+
+    def sample(
+        self,
+        datasets: list[Dataset],
+        rngs: list[np.random.Generator],
+        start: int,
+        stop: int,
+        batch: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the shard's mini-batches into this workspace's scratch.
+
+        Same draws as ``Dataset.sample_batch`` (uniform with replacement,
+        each worker's own stream, worker order), gathered per worker
+        straight from that worker's dataset -- no concatenated copy of
+        the pool's data is kept.
+        """
+        assert self._indices is not None
+        assert self._features is not None and self._labels is not None
+        for position, index in enumerate(range(start, stop)):
+            dataset, rng = datasets[index], rngs[index]
+            self._indices[...] = rng.integers(0, len(dataset), size=batch)
+            rows = slice(position * batch, (position + 1) * batch)
+            np.take(dataset.features, self._indices, axis=0, out=self._features[rows])
+            np.take(dataset.labels, self._indices, out=self._labels[rows])
+        rows = (stop - start) * batch
+        return self._features[:rows], self._labels[:rows]
+
+
+#: Per-process cache of (model, engine) pairs built by process-backend
+#: tasks, keyed by the owning pool's token: repeated shard tasks in the
+#: same worker process reuse one skeleton and one engine's scratch.
+_PROCESS_CACHE: dict[str, tuple[Sequential, ClientEngine]] = {}
+_PROCESS_CACHE_LIMIT = 8
+
+
+def _process_shard_task(payload: tuple) -> tuple[np.ndarray, list[dict]]:
+    """One shard finalisation inside a process-backend worker.
+
+    The payload carries everything the shard needs: the pool token plus
+    pickled model/engine blobs (unpickled once per worker process and
+    cached), the shared-memory handle of the current flat parameters,
+    the pre-sampled mini-batches, the shard's momentum rows and the
+    shard's generators.  Returns the uploads and the post-noise
+    generator states so the parent can keep its streams in sync.
+    """
+    (
+        token,
+        model_blob,
+        engine_blob,
+        parameters,
+        features,
+        labels,
+        n_workers,
+        momentum,
+        dp_config,
+        rngs,
+    ) = payload
+    cached = _PROCESS_CACHE.get(token)
+    if cached is None:
+        model = pickle.loads(model_blob)
+        engine_ref = pickle.loads(engine_blob)
+        engine = (
+            engine_ref
+            if isinstance(engine_ref, ClientEngine)
+            else build_engine(engine_ref)
+        )
+        if len(_PROCESS_CACHE) >= _PROCESS_CACHE_LIMIT:
+            _PROCESS_CACHE.clear()
+        _PROCESS_CACHE[token] = (model, engine)
+    else:
+        model, engine = cached
+    vector = parameters.open() if isinstance(parameters, SharedArray) else parameters
+    model.set_flat_parameters(vector)
+    state = BatchedDPState(slot_momentum=momentum, batch_size=dp_config.batch_size)
+    uploads = engine.compute_uploads(
+        model, features, labels, n_workers, state, dp_config, rngs
+    )
+    return np.array(uploads), [rng.bit_generator.state for rng in rngs]
 
 
 class WorkerPool:
@@ -61,11 +184,23 @@ class WorkerPool:
         ready :class:`~repro.federated.engines.ClientEngine` instance, or
         ``None`` for the default materialized engine.  An
         ``EngineConfig``'s ``shard_size`` is used when the ``shard_size``
-        argument is not given.
+        argument is not given.  Parallel backends give every concurrent
+        slot its own engine (via the spec, or ``engine.clone()`` for a
+        ready instance).
     shard_size:
         Maximum number of workers per engine call; ``None`` keeps the pool
-        in one shard.  Sharding bounds peak scratch memory by the largest
-        shard and is bitwise-identical to the unsharded pool.
+        in one shard under the serial backend and splits it into
+        ``backend.max_workers`` near-equal shards under a parallel one.
+        Sharding bounds peak scratch memory by the largest shard and is
+        bitwise-identical to the unsharded pool.
+    backend:
+        How shards are dispatched: a registered name (``"serial"``,
+        ``"threaded"``, ``"process"``), a
+        :class:`~repro.core.config.BackendConfig`, a ready
+        :class:`~repro.federated.backends.ExecutionBackend` instance
+        (shared backends reuse one thread/process pool across worker
+        pools), or ``None`` for the serial reference.  Every backend
+        produces bitwise-identical uploads.
     """
 
     def __init__(
@@ -75,6 +210,7 @@ class WorkerPool:
         rngs: list[np.random.Generator],
         engine: str | ClientEngine | EngineConfig | None = None,
         shard_size: int | None = None,
+        backend: str | ExecutionBackend | BackendConfig | None = None,
     ) -> None:
         if not datasets:
             raise ValueError("WorkerPool requires at least one worker")
@@ -95,18 +231,37 @@ class WorkerPool:
         self.datasets = list(datasets)
         self.dp_config = dp_config
         self.rngs = list(rngs)
+        self.backend = build_backend(backend)
+        self._engine_source = engine
         self.engine = build_engine(engine)
         self.state = BatchedDPState()
         n = len(self.datasets)
-        size = n if shard_size is None else min(shard_size, n)
+        if shard_size is None:
+            # Parallel backends split the pool into near-equal shards so
+            # the configured concurrency is actually exercised; the serial
+            # reference keeps the whole pool in one stacked call.
+            jobs = min(self.backend.max_workers, n)
+            size = n if jobs <= 1 else -(-n // jobs)
+        else:
+            size = min(shard_size, n)
         self.shard_size = size
         self._shard_bounds = [
             (start, min(start + size, n)) for start in range(0, n, size)
         ]
-        # Round-reusable sampling scratch, sized by the largest shard.
-        self._indices: np.ndarray | None = None
-        self._features: np.ndarray | None = None
-        self._labels: np.ndarray | None = None
+        # Execution slots: slot 0 (the serial path) samples into its own
+        # reusable scratch and drives the pool's primary engine on the
+        # caller's model; parallel slots are appended lazily with private
+        # engines and model replicas.
+        self._primary = _ShardWorkspace(self.engine)
+        self._workspaces: list[_ShardWorkspace] = [self._primary]
+        self._replica_source: Sequential | None = None
+        # Process-backend state: the pickled model skeleton (parameters
+        # travel separately through shared memory) and the pool token the
+        # worker-process caches key on.
+        self._model_blob: bytes | None = None
+        self._engine_blob: bytes | None = None
+        self._blob_source: Sequential | None = None
+        self._process_token = uuid.uuid4().hex
 
     @property
     def n_workers(self) -> int:
@@ -128,33 +283,154 @@ class WorkerPool:
         """Per-worker views (dataset, generator, momentum) into the pool."""
         return [WorkerSlot(self, index) for index in range(self.n_workers)]
 
-    def _ensure_scratch(self) -> None:
-        rows = self.shard_size * self.dp_config.batch_size
-        feature_dim = self.datasets[0].dim
-        if self._features is None or self._features.shape != (rows, feature_dim):
-            self._indices = np.empty(self.dp_config.batch_size, dtype=np.int64)
-            self._features = np.empty((rows, feature_dim), dtype=np.float64)
-            self._labels = np.empty(rows, dtype=np.int64)
+    # ------------------------------------------------------------------ #
+    # shard execution
+    # ------------------------------------------------------------------ #
+    def _compute_shard(
+        self,
+        model: Sequential,
+        workspace: _ShardWorkspace,
+        bounds: tuple[int, int],
+        uploads: np.ndarray,
+    ) -> None:
+        """Sample, run the engine and finalise one shard into ``uploads``.
 
-    def _sample_shard(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
-        """Stack the shard's mini-batches into the shared sampling scratch.
-
-        Same draws as ``Dataset.sample_batch`` (uniform with replacement,
-        each worker's own stream, worker order), gathered per worker
-        straight from that worker's dataset -- no concatenated copy of the
-        pool's data is kept.
+        Touches only the shard's own worker streams, momentum rows and
+        upload rows, so concurrent calls on *distinct* workspaces never
+        share mutable state.
         """
-        assert self._indices is not None
-        assert self._features is not None and self._labels is not None
+        start, stop = bounds
         batch = self.dp_config.batch_size
-        for position, index in enumerate(range(start, stop)):
-            dataset, rng = self.datasets[index], self.rngs[index]
-            self._indices[...] = rng.integers(0, len(dataset), size=batch)
-            rows = slice(position * batch, (position + 1) * batch)
-            np.take(dataset.features, self._indices, axis=0, out=self._features[rows])
-            np.take(dataset.labels, self._indices, out=self._labels[rows])
-        rows = (stop - start) * batch
-        return self._features[:rows], self._labels[:rows]
+        workspace.ensure_scratch(
+            batch, self.shard_size * batch, self.datasets[0].dim
+        )
+        features, labels = workspace.sample(
+            self.datasets, self.rngs, start, stop, batch
+        )
+        shard_state = BatchedDPState(
+            slot_momentum=self.state.slot_momentum[start:stop],
+            batch_size=batch,
+        )
+        uploads[start:stop] = workspace.engine.compute_uploads(
+            model,
+            features,
+            labels,
+            stop - start,
+            shard_state,
+            self.dp_config,
+            self.rngs[start:stop],
+        )
+
+    def _new_engine(self) -> ClientEngine:
+        """A fresh engine for a parallel slot (spec rebuild, or clone)."""
+        if isinstance(self._engine_source, ClientEngine):
+            return self._engine_source.clone()
+        return build_engine(self._engine_source)
+
+    def _parallel_workspaces(self, model: Sequential, jobs: int) -> list[_ShardWorkspace]:
+        """The first ``jobs`` execution slots, replicas synced to ``model``.
+
+        Slot 0 uses the caller's model directly; every further slot owns a
+        model replica (a :class:`Sequential` caches per-call state on its
+        layers, so concurrent shards must not share one).  Replicas are
+        kept across rounds and refreshed from the true model's flat
+        parameters -- an exact copy, so replica rounds are bitwise
+        identical to true-model rounds.
+        """
+        if self._replica_source is not model:
+            self._workspaces = [self._primary]
+            self._replica_source = model
+        while len(self._workspaces) < jobs:
+            self._workspaces.append(
+                _ShardWorkspace(self._new_engine(), model.clone())
+            )
+        workspaces = self._workspaces[:jobs]
+        flat = model.get_flat_parameters()
+        for workspace in workspaces:
+            if workspace.model is not None:
+                workspace.model.set_flat_parameters(flat)
+        return workspaces
+
+    def _compute_uploads_parallel(
+        self, model: Sequential, uploads: np.ndarray, jobs: int
+    ) -> None:
+        """Dispatch the shards over the backend's in-process concurrency.
+
+        Workspaces are leased per task, so any shard can run on any
+        slot; results land in ``uploads`` by shard index (and noise and
+        momentum by worker index), which makes the outcome independent
+        of shard completion order.
+        """
+
+        def run_shard(workspace: _ShardWorkspace, bounds: tuple[int, int]) -> None:
+            shard_model = workspace.model if workspace.model is not None else model
+            self._compute_shard(shard_model, workspace, bounds, uploads)
+
+        self.backend.map_leased(
+            run_shard, self._shard_bounds, self._parallel_workspaces(model, jobs)
+        )
+
+    def _compute_uploads_process(
+        self, model: Sequential, uploads: np.ndarray
+    ) -> None:
+        """Dispatch the shards over an out-of-process backend.
+
+        Mini-batches are sampled in the parent (each worker's own stream,
+        worker order -- identical draws to the serial path), the model
+        skeleton is pickled once per pool and the current flat parameters
+        travel through the backend's shared memory.  Workers return the
+        uploads plus their generators' post-noise states; restoring those
+        keeps the parent's streams bit-identical to a serial round, and
+        the momentum overwrite (Algorithm 1 line 11) equals the uploads,
+        so the parent's state needs no second payload.
+        """
+        batch = self.dp_config.batch_size
+        if self._model_blob is None or self._blob_source is not model:
+            # The binding caches views into engine scratch; drop them so
+            # the skeleton blob carries the model, not the buffers.
+            model.unbind_per_example_grad_buffers()
+            self._model_blob = pickle.dumps(model)
+            self._blob_source = model
+            self._process_token = uuid.uuid4().hex
+            engine_ref = (
+                self._engine_source.clone()
+                if isinstance(self._engine_source, ClientEngine)
+                else self._engine_source
+            )
+            self._engine_blob = pickle.dumps(engine_ref)
+        share = getattr(self.backend, "share_array", None)
+        flat = model.get_flat_parameters()
+        parameters = share(flat) if callable(share) else flat
+        self._primary.ensure_scratch(
+            batch, self.shard_size * batch, self.datasets[0].dim
+        )
+        payloads = []
+        for start, stop in self._shard_bounds:
+            features, labels = self._primary.sample(
+                self.datasets, self.rngs, start, stop, batch
+            )
+            payloads.append(
+                (
+                    self._process_token,
+                    self._model_blob,
+                    self._engine_blob,
+                    parameters,
+                    np.array(features),
+                    np.array(labels),
+                    stop - start,
+                    np.array(self.state.slot_momentum[start:stop]),
+                    self.dp_config,
+                    self.rngs[start:stop],
+                )
+            )
+        results = self.backend.map_ordered(_process_shard_task, payloads)
+        for (start, stop), (shard_uploads, rng_states) in zip(
+            self._shard_bounds, results
+        ):
+            uploads[start:stop] = shard_uploads
+            for index, state in zip(range(start, stop), rng_states):
+                self.rngs[index].bit_generator.state = state
+        np.copyto(self.state.slot_momentum, uploads)
 
     def compute_uploads(self, model: Sequential) -> np.ndarray:
         """One protocol iteration for every worker; returns ``(n_workers, d)``.
@@ -163,28 +439,24 @@ class WorkerPool:
         parameters into ``model`` (model broadcasting, Algorithm 1 line 3).
         Each shard travels through the pool's engine with a momentum-state
         view into the pool's full state, so per-worker momentum and noise
-        streams are independent of the sharding.
+        streams are independent of the sharding -- and, because shards are
+        independent between finalisations, of the execution backend and of
+        shard completion order.
         """
         n, batch = self.n_workers, self.dp_config.batch_size
         dimension = model.num_parameters
-        self._ensure_scratch()
         self.state.ensure_shape(n, batch, dimension)
         uploads = np.empty((n, dimension), dtype=np.float64)
-        for start, stop in self._shard_bounds:
-            features, labels = self._sample_shard(start, stop)
-            shard_state = BatchedDPState(
-                slot_momentum=self.state.slot_momentum[start:stop],
-                batch_size=batch,
-            )
-            uploads[start:stop] = self.engine.compute_uploads(
-                model,
-                features,
-                labels,
-                stop - start,
-                shard_state,
-                self.dp_config,
-                self.rngs[start:stop],
-            )
+        backend = self.backend
+        if not backend.in_process:
+            self._compute_uploads_process(model, uploads)
+            return uploads
+        jobs = min(backend.max_workers, self.n_shards)
+        if jobs <= 1:
+            for bounds in self._shard_bounds:
+                self._compute_shard(model, self._primary, bounds, uploads)
+        else:
+            self._compute_uploads_parallel(model, uploads, jobs)
         return uploads
 
     def reset(self) -> None:

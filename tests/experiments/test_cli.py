@@ -54,6 +54,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_backend_defaults_and_jobs(self):
+        arguments = build_parser().parse_args(["run"])
+        assert arguments.backend == "serial"
+        assert arguments.jobs is None
+        arguments = build_parser().parse_args(
+            ["run", "--backend", "threaded", "--jobs", "4"]
+        )
+        assert arguments.backend == "threaded"
+        assert arguments.jobs == 4
+
+    def test_accepts_backend_aliases(self):
+        arguments = build_parser().parse_args(["run", "--backend", "threads"])
+        assert arguments.backend == "threads"
+
+    def test_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--backend", "gpu"])
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list_prints_registries(self, capsys):
@@ -66,7 +86,7 @@ class TestCommands:
         assert main(["list", "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
         kinds = {row["kind"] for row in rows}
-        assert kinds == {"dataset", "attack", "defense", "model", "engine"}
+        assert kinds == {"dataset", "attack", "defense", "model", "engine", "backend"}
         by_name = {row["name"]: row for row in rows}
         assert by_name["two_stage"]["summary"]
 
@@ -106,6 +126,15 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "final test accuracy" in output
         assert "noise multiplier sigma" in output
+
+    def test_run_output_byte_identical_across_backends(self, capsys):
+        """The acceptance gate: backend choice is invisible in the output."""
+        assert main(["run", *FAST_ARGUMENTS, "--backend", "serial"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(
+            ["run", *FAST_ARGUMENTS, "--backend", "threaded", "--jobs", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial_output
 
     def test_run_no_dp(self, capsys):
         code = main(["run", *FAST_ARGUMENTS, "--attack", "gaussian", "--no-dp"])

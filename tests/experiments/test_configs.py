@@ -174,6 +174,15 @@ class TestSerialization:
         for field_name, value in config.to_dict().items():
             assert getattr(restored, field_name) == value, field_name
 
+    def test_backend_fields_survive_json_round_trip(self):
+        config = ExperimentConfig(
+            backend="threaded", backend_kwargs={"max_workers": 4}
+        )
+        restored = ExperimentConfig.from_json(config.to_json())
+        assert restored.backend == "threaded"
+        assert restored.backend_kwargs == {"max_workers": 4}
+        assert ExperimentConfig().backend == "serial"
+
     def test_kwargs_survive_json_round_trip(self):
         config = benchmark_preset(
             attack="gaussian",

@@ -1,0 +1,371 @@
+"""Tests for the parallel execution backends.
+
+Covers the backend framework (registry, ordered reduction, lifecycle),
+the worker-pool routing (threaded/process == serial bitwise, including
+under adversarial shard completion orders), the auto-sharding of
+parallel pools and the backend-routed chunked evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import BackendConfig, DPConfig
+from repro.data.synthetic import make_classification
+from repro.federated.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadedBackend,
+    available_backends,
+    build_backend,
+)
+from repro.federated.worker import WorkerPool
+from tests.helpers import make_model_and_data
+
+
+def make_shards(n_workers, seed=0, n_features=8, n_classes=3, per_worker=40):
+    rng = np.random.default_rng(seed)
+    data = make_classification(
+        n_samples=per_worker * n_workers,
+        n_features=n_features,
+        n_classes=n_classes,
+        nonlinear=False,
+        rng=rng,
+        name="backend-pool",
+    )
+    return [
+        data.subset(np.arange(i * per_worker, (i + 1) * per_worker))
+        for i in range(n_workers)
+    ]
+
+
+def make_pool(shards, config, engine=None, shard_size=None, backend=None, seed=100):
+    return WorkerPool(
+        shards,
+        config,
+        [np.random.default_rng(seed + i) for i in range(len(shards))],
+        engine=engine,
+        shard_size=shard_size,
+        backend=backend,
+    )
+
+
+class ReversedCompletionBackend(ExecutionBackend):
+    """Test double: tasks *complete* in reverse submission order.
+
+    The reduction stays ordered, so a correctly written caller (results
+    placed by index, per-worker streams) must be unaffected.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self._max_workers = max_workers
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def map_ordered(self, fn, items):
+        items = list(items)
+        results: list = [None] * len(items)
+        for index in reversed(range(len(items))):
+            results[index] = fn(items[index])
+        return results
+
+
+class TestBackendFramework:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "threaded", "process"} <= set(available_backends())
+        assert "threads" in BACKENDS.names(include_aliases=True)
+        assert "processes" in BACKENDS.names(include_aliases=True)
+
+    def test_serial_map_ordered(self):
+        backend = SerialBackend()
+        assert backend.map_ordered(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        assert backend.max_workers == 1
+        assert backend.in_process
+
+    def test_serial_accepts_and_ignores_max_workers(self):
+        """Sweeps toggle only the backend name; --jobs must not explode."""
+        assert SerialBackend(max_workers=4).max_workers == 1
+
+    def test_threaded_map_preserves_submission_order(self):
+        backend = ThreadedBackend(max_workers=4)
+        try:
+            barrier = threading.Barrier(4, timeout=10)
+
+            def task(item):
+                barrier.wait()  # all four run simultaneously
+                return item * item
+
+            assert backend.map_ordered(task, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        finally:
+            backend.shutdown()
+
+    def test_threaded_propagates_task_exception(self):
+        backend = ThreadedBackend(max_workers=2)
+        try:
+            def task(item):
+                if item == 2:
+                    raise RuntimeError("boom")
+                return item
+
+            with pytest.raises(RuntimeError, match="boom"):
+                backend.map_ordered(task, [1, 2, 3])
+        finally:
+            backend.shutdown()
+
+    def test_backend_usable_after_shutdown(self):
+        backend = ThreadedBackend(max_workers=2)
+        assert backend.map_ordered(lambda x: x + 1, [1, 2]) == [2, 3]
+        backend.shutdown()
+        assert backend.map_ordered(lambda x: x + 1, [3]) == [4]
+        backend.shutdown()
+
+    def test_empty_items(self):
+        backend = ThreadedBackend(max_workers=2)
+        assert backend.map_ordered(lambda x: x, []) == []
+        backend.shutdown()
+
+    def test_rejects_nonpositive_max_workers(self):
+        with pytest.raises(ValueError):
+            ThreadedBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            SerialBackend(max_workers=-1)
+
+    def test_build_backend_default_is_serial(self):
+        assert isinstance(build_backend(None), SerialBackend)
+        assert isinstance(build_backend("serial"), SerialBackend)
+
+    def test_build_backend_from_config(self):
+        backend = build_backend(BackendConfig(name="threaded", max_workers=3))
+        assert isinstance(backend, ThreadedBackend)
+        assert backend.max_workers == 3
+
+    def test_build_backend_config_options_win_over_max_workers(self):
+        config = BackendConfig(
+            name="threaded", max_workers=3, options={"max_workers": 2}
+        )
+        assert build_backend(config).max_workers == 2
+
+    def test_build_backend_instance_passthrough(self):
+        backend = ThreadedBackend(max_workers=2)
+        assert build_backend(backend) is backend
+        with pytest.raises(TypeError):
+            build_backend(backend, max_workers=4)
+        backend.shutdown()
+
+    def test_backend_config_validation(self):
+        with pytest.raises(ValueError):
+            BackendConfig(name="")
+        with pytest.raises(ValueError):
+            BackendConfig(name="serial", max_workers=0)
+
+
+class TestPoolBackends:
+    """Threaded/process pools are bitwise identical to the serial path."""
+
+    def assert_pool_matches_serial(self, backend, engine=None, rounds=3,
+                                   shard_size=2, n_workers=6, batch=4):
+        model, _ = make_model_and_data(seed=2)
+        shards = make_shards(n_workers, seed=3)
+        config = DPConfig(batch_size=batch, sigma=0.9, momentum=0.2)
+        serial = make_pool(shards, config, engine=engine, shard_size=shard_size)
+        parallel = make_pool(
+            shards, config, engine=engine, shard_size=shard_size, backend=backend
+        )
+        try:
+            for round_index in range(rounds):
+                np.testing.assert_array_equal(
+                    parallel.compute_uploads(model),
+                    serial.compute_uploads(model),
+                    err_msg=f"round {round_index}",
+                )
+        finally:
+            parallel.backend.shutdown()
+
+    def test_threaded_pool_bitwise_identical(self):
+        self.assert_pool_matches_serial(ThreadedBackend(max_workers=3))
+
+    def test_threaded_pool_bitwise_identical_ghost_engine(self):
+        self.assert_pool_matches_serial(
+            ThreadedBackend(max_workers=3), engine="ghost_norm"
+        )
+
+    def test_process_pool_bitwise_identical(self):
+        self.assert_pool_matches_serial(ProcessBackend(max_workers=2), rounds=2)
+
+    def test_process_pool_bitwise_identical_ghost_engine(self):
+        self.assert_pool_matches_serial(
+            ProcessBackend(max_workers=2), engine="ghost_norm", rounds=2
+        )
+
+    def test_reversed_completion_order_identical(self):
+        """Shard results must not depend on which shard finishes first."""
+        self.assert_pool_matches_serial(ReversedCompletionBackend())
+
+    def test_interleaved_shard_completion(self):
+        """All shards in flight simultaneously, released in reverse order."""
+        model, _ = make_model_and_data(seed=5)
+        shards = make_shards(8, seed=7)
+        config = DPConfig(batch_size=4, sigma=1.0, momentum=0.1)
+
+        class InterleavingBackend(ThreadedBackend):
+            """Holds every task at a barrier, then staggers completion."""
+
+            def map_ordered(self, fn, items):
+                items = list(items)
+                barrier = threading.Barrier(len(items), timeout=30)
+                order = {id(item): rank for rank, item in enumerate(reversed(items))}
+                release = threading.Condition()
+                released = [0]
+
+                def staggered(item):
+                    result = fn(item)
+                    barrier.wait()
+                    with release:
+                        release.wait_for(
+                            lambda: released[0] >= order[id(item)], timeout=30
+                        )
+                        released[0] += 1
+                        release.notify_all()
+                    return result
+
+                return super().map_ordered(staggered, items)
+
+        backend = InterleavingBackend(max_workers=4)
+        serial = make_pool(shards, config, shard_size=2)
+        parallel = make_pool(shards, config, shard_size=2, backend=backend)
+        try:
+            for round_index in range(2):
+                np.testing.assert_array_equal(
+                    parallel.compute_uploads(model),
+                    serial.compute_uploads(model),
+                    err_msg=f"round {round_index}",
+                )
+        finally:
+            backend.shutdown()
+
+    def test_bounding_modes(self):
+        for bounding in ("normalize", "clip"):
+            model, _ = make_model_and_data(seed=4)
+            shards = make_shards(4, seed=5)
+            config = DPConfig(
+                batch_size=4, sigma=0.5, bounding=bounding, clip_norm=0.8
+            )
+            serial = make_pool(shards, config, shard_size=2)
+            parallel = make_pool(
+                shards, config, shard_size=2,
+                backend=ThreadedBackend(max_workers=2),
+            )
+            try:
+                for _ in range(2):
+                    np.testing.assert_array_equal(
+                        parallel.compute_uploads(model),
+                        serial.compute_uploads(model),
+                    )
+            finally:
+                parallel.backend.shutdown()
+
+    def test_parallel_pool_auto_shards(self):
+        """Without shard_size, a parallel pool splits per backend job."""
+        shards = make_shards(12)
+        backend = ThreadedBackend(max_workers=4)
+        pool = make_pool(shards, DPConfig(batch_size=4), backend=backend)
+        assert pool.n_shards == 4
+        assert pool.shard_bounds == [(0, 3), (3, 6), (6, 9), (9, 12)]
+        backend.shutdown()
+        serial = make_pool(shards, DPConfig(batch_size=4))
+        assert serial.n_shards == 1
+
+    def test_explicit_shard_size_wins_over_auto(self):
+        shards = make_shards(12)
+        backend = ThreadedBackend(max_workers=4)
+        pool = make_pool(shards, DPConfig(batch_size=4), shard_size=6,
+                         backend=backend)
+        assert pool.n_shards == 2
+        backend.shutdown()
+
+    def test_custom_backend_through_registry(self):
+        @BACKENDS.register("reversed_test", summary="test backend", replace=True)
+        class RegisteredReversed(ReversedCompletionBackend):
+            pass
+
+        try:
+            model, _ = make_model_and_data(seed=2)
+            shards = make_shards(4, seed=3)
+            config = DPConfig(batch_size=4, sigma=1.0)
+            serial = make_pool(shards, config, shard_size=2)
+            custom = make_pool(shards, config, shard_size=2,
+                               backend="reversed_test")
+            np.testing.assert_array_equal(
+                custom.compute_uploads(model), serial.compute_uploads(model)
+            )
+        finally:
+            BACKENDS.unregister("reversed_test")
+
+
+class TestBackendSimulation:
+    """Backend choice is invisible in end-to-end run results."""
+
+    @pytest.mark.parametrize(
+        "backend,kwargs",
+        [
+            ("threaded", {"max_workers": 2}),
+            ("process", {"max_workers": 2}),
+        ],
+    )
+    def test_run_experiment_identical_across_backends(self, backend, kwargs):
+        from repro.experiments.presets import benchmark_preset
+        from repro.experiments.runner import run_experiment
+
+        base = benchmark_preset(
+            dataset="usps_like", byzantine_fraction=0.4, attack="label_flip",
+            defense="two_stage", epochs=1, scale=0.2, n_honest=4,
+        )
+        serial = run_experiment(base)
+        parallel = run_experiment(
+            base.replace(backend=backend, backend_kwargs=kwargs)
+        )
+        assert serial.history.as_dict() == parallel.history.as_dict()
+
+    def test_parallel_evaluation_identical(self):
+        from repro.federated.server import Server
+        from repro.defenses.mean import MeanAggregator
+
+        model, dataset = make_model_and_data(seed=8, n_samples=600)
+        backend = ThreadedBackend(max_workers=3)
+
+        def build_server(eval_backend):
+            return Server(
+                model=model,
+                aggregator=MeanAggregator(),
+                learning_rate=0.1,
+                dp_config=DPConfig(batch_size=4, sigma=1.0),
+                auxiliary=None,
+                gamma=0.5,
+                rng=np.random.default_rng(0),
+                backend=eval_backend,
+            )
+
+        serial_accuracy = build_server(None).evaluate(dataset, batch_size=64)
+        parallel_accuracy = build_server(backend).evaluate(dataset, batch_size=64)
+        backend.shutdown()
+        assert serial_accuracy == parallel_accuracy
+
+    def test_simulation_close_is_idempotent(self):
+        from repro.experiments.presets import benchmark_preset
+        from repro.experiments.runner import prepare_experiment
+
+        config = benchmark_preset(
+            epochs=1, scale=0.1, n_honest=2,
+            backend="threaded", backend_kwargs={"max_workers": 2},
+        )
+        setup = prepare_experiment(config)
+        assert isinstance(setup.simulation.backend, ThreadedBackend)
+        setup.simulation.close()
+        setup.simulation.close()

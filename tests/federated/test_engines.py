@@ -257,7 +257,7 @@ class TestShardedPool:
         shards = make_shards(8)
         pool = make_pool(shards, config, shard_size=2)
         pool.compute_uploads(model)
-        assert pool._features.shape[0] == 2 * config.batch_size
+        assert pool._primary._features.shape[0] == 2 * config.batch_size
         assert isinstance(pool.engine, MaterializedEngine)
         assert pool.engine._gradients.shape == (
             2 * config.batch_size,

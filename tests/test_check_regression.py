@@ -1,0 +1,139 @@
+"""Tests for the benchmark regression gate (benchmarks/check_regression.py).
+
+The gate is demonstrated here -- a synthetic >1.5x slowdown must fail,
+a small one must only warn -- so CI proves the policy without anyone
+having to break a real benchmark.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def write_export(path: Path, times: dict[str, float]) -> Path:
+    """A minimal pytest-benchmark JSON export with the given min times."""
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"min": seconds}}
+            for name, seconds in times.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def gate(tmp_path):
+    """Run the gate CLI against a tmp baseline dir; returns (run, dirs)."""
+    baseline_dir = tmp_path / "baselines"
+
+    def run(*argv: str) -> int:
+        return check_regression.main([*argv, "--baseline-dir", str(baseline_dir)])
+
+    return run, tmp_path, baseline_dir
+
+
+class TestUpdate:
+    def test_update_records_min_times(self, gate):
+        run, tmp_path, baseline_dir = gate
+        export = write_export(
+            tmp_path / "BENCH_demo.json", {"bench_a": 0.001, "bench_b": 0.002}
+        )
+        assert run(str(export), "--update") == 0
+        recorded = json.loads((baseline_dir / "BENCH_demo.json").read_text())
+        assert recorded["benchmarks"] == {"bench_a": 0.001, "bench_b": 0.002}
+        assert recorded["source"] == "BENCH_demo.json"
+
+
+class TestGate:
+    def baseline(self, gate, times):
+        run, tmp_path, _ = gate
+        export = write_export(tmp_path / "BENCH_demo.json", times)
+        assert run(str(export), "--update") == 0
+
+    def test_unchanged_times_pass(self, gate):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        assert run(str(tmp_path / "BENCH_demo.json")) == 0
+
+    def test_regression_beyond_fail_tolerance_fails(self, gate, capsys):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001, "bench_b": 0.002})
+        write_export(
+            tmp_path / "BENCH_demo.json", {"bench_a": 0.0016, "bench_b": 0.002}
+        )
+        assert run(str(tmp_path / "BENCH_demo.json")) == 1
+        output = capsys.readouterr().out
+        assert "FAIL" in output and "bench_a" in output
+
+    def test_slowdown_within_fail_tolerance_warns(self, gate, capsys):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        write_export(tmp_path / "BENCH_demo.json", {"bench_a": 0.0013})
+        assert run(str(tmp_path / "BENCH_demo.json")) == 0
+        assert "WARN" in capsys.readouterr().out
+
+    def test_improvement_never_fails(self, gate, capsys):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        write_export(tmp_path / "BENCH_demo.json", {"bench_a": 0.0001})
+        assert run(str(tmp_path / "BENCH_demo.json")) == 0
+        assert "refreshing the baseline" in capsys.readouterr().out
+
+    def test_custom_tolerances(self, gate):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        write_export(tmp_path / "BENCH_demo.json", {"bench_a": 0.0013})
+        assert run(str(tmp_path / "BENCH_demo.json"), "--fail-at", "1.25") == 1
+
+    def test_new_benchmark_warns_but_passes(self, gate, capsys):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        write_export(
+            tmp_path / "BENCH_demo.json", {"bench_a": 0.001, "bench_new": 0.005}
+        )
+        assert run(str(tmp_path / "BENCH_demo.json")) == 0
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_missing_baseline_warns_but_passes(self, gate, capsys):
+        run, tmp_path, _ = gate
+        export = write_export(tmp_path / "BENCH_other.json", {"bench_a": 0.001})
+        assert run(str(export)) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_baseline_only_entries_ignored(self, gate):
+        """Partial re-runs stay usable: extra baseline entries don't fail."""
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001, "bench_gone": 0.002})
+        write_export(tmp_path / "BENCH_demo.json", {"bench_a": 0.001})
+        assert run(str(tmp_path / "BENCH_demo.json")) == 0
+
+    def test_rejects_non_benchmark_json(self, gate):
+        run, tmp_path, _ = gate
+        self.baseline(gate, {"bench_a": 0.001})
+        bogus = tmp_path / "BENCH_demo.json"
+        bogus.write_text(json.dumps({"not": "an export"}))
+        with pytest.raises(SystemExit):
+            run(str(bogus))
+
+
+class TestCommittedBaselines:
+    def test_every_committed_baseline_is_well_formed(self):
+        """The baselines shipped in-repo parse and carry positive times."""
+        baseline_dir = SCRIPT.parent / "baselines"
+        paths = sorted(baseline_dir.glob("*.json"))
+        assert paths, "no committed baselines found"
+        for path in paths:
+            recorded = check_regression.load_baseline(path)
+            assert recorded, f"{path} holds no benchmarks"
+            assert all(seconds > 0 for seconds in recorded.values())
