@@ -1,0 +1,81 @@
+"""Graceful degradation -- accuracy vs per-round dropout rate under attack.
+
+The fault-tolerance claim in table form: as a growing fraction of the
+cohort silently drops out every round (while 40% of the *population* is
+Byzantine, so the realised honest majority shrinks too), the two-stage
+defense should degrade gracefully rather than collapse, and should keep
+its edge over the undefended mean wherever the fault-free column learns.
+
+The grid comes straight from the registry-driven
+:func:`repro.experiments.presets.dropout_sweep` preset -- the same cells
+a user gets from ``dropout_sweep()`` -- scaled down for CI wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_series
+from repro.experiments import dropout_sweep, run_grid
+from repro.experiments.sweep import accuracy_grid, series_from_grid
+
+RATES = (0.0, 0.2, 0.4)
+DEFENSES = ("two_stage", "mean")
+BYZANTINE_FRACTION = 0.4
+CHANCE = 0.1
+
+
+@pytest.mark.benchmark(group="dropout-sweep")
+def bench_dropout_sweep_lmp(benchmark, record_table):
+    grid = dropout_sweep(
+        rates=RATES,
+        defenses=DEFENSES,
+        attack="lmp",
+        byzantine_fraction=BYZANTINE_FRACTION,
+        min_quorum=0.25,
+        epochs=4,
+        scale=0.25,
+    )
+    assert set(grid) == {(d, r) for d in DEFENSES for r in RATES}
+
+    def run():
+        return accuracy_grid(run_grid(grid))
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_series(
+        "dropout rate",
+        list(RATES),
+        {
+            defense: series_from_grid(
+                measured, RATES, lambda rate, d=defense: (d, rate)
+            )
+            for defense in DEFENSES
+        },
+        title=(
+            "Dropout sweep: LMP attack, "
+            f"{int(BYZANTINE_FRACTION * 100)}% Byzantine workers, "
+            "min quorum 25%"
+        ),
+    )
+    record_table("dropout_sweep_lmp", text)
+
+    two_stage = [measured[("two_stage", rate)] for rate in RATES]
+    mean = [measured[("mean", rate)] for rate in RATES]
+    assert all(math.isfinite(value) for value in two_stage + mean)
+    # Shape 1: every faulty run completed and produced a real accuracy --
+    # partial-cohort aggregation, not a crash -- and the defense stays
+    # clear of total collapse at every dropout rate.
+    assert min(two_stage) > CHANCE / 2
+    # Shape 2: graceful degradation. Losing 40% of reports each round may
+    # cost accuracy, but not more than half of what the fault-free column
+    # learned over chance.
+    learned = two_stage[0] - CHANCE
+    if learned > 0.15:
+        assert two_stage[-1] - CHANCE > 0.5 * learned
+        # Shape 3: wherever the defense meaningfully learns, it beats the
+        # undefended mean under this attack even with dropout faults.
+        for defended, undefended in zip(two_stage, mean):
+            assert defended > undefended - 0.05

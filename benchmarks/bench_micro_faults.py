@@ -1,0 +1,129 @@
+"""Micro-benchmarks of the fault-injection round path (overhead + neutrality).
+
+Two questions, one group (``micro-faults``):
+
+- **Is the zero-fault path really free?**  Every benchmark first runs the
+  equivalence gate: a training run under an *active* dropout model at
+  rate 0 (full fault machinery engaged -- survivor ids, partial-cohort
+  aggregation, realised-cohort second stage) must be bitwise identical to
+  the ``"none"`` reference, so the CI bench job fails on a fault-path
+  neutrality regression, not only on crashes.
+- **What does a chaos round cost?**  ``bench_micro_faults_none`` times a
+  short fault-free training run and ``bench_micro_faults_chaos`` the same
+  run under combined dropout + shard crashes (with retries), so the
+  injection overhead is tracked per CI run in ``BENCH_micro_faults.json``.
+
+Run (the bench files use a non-default prefix, so the collection
+overrides are required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_faults.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-only --benchmark-json=BENCH_micro_faults.json
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPConfig, ProtocolConfig
+from repro.core.protocol import TwoStageAggregator
+from repro.data.auxiliary import sample_auxiliary
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_classification
+from repro.federated.faults import ChaosFaults, DropoutFaults
+from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.nn.models import build_model
+
+N_FEATURES = 32
+N_CLASSES = 5
+N_HONEST = 12
+TOTAL_ROUNDS = 3
+SHARD_SIZE = 4
+
+
+@pytest.fixture(scope="module")
+def fault_substrate():
+    """Shards, test set and auxiliary data shared by every benchmark."""
+    rng = np.random.default_rng(0)
+    data = make_classification(
+        60 * N_HONEST, N_FEATURES, N_CLASSES, nonlinear=False, rng=rng,
+        name="micro-faults",
+    )
+    test = make_classification(
+        200, N_FEATURES, N_CLASSES, nonlinear=False, rng=rng,
+        name="micro-faults-test",
+    )
+    shards = partition_iid(data, N_HONEST, rng)
+    auxiliary = sample_auxiliary(test, per_class=2, rng=rng)
+    return shards, test, auxiliary
+
+
+def make_simulation(fault_substrate, faults) -> FederatedSimulation:
+    shards, test, auxiliary = fault_substrate
+    return FederatedSimulation(
+        model=build_model("linear", N_FEATURES, N_CLASSES, rng=1),
+        honest_datasets=shards,
+        n_byzantine=0,
+        attack=None,
+        aggregator=TwoStageAggregator(ProtocolConfig(gamma=0.5)),
+        dp_config=DPConfig(batch_size=8, sigma=1.0),
+        auxiliary=auxiliary,
+        test_dataset=test,
+        settings=SimulationSettings(
+            total_rounds=TOTAL_ROUNDS, learning_rate=0.5, eval_every=2
+        ),
+        seed=7,
+        shard_size=SHARD_SIZE,
+        faults=faults,
+    )
+
+
+def assert_zero_fault_neutral(fault_substrate) -> None:
+    """Equivalence gate run before timing: a mismatch fails the bench job.
+
+    A rate-0 dropout model is *active* (the round takes the fault path:
+    survivor ids, partial-cohort aggregation) yet loses no worker, so its
+    run must match the ``"none"`` reference bitwise.
+    """
+    reference = make_simulation(fault_substrate, faults="none")
+    neutral = make_simulation(fault_substrate, faults=DropoutFaults(rate=0.0))
+    assert neutral.fault_model.is_active
+    reference_history = reference.run()
+    neutral_history = neutral.run()
+    assert neutral_history.test_accuracy == reference_history.test_accuracy, (
+        "active zero-rate fault path diverged from the fault-free reference"
+    )
+    np.testing.assert_array_equal(
+        neutral.model.get_flat_parameters(),
+        reference.model.get_flat_parameters(),
+        err_msg="fault-path model update diverged from the reference",
+    )
+
+
+@pytest.mark.benchmark(group="micro-faults")
+def bench_micro_faults_none(benchmark, fault_substrate):
+    """Short training run on the exact fault-free reference path."""
+    assert_zero_fault_neutral(fault_substrate)
+
+    def run():
+        return make_simulation(fault_substrate, faults="none").run()
+
+    history = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(history.rounds) >= 1
+    assert not history.faults
+
+
+@pytest.mark.benchmark(group="micro-faults")
+def bench_micro_faults_chaos(benchmark, fault_substrate):
+    """The same run under dropout + shard crashes with retries."""
+    assert_zero_fault_neutral(fault_substrate)
+    chaos = ChaosFaults(dropout=0.2, crash=0.4, max_failures=1, seed=7)
+
+    def run():
+        return make_simulation(fault_substrate, faults=chaos).run()
+
+    history = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert history.faults, "chaos run recorded no fault counters"
+    survivors = [entry["fault_survivors"] for entry in history.faults]
+    assert min(survivors) < N_HONEST, "chaos faults never removed a worker"

@@ -6,8 +6,8 @@ Three subcommands cover the common workflows:
 - ``compare`` -- run the protocol, the undefended mean and the Reference
   Accuracy for one attack scenario and print them side by side;
 - ``list``    -- show every registered component (datasets, attacks,
-  defenses, models, engines, backends) straight from the registries'
-  ``describe()`` API.
+  defenses, models, engines, backends, fault models) straight from the
+  registries' ``describe()`` API.
 
 ``run`` and ``compare`` accept either individual flags or a full
 :class:`~repro.experiments.configs.ExperimentConfig` serialised to JSON
@@ -46,9 +46,22 @@ from repro.experiments.reference import reference_accuracy
 from repro.experiments.runner import run_experiment
 from repro.federated.backends import BACKENDS
 from repro.federated.engines import ENGINES
+from repro.federated.faults import FAULTS
 from repro.nn.models import MODELS, available_models
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_quorum(text: str) -> int | float:
+    """Parse --min-quorum: an integer count or a fractional float.
+
+    argparse converts the ValueError of a failed parse into the usual
+    "invalid _parse_quorum value" usage error.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker threads/processes for parallel backends "
                               "(default: all cores; ignored by --backend serial)")
+        # choices include aliases so every name build_faults accepts works here
+        sub.add_argument("--faults", default="none",
+                         choices=FAULTS.names(include_aliases=True),
+                         help="seeded fault-injection scenario (dropout, "
+                              "straggler, crash, churn, chaos); fault traces "
+                              "replay bit-identically across backends")
+        sub.add_argument("--min-quorum", type=_parse_quorum, default=1,
+                         metavar="Q",
+                         help="minimum surviving cohort per round: an integer "
+                              "count or a fraction of the population "
+                              "(violations abort with a QuorumError)")
         sub.add_argument("--paper-scale", action="store_true",
                          help="use the paper's full-scale settings (slow on CPU)")
         sub.add_argument("--save", default=None, help="write results to this JSON file")
@@ -108,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restore a Checkpoint round_<i>.npy snapshot (or "
                                  "the latest one in a directory) and continue the "
                                  "schedule")
+    run_parser.add_argument("--metrics-out", default=None, metavar="FILE.jsonl",
+                            help="stream per-round metrics (accuracy, fault "
+                                 "counters) to this JSONL file")
 
     compare_parser = subparsers.add_parser(
         "compare", help="run protocol vs undefended vs Reference Accuracy"
@@ -117,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser(
         "list",
         help="list the registered datasets, attacks, defenses, models, "
-             "engines and backends",
+             "engines, backends and fault models",
     )
     list_parser.add_argument("--json", action="store_true",
                              help="emit the registries' describe() rows as JSON")
@@ -156,11 +183,13 @@ def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
         backend_kwargs=(
             {} if arguments.jobs is None else {"max_workers": arguments.jobs}
         ),
+        faults=arguments.faults,
+        min_quorum=arguments.min_quorum,
         **({} if arguments.paper_scale else {"epochs": arguments.epochs}),
     )
 
 
-_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES, BACKENDS)
+_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES, BACKENDS, FAULTS)
 
 
 def _command_list(arguments: argparse.Namespace) -> int:
@@ -198,12 +227,25 @@ def _command_run(arguments: argparse.Namespace) -> int:
     from repro.experiments.runner import CheckpointMismatchError
 
     config = _config_from_arguments(arguments)
+    callbacks = []
+    metrics_out = getattr(arguments, "metrics_out", None)
+    if metrics_out is not None:
+        from repro.federated.pipeline import MetricsWriter
+
+        callbacks.append(MetricsWriter(metrics_out))
     try:
-        result = run_experiment(config, resume_from=_resolve_resume(arguments))
+        result = run_experiment(
+            config,
+            callbacks=callbacks,
+            resume_from=_resolve_resume(arguments),
+        )
     except CheckpointMismatchError as error:
         raise SystemExit(
             f"repro: cannot resume from {arguments.resume_from!r}: {error}"
         )
+    finally:
+        for callback in callbacks:
+            callback.close()
     print(format_table(["field", "value"], [
         ["dataset", config.dataset],
         ["attack / defense", f"{config.attack} / {config.defense}"],
@@ -214,6 +256,8 @@ def _command_run(arguments: argparse.Namespace) -> int:
         ["rounds", result.metadata["total_rounds"]],
         ["final test accuracy", result.final_accuracy],
     ], title="Experiment result"))
+    if metrics_out is not None:
+        print(f"\nper-round metrics written to {metrics_out}")
     if arguments.save:
         save_results({"run": result}, arguments.save)
         print(f"\nresults written to {arguments.save}")

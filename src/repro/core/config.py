@@ -5,7 +5,13 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["BackendConfig", "DPConfig", "EngineConfig", "ProtocolConfig"]
+__all__ = [
+    "BackendConfig",
+    "DPConfig",
+    "EngineConfig",
+    "FaultsConfig",
+    "ProtocolConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +128,58 @@ class BackendConfig:
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive when set")
         object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """Fault-injection scenario selection (what goes wrong during a round).
+
+    The *fault model* decides which workers drop out, straggle, crash or
+    churn each round -- all draws derive deterministically from the fault
+    seed, so a fault trace replays bit-identically on every execution
+    backend.  Fault models are registered in
+    :data:`repro.federated.faults.FAULTS`; this config is pure data so it
+    serialises with the experiment config.  The default ``"none"`` model
+    keeps the training loop on the exact fault-free reference path.
+
+    Attributes
+    ----------
+    name:
+        Registered fault-model name (see
+        :func:`repro.federated.faults.available_faults`).
+    min_quorum:
+        Minimum surviving cohort per round: an ``int >= 1`` is an
+        absolute upload count, a ``float`` in ``(0, 1]`` a fraction of
+        the expected population.  Violations raise
+        :class:`~repro.federated.faults.QuorumError`.
+    options:
+        Extra keyword arguments for the fault-model builder.
+    retry:
+        Keyword arguments for the execution backends'
+        :class:`~repro.federated.backends.RetryPolicy` (``max_attempts``,
+        ``backoff_base``, ``timeout``, ...).
+    """
+
+    name: str = "none"
+    min_quorum: int | float = 1
+    options: Mapping = field(default_factory=dict)
+    retry: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fault model name must be a non-empty string")
+        # core must stay import-independent of repro.federated, so the
+        # quorum validation mirrors federated.faults.validate_quorum.
+        quorum = self.min_quorum
+        if isinstance(quorum, bool) or not isinstance(quorum, (int, float)):
+            raise TypeError("min_quorum must be an int or a float")
+        if isinstance(quorum, int):
+            if quorum < 1:
+                raise ValueError("an integer min_quorum must be >= 1")
+        elif not 0.0 < quorum <= 1.0:
+            raise ValueError("a fractional min_quorum must be in (0, 1]")
+        object.__setattr__(self, "options", dict(self.options))
+        object.__setattr__(self, "retry", dict(self.retry))
 
 
 @dataclass(frozen=True)

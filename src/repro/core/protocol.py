@@ -105,10 +105,17 @@ class TwoStageAggregator(Aggregator):
     ) -> np.ndarray:
         stacked = self._validate(uploads)
         n_workers, dimension = stacked.shape
+        # Under faults the matrix holds only the surviving rows; the
+        # second stage stays keyed by the expected population so a
+        # worker's accumulated score survives rounds it misses.
+        worker_ids = context.worker_ids
+        population = n_workers if context.population is None else context.population
 
         # Stage 1: batched FirstAGG on the upload matrix (Algorithm 3,
-        # lines 1-3).  The filter's mask is authoritative for acceptance: an
-        # accepted all-zero upload must not be misreported as rejected.
+        # lines 1-3) -- its acceptance statistics are per-upload, so a
+        # partial cohort simply filters fewer rows.  The filter's mask is
+        # authoritative for acceptance: an accepted all-zero upload must
+        # not be misreported as rejected.
         apply_first = self.config.use_first_stage and context.upload_noise_std > 0
         if apply_first:
             first_stage = self._first_stage_filter(dimension, context.upload_noise_std)
@@ -120,14 +127,17 @@ class TwoStageAggregator(Aggregator):
 
         # Stage 2: inner-product selection (Algorithm 3, lines 4-14).
         if self.config.use_second_stage:
-            selector = self._second_stage_selector(n_workers)
+            selector = self._second_stage_selector(population)
             server_gradient = self._server_gradient(context)
-            report = selector.select(filtered, server_gradient)
+            report = selector.select(
+                filtered, server_gradient, worker_ids=worker_ids
+            )
             self.last_selected = report.selected
             total = filtered[report.selected].sum(axis=0)
         else:
             self.last_selected = np.arange(n_workers)
             total = filtered.sum(axis=0)
 
-        # Model update term (Algorithm 1, line 14): average over all n workers.
+        # Model update term (Algorithm 1, line 14): average over the
+        # round's realised cohort (all n workers on the fault-free path).
         return total / n_workers

@@ -84,58 +84,108 @@ class SecondStageSelector:
             return np.sort(order[:k])
         return np.sort(chosen)
 
+    @staticmethod
+    def _threshold(scores: np.ndarray, keep: int) -> float:
+        """Mean of the top ``keep`` entries of ``scores`` (Algorithm 3 line 9).
+
+        The top-k values are found with a linear-time partition; they are
+        then sorted descending so the mean accumulates in the same order
+        as the scalar reference (bitwise-identical threshold).
+        """
+        m = scores.shape[0]
+        if keep >= m:
+            top = np.sort(scores)
+        else:
+            partitioned = scores.copy()
+            partitioned.partition(m - keep)
+            top = partitioned[m - keep:]
+            top.sort()
+        # add.reduce over the descending view is exactly np.mean's summation
+        # (pairwise, same visit order) without the wrapper overhead.
+        return float(np.add.reduce(top[::-1]) / keep)
+
     def select(
-        self, uploads: np.ndarray, server_gradient: np.ndarray
+        self,
+        uploads: np.ndarray,
+        server_gradient: np.ndarray,
+        worker_ids: np.ndarray | None = None,
     ) -> SecondStageReport:
         """Run lines 5-14 of Algorithm 3 for one round.
 
         Parameters
         ----------
         uploads:
-            The ``(n, d)`` matrix of uploads *after* first-stage filtering
+            The ``(m, d)`` matrix of uploads *after* first-stage filtering
             (rejected uploads are zero rows and therefore score 0).  A list
-            of ``n`` 1-D uploads is stacked transparently.
+            of 1-D uploads is stacked transparently.  Without
+            ``worker_ids``, a full cohort (``m == n_workers``) is required.
         server_gradient:
             The server's gradient estimate ``g_s`` computed on its auxiliary
             data at the current model.
+        worker_ids:
+            ``None`` for the full-cohort reference path.  Under faults,
+            the ``(m,)`` worker index of each surviving row: the round's
+            keep count and threshold re-parameterise by the *realised*
+            cohort size ``m`` (``ceil(gamma * m)``), while the
+            accumulated score list stays keyed by the full population --
+            a worker's standing survives rounds it happens to miss, and
+            duplicate ids (buffered straggler + fresh report) accumulate
+            both rows' scores.
 
         Returns
         -------
-        A :class:`SecondStageReport` whose ``selected`` field contains the
-        indices of the workers whose uploads enter the model update.
+        A :class:`SecondStageReport` whose ``selected`` field contains
+        the *row* indices of the uploads that enter the model update
+        (row ``i`` is worker ``i`` for the full cohort, and worker
+        ``worker_ids[i]`` otherwise).
         """
         matrix = np.asarray(uploads, dtype=np.float64)
-        if matrix.ndim != 2 or matrix.shape[0] != self.n_workers:
-            raise ValueError(
-                f"expected {self.n_workers} uploads, got "
-                f"{matrix.shape[0] if matrix.ndim == 2 else matrix.shape}"
-            )
+        if worker_ids is None:
+            if matrix.ndim != 2 or matrix.shape[0] != self.n_workers:
+                raise ValueError(
+                    f"expected {self.n_workers} uploads, got "
+                    f"{matrix.shape[0] if matrix.ndim == 2 else matrix.shape}"
+                )
+            ids = None
+            keep = self.keep
+        else:
+            ids = np.asarray(worker_ids, dtype=np.int64)
+            if matrix.ndim != 2 or matrix.shape[0] != ids.shape[0]:
+                raise ValueError(
+                    f"expected one upload per worker id ({ids.shape[0]}), got "
+                    f"{matrix.shape[0] if matrix.ndim == 2 else matrix.shape}"
+                )
+            if ids.shape[0] == 0:
+                raise ValueError("cannot select from an empty cohort")
+            if ids.min() < 0 or ids.max() >= self.n_workers:
+                raise ValueError(
+                    f"worker ids must be in [0, {self.n_workers}), got "
+                    f"[{ids.min()}, {ids.max()}]"
+                )
+            # Realised-cohort keep count: gamma of the m survivors.
+            keep = max(1, math.ceil(self.gamma * matrix.shape[0]))
         server_gradient = np.asarray(server_gradient, dtype=np.float64)
 
         # Lines 5-8: all inner-product scores in a single matvec.
         scores = matrix @ server_gradient
 
-        # Line 9: mean of the top ceil(gamma n) scores is the threshold.
-        # The top-k values are found with a linear-time partition; they are
-        # then sorted descending so the mean accumulates in the same order
-        # as the scalar reference (bitwise-identical threshold).
-        if self.keep >= self.n_workers:
-            top = np.sort(scores)
-        else:
-            partitioned = scores.copy()
-            partitioned.partition(self.n_workers - self.keep)
-            top = partitioned[self.n_workers - self.keep :]
-            top.sort()
-        # add.reduce over the descending view is exactly np.mean's summation
-        # (pairwise, same visit order) without the wrapper overhead.
-        threshold = float(np.add.reduce(top[::-1]) / self.keep)
+        # Line 9: mean of the top ceil(gamma m) scores is the threshold.
+        threshold = self._threshold(scores, keep)
 
         # Lines 10-13: suppress scores below the threshold, accumulate.
+        # The accumulator is keyed by worker identity, so partial cohorts
+        # feed the same cross-round standing as full ones.
         round_scores = np.where(scores < threshold, 0.0, scores)
-        self.accumulated_scores += round_scores
+        if ids is None:
+            self.accumulated_scores += round_scores
+            standing = self.accumulated_scores
+        else:
+            np.add.at(self.accumulated_scores, ids, round_scores)
+            standing = self.accumulated_scores[ids]
 
-        # Line 14: select the workers with the highest accumulated scores.
-        selected = self._top_k_stable(self.accumulated_scores, self.keep)
+        # Line 14: select the rows whose workers have the highest
+        # accumulated scores.
+        selected = self._top_k_stable(standing, keep)
 
         return SecondStageReport(
             scores=scores,

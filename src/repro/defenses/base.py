@@ -48,6 +48,16 @@ class AggregationContext:
         0-based index of the current aggregation round.
     rng:
         Generator for any randomness the aggregator needs.
+    worker_ids:
+        ``None`` for a full cohort (every expected worker reported, row
+        ``i`` belongs to worker ``i``).  Under faults, the ``(m,)``
+        worker index of each surviving upload row -- sorted ascending,
+        possibly with duplicates when buffered straggler reports join a
+        fresh one.  Rules that keep per-worker state across rounds key it
+        by these ids.
+    population:
+        Expected cohort size ``n`` when ``worker_ids`` is given (the
+        per-worker state dimension); ``None`` for a full cohort.
     """
 
     model: Sequential
@@ -56,6 +66,8 @@ class AggregationContext:
     honest_fraction: float
     round_index: int
     rng: np.random.Generator
+    worker_ids: np.ndarray | None = None
+    population: int | None = None
 
     def server_gradient(self) -> np.ndarray:
         """Gradient of the loss on the auxiliary data at the current model."""

@@ -87,6 +87,21 @@ class ExperimentConfig:
         shards and evaluation chunks concurrently with bitwise-identical
         results) and builder arguments (``{"max_workers": N}`` is the
         CLI's ``--jobs N``).
+    faults, faults_kwargs:
+        Fault-injection scenario name (see
+        :func:`repro.federated.available_faults`; ``"none"`` keeps the
+        exact fault-free reference path, ``"dropout"``/``"straggler"``/
+        ``"crash"``/``"churn"``/``"chaos"`` inject seeded per-round
+        faults that replay bit-identically on every backend) and builder
+        arguments.
+    min_quorum:
+        Minimum surviving cohort per round: an ``int >= 1`` absolute
+        count or a ``float`` in ``(0, 1]`` fraction of the population;
+        violations raise :class:`~repro.federated.faults.QuorumError`.
+    retry_kwargs:
+        Keyword arguments for the crash-retry
+        :class:`~repro.federated.backends.RetryPolicy`
+        (``max_attempts``, ``backoff_base``, ``timeout``, ...).
     eval_every:
         Evaluation cadence in rounds (``None``: about 8 points per run).
     seed:
@@ -121,6 +136,10 @@ class ExperimentConfig:
     shard_size: int | None = None
     backend: str = "serial"
     backend_kwargs: dict = field(default_factory=dict)
+    faults: str = "none"
+    faults_kwargs: dict = field(default_factory=dict)
+    min_quorum: int | float = 1
+    retry_kwargs: dict = field(default_factory=dict)
     eval_every: int | None = None
     seed: int = 1
 
@@ -137,6 +156,14 @@ class ExperimentConfig:
             raise ValueError("gamma must be in (0, 1]")
         if self.shard_size is not None and self.shard_size <= 0:
             raise ValueError("shard_size must be positive or None")
+        quorum = self.min_quorum
+        if isinstance(quorum, bool) or not isinstance(quorum, (int, float)):
+            raise TypeError("min_quorum must be an int or a float")
+        if isinstance(quorum, int):
+            if quorum < 1:
+                raise ValueError("an integer min_quorum must be >= 1")
+        elif not 0.0 < quorum <= 1.0:
+            raise ValueError("a fractional min_quorum must be in (0, 1]")
 
     @property
     def n_byzantine(self) -> int:

@@ -25,8 +25,10 @@ from repro.experiments.configs import ExperimentConfig
 __all__ = [
     "PAPER_EPSILONS",
     "BYZANTINE_LEVELS",
+    "DROPOUT_RATES",
     "exact_gamma",
     "benchmark_preset",
+    "dropout_sweep",
     "paper_preset",
 ]
 
@@ -35,6 +37,9 @@ PAPER_EPSILONS: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0)
 
 #: Byzantine fractions evaluated in Figures 1-2 (plus the majority levels).
 BYZANTINE_LEVELS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.9)
+
+#: Dropout rates swept by :func:`dropout_sweep` (robustness benchmark).
+DROPOUT_RATES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)
 
 #: Number of honest workers per dataset in the paper (Section 6.1).
 _PAPER_HONEST = {
@@ -104,6 +109,48 @@ def benchmark_preset(
     )
     defaults.update(overrides)
     return ExperimentConfig(**defaults)
+
+
+def dropout_sweep(
+    rates: tuple[float, ...] = DROPOUT_RATES,
+    defenses: tuple[str, ...] = ("two_stage", "mean"),
+    attack: str = "lmp",
+    byzantine_fraction: float = 0.4,
+    min_quorum: int | float = 0.25,
+    **overrides,
+) -> dict[tuple[str, float], ExperimentConfig]:
+    """Dropout rate x defense grid over the fast benchmark preset.
+
+    Measures how gracefully each defense degrades as a growing fraction
+    of the cohort silently drops out every round (under attack, so the
+    realised honest majority also shrinks).  Rate 0 maps to the ``"none"``
+    fault model, keeping that column on the exact fault-free reference
+    path.
+
+    Returns a dict keyed by ``(defense, rate)``; any extra keyword is
+    forwarded to :func:`benchmark_preset` for every cell.
+    """
+    grid: dict[tuple[str, float], ExperimentConfig] = {}
+    for defense in defenses:
+        for rate in rates:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("dropout rates must be in [0, 1)")
+            if rate == 0.0:
+                fault_fields = dict(faults="none")
+            else:
+                fault_fields = dict(
+                    faults="dropout",
+                    faults_kwargs={"rate": rate},
+                    min_quorum=min_quorum,
+                )
+            grid[(defense, rate)] = benchmark_preset(
+                byzantine_fraction=byzantine_fraction,
+                attack=attack,
+                defense=defense,
+                **fault_fields,
+                **overrides,
+            )
+    return grid
 
 
 def paper_preset(

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.analysis.results import RunResult, SeedSummary, summarize_runs
 from repro.byzantine.registry import build_attack
-from repro.core.config import BackendConfig, DPConfig, EngineConfig
+from repro.core.config import BackendConfig, DPConfig, EngineConfig, FaultsConfig
 from repro.core.hyperparams import protocol_sigma, transfer_learning_rate
 from repro.data.auxiliary import sample_auxiliary, sample_mismatched_auxiliary
 from repro.data.partition import partition_iid, partition_noniid
@@ -228,6 +228,12 @@ def prepare_experiment(
         name=config.backend,
         options=config.backend_kwargs,
     )
+    faults_config = FaultsConfig(
+        name=config.faults,
+        min_quorum=config.min_quorum,
+        options=config.faults_kwargs,
+        retry=config.retry_kwargs,
+    )
     simulation = FederatedSimulation(
         model=model,
         honest_datasets=shards,
@@ -241,6 +247,7 @@ def prepare_experiment(
         seed=seed,
         engine=engine_config,
         backend=backend_config,
+        faults=faults_config,
     )
     if resume_from is not None:
         restored_round, parameters = resolve_checkpoint(resume_from)

@@ -27,17 +27,41 @@
   threaded and process dispatch of the round's independent tasks (pool
   shards, evaluation chunks), all bitwise identical to the serial
   reference.
+- :mod:`repro.federated.faults` -- seeded fault injection
+  (:data:`~repro.federated.faults.FAULTS` registry): dropout, straggler,
+  crash and churn models whose per-round draws replay bit-identically on
+  every backend, plus the quorum primitives
+  (:class:`~repro.federated.faults.QuorumError`) that let training
+  degrade gracefully over partial cohorts.
 """
 
 from repro.federated.backends import (
     BACKENDS,
     ExecutionBackend,
     ProcessBackend,
+    RetryPolicy,
     SerialBackend,
     SharedArray,
+    TaskFailure,
     ThreadedBackend,
+    TransientTaskError,
     available_backends,
     build_backend,
+)
+from repro.federated.faults import (
+    FAULTS,
+    ChaosFaults,
+    ChurnFaults,
+    CrashFaults,
+    DropoutFaults,
+    FaultModel,
+    NoFaults,
+    QuorumError,
+    StragglerFaults,
+    available_faults,
+    build_faults,
+    resolve_quorum,
+    validate_quorum,
 )
 from repro.federated.engines import (
     ENGINES,
@@ -53,6 +77,7 @@ from repro.federated.pipeline import (
     EarlyStopping,
     EvaluationEvent,
     HistoryRecorder,
+    MetricsWriter,
     RoundCallback,
     RoundEndEvent,
     RoundEvent,
@@ -72,8 +97,24 @@ __all__ = [
     "ThreadedBackend",
     "ProcessBackend",
     "SharedArray",
+    "RetryPolicy",
+    "TaskFailure",
+    "TransientTaskError",
     "available_backends",
     "build_backend",
+    "FAULTS",
+    "FaultModel",
+    "NoFaults",
+    "DropoutFaults",
+    "StragglerFaults",
+    "CrashFaults",
+    "ChurnFaults",
+    "ChaosFaults",
+    "QuorumError",
+    "available_faults",
+    "build_faults",
+    "resolve_quorum",
+    "validate_quorum",
     "ENGINES",
     "ClientEngine",
     "MaterializedEngine",
@@ -96,6 +137,7 @@ __all__ = [
     "HistoryRecorder",
     "EarlyStopping",
     "RoundLogger",
+    "MetricsWriter",
     "Checkpoint",
     "StreamingEvaluation",
 ]

@@ -32,6 +32,15 @@ per-worker random streams and the disjoint per-shard state slices of the
 worker pool, this makes every backend produce bitwise-identical results:
 parallelism changes wall-clock time and nothing else.
 
+Fault-tolerant execution builds on the same contract:
+:meth:`ExecutionBackend.map_resilient` retries tasks raising
+:class:`TransientTaskError` under a bounded, deterministic
+:class:`RetryPolicy` (exponential backoff with a seeded jitter stream,
+optional advisory timeout) and keeps the ordered reduction intact by
+filling permanently failed slots with :class:`TaskFailure` markers
+instead of raising -- the caller degrades gracefully over the surviving
+slots.
+
 Shared memory uses file-backed :func:`numpy.memmap` views rather than
 :mod:`multiprocessing.shared_memory`: attaching a ``SharedMemory`` block
 in a worker registers it with that process's resource tracker on Python
@@ -46,6 +55,7 @@ import queue
 import shutil
 import tempfile
 import threading
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -59,15 +69,155 @@ __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "ProcessBackend",
+    "RetryPolicy",
     "SerialBackend",
     "SharedArray",
+    "TaskFailure",
     "ThreadedBackend",
+    "TransientTaskError",
     "available_backends",
     "build_backend",
 ]
 
 #: Global registry of execution backends.
 BACKENDS = Registry("backend")
+
+
+class TransientTaskError(RuntimeError):
+    """A task failure worth retrying (crashed shard, injected fault).
+
+    :meth:`ExecutionBackend.map_resilient` retries a task only when it
+    raises this type; any other exception is a programming error and
+    propagates immediately, exactly as under :meth:`map_ordered`.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry/timeout/backoff policy for round tasks.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per task (first try included); a task still
+        raising :class:`TransientTaskError` on its last attempt fails
+        permanently and its result slot becomes a :class:`TaskFailure`.
+    backoff_base:
+        Base delay in seconds before retry ``k`` (exponential:
+        ``backoff_base * 2**(k-1)``); 0 retries immediately, which keeps
+        seeded simulations fast and deterministic in wall-clock terms.
+    backoff_jitter:
+        Relative jitter on the backoff delay, drawn from a *deterministic*
+        per-``(seed, task, attempt)`` stream -- retrying never consumes
+        entropy from any simulation generator.
+    timeout:
+        Advisory per-attempt wall-clock deadline in seconds: an attempt
+        finishing after it is treated as a transient failure (its result
+        is discarded) and retried.  Meant for side-effect-free tasks;
+        ``None`` disables the deadline.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.0
+    backoff_jitter: float = 0.0
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive when set")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def delay(self, index: int, attempt: int) -> float:
+        """Backoff delay in seconds before retry ``attempt`` of task ``index``.
+
+        Deterministic: the jitter stream is keyed by ``(seed, index,
+        attempt)``, so the same retry schedule replays identically.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * 2.0 ** (attempt - 1)
+        if self.backoff_jitter > 0:
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self.seed, int(index), int(attempt)))
+            )
+            delay *= 1.0 + self.backoff_jitter * float(rng.random())
+        return delay
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Ordered-reduction slot of a task that exhausted its retry policy.
+
+    :meth:`ExecutionBackend.map_resilient` keeps the ordered-reduction
+    contract under faults by filling the failed task's result slot with
+    this marker instead of raising, so surviving results stay pinned to
+    their submission indices and the caller decides how to degrade.
+    """
+
+    index: int
+    attempts: int
+    error: str
+
+
+class _ResilientRunner:
+    """Retry loop wrapped around one task function (picklable if ``fn`` is).
+
+    Runs as the mapped callable of :meth:`ExecutionBackend.map_resilient`:
+    each item travels as an ``(index, item)`` pair so the retry RNG and
+    the failure marker know the task's submission slot even inside an
+    out-of-process worker.
+    """
+
+    def __init__(self, fn: Callable, policy: RetryPolicy) -> None:
+        self.fn = fn
+        self.policy = policy
+
+    def _attempt(self, call: Callable, index: int):
+        policy = self.policy
+        for attempt in range(1, policy.max_attempts + 1):
+            started = time.monotonic()
+            try:
+                result = call()
+            except TransientTaskError as error:
+                if attempt == policy.max_attempts:
+                    return TaskFailure(index=index, attempts=attempt, error=str(error))
+                delay = policy.delay(index, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if (
+                policy.timeout is not None
+                and time.monotonic() - started > policy.timeout
+            ):
+                # Past the advisory deadline: the round treats this
+                # attempt as a straggler and discards its result.
+                if attempt == policy.max_attempts:
+                    return TaskFailure(
+                        index=index,
+                        attempts=attempt,
+                        error=f"task exceeded the {policy.timeout}s deadline",
+                    )
+                continue
+            return result
+        raise AssertionError("unreachable: every attempt returns or continues")
+
+    def __call__(self, pair: tuple[int, object]):
+        index, item = pair
+        return self._attempt(lambda: self.fn(item), index)
+
+    def leased(self, resource, pair: tuple[int, object]):
+        index, item = pair
+        return self._attempt(lambda: self.fn(resource, item), index)
 
 
 class ExecutionBackend:
@@ -123,6 +273,31 @@ class ExecutionBackend:
                 free.put(resource)
 
         return self.map_ordered(run, items)
+
+    def map_resilient(
+        self,
+        fn: Callable,
+        items: Iterable,
+        policy: RetryPolicy | None = None,
+        resources: list | None = None,
+    ) -> list:
+        """:meth:`map_ordered` with bounded retries and failed-slot results.
+
+        Each task runs under ``policy`` (default: a fresh
+        :class:`RetryPolicy`): attempts raising
+        :class:`TransientTaskError` are retried up to
+        ``policy.max_attempts`` times with deterministic backoff, and a
+        task that exhausts its attempts yields a :class:`TaskFailure` in
+        its ordered result slot instead of poisoning the whole reduction.
+        Any other exception propagates immediately.  With ``resources``,
+        tasks lease per-slot resources exactly like :meth:`map_leased`
+        (``fn`` is then called as ``fn(resource, item)``).
+        """
+        runner = _ResilientRunner(fn, policy if policy is not None else RetryPolicy())
+        pairs = list(enumerate(items))
+        if resources is None:
+            return self.map_ordered(runner, pairs)
+        return self.map_leased(runner.leased, pairs, resources)
 
     def shutdown(self) -> None:
         """Release pools/shared resources (no-op by default).

@@ -14,6 +14,7 @@ class TrainingHistory:
     rounds: list[int] = field(default_factory=list)
     test_accuracy: list[float] = field(default_factory=list)
     byzantine_selected_fraction: list[float] = field(default_factory=list)
+    faults: list[dict[str, float]] = field(default_factory=list)
 
     def record(
         self,
@@ -25,6 +26,10 @@ class TrainingHistory:
         self.rounds.append(round_index)
         self.test_accuracy.append(accuracy)
         self.byzantine_selected_fraction.append(byzantine_selected)
+
+    def record_faults(self, round_index: int, counts: dict[str, float]) -> None:
+        """Append one round's fault counters (only called on fault-injected runs)."""
+        self.faults.append({"round": round_index, **counts})
 
     @property
     def final_accuracy(self) -> float:
@@ -40,10 +45,17 @@ class TrainingHistory:
             raise ValueError("history is empty")
         return max(self.test_accuracy)
 
-    def as_dict(self) -> dict[str, list[float]]:
-        """Plain-dict view (for serialisation or tabulation)."""
-        return {
+    def as_dict(self) -> dict[str, list]:
+        """Plain-dict view (for serialisation or tabulation).
+
+        The ``faults`` key appears only when fault records exist, so the
+        dict of a zero-fault run is unchanged from the pre-fault format.
+        """
+        data: dict[str, list] = {
             "rounds": list(self.rounds),
             "test_accuracy": list(self.test_accuracy),
             "byzantine_selected_fraction": list(self.byzantine_selected_fraction),
         }
+        if self.faults:
+            data["faults"] = [dict(entry) for entry in self.faults]
+        return data

@@ -28,6 +28,7 @@ and :class:`Checkpoint` ship as built-in callbacks.  The default run
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +36,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.federated.faults import (
+    BYZANTINE_SCOPE,
+    HONEST_SCOPE,
+    FaultModel,
+    ReportFaultPlan,
+    ShardFaultPlan,
+)
 from repro.federated.history import TrainingHistory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -50,6 +58,7 @@ __all__ = [
     "EarlyStopping",
     "RoundLogger",
     "Checkpoint",
+    "MetricsWriter",
     "StreamingEvaluation",
     "RoundPipeline",
 ]
@@ -156,6 +165,15 @@ class HistoryRecorder(RoundCallback):
             ),
         )
 
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        counts = {
+            key: value
+            for key, value in event.diagnostics.items()
+            if key.startswith("fault_")
+        }
+        if counts:
+            self.history.record_faults(event.round_index, counts)
+
 
 class EarlyStopping(RoundCallback):
     """Stop when a target accuracy is reached or progress stalls.
@@ -249,6 +267,9 @@ class RoundLogger(RoundCallback):
         selected = event.diagnostics.get("byzantine_selected_fraction")
         if selected:
             line += f"  byzantine_selected {selected:.2f}"
+        survivors = event.diagnostics.get("fault_survivors")
+        if survivors is not None:
+            line += f"  survivors {int(survivors)}"
         self.log(line)
 
 
@@ -291,6 +312,63 @@ class Checkpoint(RoundCallback):
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             np.save(self.directory / f"round_{event.round_index}.npy", parameters)
+
+
+class MetricsWriter(RoundCallback):
+    """Stream per-round metrics to a JSON-lines file.
+
+    One JSON object per finished round: the round counters, the test
+    accuracy when the round was evaluated (``null`` otherwise) and every
+    diagnostic the round produced -- including the ``fault_*`` counters
+    of fault-injected runs.  Lines are flushed as they are written, so a
+    crashed or killed run keeps every completed round on disk.  The CLI
+    exposes this as ``--metrics-out``.
+
+    Parameters
+    ----------
+    path:
+        Output file; parent directories are created, an existing file is
+        overwritten.  Close with :meth:`close` (or use the instance as a
+        context manager) to release the handle deterministically.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.lines_written = 0
+        self._file = None
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        record = {
+            "round": event.round_index,
+            "total_rounds": event.total_rounds,
+            "accuracy": event.accuracy,
+        }
+        for key in sorted(event.diagnostics):
+            record[key] = float(event.diagnostics[key])
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Close the output file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "MetricsWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class StreamingEvaluation(RoundCallback):
@@ -364,6 +442,11 @@ class RoundPipeline:
     ) -> None:
         self.simulation = simulation
         self.callbacks = list(callbacks)
+        # Buffered straggler reports awaiting next-round delivery:
+        # (worker_ids, upload rows) or None.  Lives on the pipeline, so
+        # buffered delivery needs a persistent pipeline (run() uses one;
+        # one-shot run_round calls start with an empty buffer).
+        self._pending: tuple[np.ndarray, np.ndarray] | None = None
         for callback in self.callbacks:
             bind = getattr(callback, "bind", None)
             if callable(bind):
@@ -390,17 +473,38 @@ class RoundPipeline:
         """Stage 3: the attacker produces its uploads, ``(n_byzantine, d)``."""
         return self.simulation.byzantine_uploads(honest_uploads, round_index)
 
-    def aggregate_and_update(self, uploads: np.ndarray) -> dict[str, float]:
-        """Stages 4+5: aggregate the stacked uploads and update the model."""
+    def aggregate_and_update(
+        self,
+        uploads: np.ndarray,
+        worker_ids: np.ndarray | None = None,
+        fault_diagnostics: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Stages 4+5: aggregate the stacked uploads and update the model.
+
+        With ``worker_ids`` (the fault path), ``uploads`` holds only the
+        surviving sub-cohort's rows; the ids map each row back to its
+        worker so the server can aggregate the partial cohort against the
+        expected population, and the selection diagnostic translates row
+        indices back to worker identities.
+        """
         simulation = self.simulation
-        simulation.server.update(uploads)
+        if worker_ids is None:
+            simulation.server.update(uploads)
+        else:
+            simulation.server.update(
+                uploads, worker_ids=worker_ids, population=simulation.n_workers
+            )
         byz_selected = 0.0
         selected = getattr(simulation.server.aggregator, "last_selected", None)
         if selected is not None and simulation.n_byzantine > 0:
-            byz_selected = float(
-                np.mean(np.asarray(selected) >= simulation.n_honest)
-            )
-        return {"byzantine_selected_fraction": byz_selected}
+            selected = np.asarray(selected)
+            if worker_ids is not None:
+                selected = np.asarray(worker_ids)[selected]
+            byz_selected = float(np.mean(selected >= simulation.n_honest))
+        diagnostics = {"byzantine_selected_fraction": byz_selected}
+        if fault_diagnostics:
+            diagnostics.update(fault_diagnostics)
+        return diagnostics
 
     def evaluate(self) -> float:
         """Stage 6: test accuracy of the current global model.
@@ -423,11 +527,141 @@ class RoundPipeline:
         server's model object, so no parameter copy is materialised on
         the hot path (:meth:`broadcast` stays available to callers that
         want to observe ``w_{t-1}``).
+
+        With an active fault model on the simulation, the round runs
+        through the fault seams instead (see :meth:`_run_faulty_round`);
+        the default no-fault configuration takes this exact path.
         """
+        faults = getattr(self.simulation, "fault_model", None)
+        if faults is not None and faults.is_active:
+            return self._run_faulty_round(round_index, faults)
         honest = self.honest_uploads()
         byzantine = self.byzantine_uploads(honest, round_index)
         uploads = np.concatenate((honest, byzantine), axis=0)
         return self.aggregate_and_update(uploads)
+
+    def _run_faulty_round(
+        self, round_index: int, faults: FaultModel
+    ) -> dict[str, float]:
+        """One round through the fault seams: crash, report, quorum.
+
+        Crash faults are injected into the worker pools (shards retry
+        under the simulation's :class:`~repro.federated.backends
+        .RetryPolicy`; exhausted shards lose their workers).  Report
+        faults mask the stacked upload matrix *after* computation --
+        worker streams never observe them, so the fault trace is a pure
+        function of the round counters and identical across backends.
+        The surviving ``(m, d)`` sub-cohort reaches the server together
+        with its worker ids; quorum enforcement lives in
+        :meth:`~repro.federated.server.Server.update`.
+        """
+        simulation = self.simulation
+        n_honest = simulation.n_honest
+        n_byzantine = simulation.n_byzantine
+        n_workers = simulation.n_workers
+        policy = simulation.retry_policy
+
+        # Stage 2 under crash faults: honest pool.
+        honest_plan = ShardFaultPlan(
+            failures=faults.crash_failures(
+                round_index, HONEST_SCOPE, simulation.honest_pool.n_shards
+            ),
+            policy=policy,
+        )
+        honest = simulation.honest_uploads(crash_plan=honest_plan)
+        crashed = np.zeros(n_workers, dtype=bool)
+        retried = 0
+        honest_report = simulation.honest_pool.last_fault_report
+        if honest_report is not None:
+            crashed[:n_honest] = honest_report.failed_workers
+            retried += honest_report.retried
+
+        # Stage 3: the omniscient attacker observes every *computed*
+        # honest upload (report faults happen at the server's deadline,
+        # not on the devices); only permanently crashed rows -- never
+        # computed -- are invisible to it.
+        byzantine_plan = None
+        if simulation.byzantine_pool is not None:
+            byzantine_plan = ShardFaultPlan(
+                failures=faults.crash_failures(
+                    round_index, BYZANTINE_SCOPE, simulation.byzantine_pool.n_shards
+                ),
+                policy=policy,
+            )
+        attacker_view = honest[~crashed[:n_honest]]
+        if n_byzantine > 0 and attacker_view.shape[0] == 0:
+            # Every honest shard crashed out: the attacker has nothing to
+            # observe or mimic, so its uploads degenerate to zeros.
+            byzantine = np.zeros((n_byzantine, honest.shape[1]))
+        else:
+            byzantine = simulation.byzantine_uploads(
+                attacker_view, round_index, crash_plan=byzantine_plan
+            )
+        byzantine_report = (
+            simulation.byzantine_pool.last_fault_report
+            if simulation.byzantine_pool is not None
+            else None
+        )
+        if byzantine_report is not None:
+            crashed[n_honest:] = byzantine_report.failed_workers
+            retried += byzantine_report.retried
+
+        # Report faults over the stacked cohort (honest rows first).
+        plan = faults.report_faults(round_index, n_workers)
+        dropped, late = self._validated_report(plan, n_workers)
+        stacked = np.concatenate((honest, byzantine), axis=0)
+
+        lost = crashed | dropped | late
+        survivor_ids = np.nonzero(~lost)[0]
+        rows = stacked[survivor_ids]
+
+        # Buffered stragglers: deliver last round's late reports now,
+        # stash this round's for the next (a worker may then contribute
+        # a stale and a fresh row -- the id-keyed aggregation handles
+        # duplicates).
+        arrivals = self._pending
+        self._pending = None
+        buffered = 0
+        if plan.buffer_late:
+            buffer_mask = late & ~dropped & ~crashed
+            buffered = int(np.count_nonzero(buffer_mask))
+            if buffered:
+                self._pending = (
+                    np.nonzero(buffer_mask)[0],
+                    stacked[buffer_mask].copy(),
+                )
+        if arrivals is not None:
+            survivor_ids = np.concatenate((survivor_ids, arrivals[0]))
+            rows = np.concatenate((rows, arrivals[1]), axis=0)
+            order = np.argsort(survivor_ids, kind="stable")
+            survivor_ids = survivor_ids[order]
+            rows = rows[order]
+
+        diagnostics = {
+            "fault_dropped": float(np.count_nonzero(dropped)),
+            "fault_timed_out": float(np.count_nonzero(late)),
+            "fault_crashed": float(np.count_nonzero(crashed)),
+            "fault_retried": float(retried),
+            "fault_buffered": float(buffered),
+            "fault_survivors": float(rows.shape[0]),
+        }
+        return self.aggregate_and_update(
+            rows, worker_ids=survivor_ids, fault_diagnostics=diagnostics
+        )
+
+    @staticmethod
+    def _validated_report(
+        plan: ReportFaultPlan, n_workers: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The plan's masks as boolean ``(n_workers,)`` arrays, validated."""
+        dropped = np.asarray(plan.dropped, dtype=bool)
+        late = np.asarray(plan.late, dtype=bool)
+        if dropped.shape != (n_workers,) or late.shape != (n_workers,):
+            raise ValueError(
+                f"report fault plan must cover all {n_workers} workers, got "
+                f"dropped {dropped.shape} / late {late.shape}"
+            )
+        return dropped, late
 
     # ------------------------------------------------------------------ #
     # the loop

@@ -9,6 +9,7 @@ from repro.core.config import DPConfig
 from repro.data.dataset import Dataset
 from repro.defenses.base import AggregationContext, Aggregator
 from repro.federated.backends import ExecutionBackend
+from repro.federated.faults import QuorumError, resolve_quorum, validate_quorum
 from repro.nn.metrics import accuracy
 from repro.nn.network import Sequential
 
@@ -45,6 +46,14 @@ class Server:
         bitwise-identical accuracies, the chunks are disjoint pure
         forwards).  ``None`` or an out-of-process backend keeps the
         serial chunk loop.
+    min_quorum:
+        Minimum surviving cohort a round must deliver: an ``int >= 1``
+        is an absolute upload count, a ``float`` in ``(0, 1]`` a fraction
+        of the expected population.  :meth:`update` raises
+        :class:`~repro.federated.faults.QuorumError` -- naming the round
+        and the survivors -- when violated, *before* any shape
+        validation, so an empty faulty round degrades cleanly.  The
+        default of 1 only rejects empty rounds.
     """
 
     def __init__(
@@ -57,6 +66,7 @@ class Server:
         gamma: float,
         rng: np.random.Generator,
         backend: ExecutionBackend | None = None,
+        min_quorum: int | float = 1,
     ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
@@ -64,6 +74,8 @@ class Server:
             raise ValueError(
                 f"{type(aggregator).__name__} requires server auxiliary data"
             )
+        validate_quorum(min_quorum)
+        self.min_quorum = min_quorum
         self.model = model
         self.aggregator = aggregator
         self.learning_rate = learning_rate
@@ -91,15 +103,45 @@ class Server:
             rng=self.rng,
         )
 
-    def update(self, uploads: np.ndarray | list[np.ndarray]) -> np.ndarray:
+    def update(
+        self,
+        uploads: np.ndarray | list[np.ndarray],
+        worker_ids: np.ndarray | None = None,
+        population: int | None = None,
+    ) -> np.ndarray:
         """Aggregate the round's uploads and apply the model update.
 
         ``uploads`` is the round's stacked ``(n_workers, d)`` matrix (a list
         of 1-D uploads is also accepted and stacked by the aggregation
         rule).  Returns the aggregated vector actually applied (useful for
         tests and diagnostics).
+
+        Under faults the round delivers a partial cohort: ``uploads``
+        then holds only the surviving ``(m, d)`` rows, ``worker_ids``
+        maps each row to its worker index in the full population and
+        ``population`` is the expected cohort size (quorum fractions and
+        the second stage's accumulated scores are parameterised by it).
+        The quorum check runs first, so an under-quorum round raises a
+        clean :class:`~repro.federated.faults.QuorumError` rather than a
+        shape error from the aggregation rule.
         """
+        survivors = (
+            int(uploads.shape[0])
+            if isinstance(uploads, np.ndarray)
+            else len(uploads)
+        )
+        expected = survivors if population is None else int(population)
+        required = resolve_quorum(self.min_quorum, expected)
+        if survivors < required:
+            raise QuorumError(
+                round_index=self.round_index,
+                survivors=survivors,
+                required=required,
+            )
         context = self.aggregation_context()
+        if worker_ids is not None:
+            context.worker_ids = np.asarray(worker_ids, dtype=np.int64)
+            context.population = expected
         aggregated = self.aggregator.aggregate(uploads, context)
         parameters = self.model.get_flat_parameters()
         self.model.set_flat_parameters(parameters - self.learning_rate * aggregated)

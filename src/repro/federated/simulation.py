@@ -37,11 +37,12 @@ import numpy as np
 
 from repro.byzantine.adaptive import AdaptiveAttack
 from repro.byzantine.base import Attack, AttackContext
-from repro.core.config import BackendConfig, DPConfig, EngineConfig
+from repro.core.config import BackendConfig, DPConfig, EngineConfig, FaultsConfig
 from repro.core.dp_protocol import upload_noise_std
 from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
-from repro.federated.backends import ExecutionBackend, build_backend
+from repro.federated.backends import ExecutionBackend, RetryPolicy, build_backend
+from repro.federated.faults import FaultModel, ShardFaultPlan, build_faults
 from repro.federated.history import TrainingHistory
 from repro.federated.pipeline import HistoryRecorder, RoundCallback, RoundPipeline
 from repro.federated.server import Server
@@ -136,6 +137,26 @@ class FederatedSimulation:
         thread/process pool) is shared by both worker pools and the
         server; every backend produces bitwise-identical runs.  Call
         :meth:`close` when done to release pooled threads/processes.
+    faults:
+        Fault-injection scenario: a registered name (``"none"``,
+        ``"dropout"``, ``"straggler"``, ``"crash"``, ``"churn"``,
+        ``"chaos"``), a :class:`~repro.core.config.FaultsConfig` (whose
+        ``min_quorum``/``retry`` also configure the quorum and retry
+        policy), a ready :class:`~repro.federated.faults.FaultModel`
+        instance, or ``None`` for the fault-free reference.  Fault draws
+        derive from the model's own seed (defaulting to ``seed``), so a
+        fault trace replays bit-identically on every backend.
+    min_quorum:
+        Minimum surviving cohort per round (``int`` count or fractional
+        ``float``); violations raise
+        :class:`~repro.federated.faults.QuorumError`.  Overrides a
+        :class:`~repro.core.config.FaultsConfig`'s value when both are
+        given.
+    retry:
+        Shard retry policy for crash faults: a
+        :class:`~repro.federated.backends.RetryPolicy`, a mapping of its
+        keyword arguments, or ``None`` for the default (3 attempts, no
+        backoff).  Overrides a ``FaultsConfig``'s ``retry`` mapping.
     """
 
     def __init__(
@@ -154,6 +175,9 @@ class FederatedSimulation:
         engine: str | EngineConfig | object | None = None,
         shard_size: int | None = None,
         backend: str | BackendConfig | ExecutionBackend | None = None,
+        faults: str | FaultsConfig | FaultModel | None = None,
+        min_quorum: int | float | None = None,
+        retry: RetryPolicy | dict | None = None,
     ) -> None:
         if not honest_datasets:
             raise ValueError("at least one honest worker is required")
@@ -161,6 +185,30 @@ class FederatedSimulation:
             raise ValueError("n_byzantine must be non-negative")
         if n_byzantine > 0 and attack is None:
             raise ValueError("an attack must be provided when n_byzantine > 0")
+
+        faults_spec: str | FaultModel | None
+        faults_kwargs: dict = {}
+        if isinstance(faults, FaultsConfig):
+            faults_spec = faults.name
+            faults_kwargs = dict(faults.options)
+            if min_quorum is None:
+                min_quorum = faults.min_quorum
+            if retry is None and faults.retry:
+                retry = dict(faults.retry)
+        else:
+            faults_spec = faults
+        #: the round's fault model (``NoFaults`` on the reference path)
+        self.fault_model: FaultModel = build_faults(
+            faults_spec, default_seed=seed, **faults_kwargs
+        )
+        #: shard retry policy applied when crash faults are active
+        if retry is None:
+            self.retry_policy = RetryPolicy()
+        elif isinstance(retry, RetryPolicy):
+            self.retry_policy = retry
+        else:
+            self.retry_policy = RetryPolicy(**dict(retry))
+        self.min_quorum: int | float = 1 if min_quorum is None else min_quorum
 
         self.model = model
         self.attack = attack
@@ -224,6 +272,7 @@ class FederatedSimulation:
             gamma=settings.gamma,
             rng=self._server_rng,
             backend=self.backend,
+            min_quorum=self.min_quorum,
         )
 
     # ------------------------------------------------------------------ #
@@ -249,14 +298,30 @@ class FederatedSimulation:
         """Per-worker views into the Byzantine pool (empty for crafting attacks)."""
         return self.byzantine_pool.slots if self.byzantine_pool is not None else []
 
-    def honest_uploads(self) -> np.ndarray:
-        """This round's honest uploads, shape ``(n_honest, d)``."""
-        return self.honest_pool.compute_uploads(self.model)
+    def honest_uploads(
+        self, crash_plan: ShardFaultPlan | None = None
+    ) -> np.ndarray:
+        """This round's honest uploads, shape ``(n_honest, d)``.
+
+        ``crash_plan`` injects seeded shard crashes (retried under the
+        simulation's retry policy); ``None`` is the fault-free path (and
+        keeps the call signature of pre-fault pool substitutes working).
+        """
+        if crash_plan is None:
+            return self.honest_pool.compute_uploads(self.model)
+        return self.honest_pool.compute_uploads(self.model, crash_plan=crash_plan)
 
     def byzantine_uploads(
-        self, honest_uploads: np.ndarray, round_index: int
+        self,
+        honest_uploads: np.ndarray,
+        round_index: int,
+        crash_plan: ShardFaultPlan | None = None,
     ) -> np.ndarray:
-        """This round's Byzantine uploads, shape ``(n_byzantine, d)``."""
+        """This round's Byzantine uploads, shape ``(n_byzantine, d)``.
+
+        ``crash_plan`` applies only to protocol-following attacks (the
+        only ones with real shard computations to crash).
+        """
         if self.n_byzantine == 0 or self.attack is None:
             return np.zeros((0, honest_uploads.shape[1]))
 
@@ -282,7 +347,11 @@ class FederatedSimulation:
 
         if attack.follows_protocol:
             assert self.byzantine_pool is not None
-            return self.byzantine_pool.compute_uploads(self.model)
+            if crash_plan is None:
+                return self.byzantine_pool.compute_uploads(self.model)
+            return self.byzantine_pool.compute_uploads(
+                self.model, crash_plan=crash_plan
+            )
         return np.asarray(attack.craft(context), dtype=np.float64)
 
     # Backwards-compatible aliases for the pre-pipeline private names.

@@ -54,8 +54,14 @@ import numpy as np
 from repro.core.config import BackendConfig, DPConfig, EngineConfig
 from repro.core.dp_protocol import BatchedDPState, LocalDPState
 from repro.data.dataset import Dataset
-from repro.federated.backends import ExecutionBackend, SharedArray, build_backend
+from repro.federated.backends import (
+    ExecutionBackend,
+    SharedArray,
+    TaskFailure,
+    build_backend,
+)
 from repro.federated.engines import ClientEngine, build_engine
+from repro.federated.faults import CrashCounter, PoolFaultReport, ShardFaultPlan
 from repro.nn.network import Sequential
 
 __all__ = ["HonestWorker", "WorkerPool", "WorkerSlot"]
@@ -164,6 +170,24 @@ def _process_shard_task(payload: tuple) -> tuple[np.ndarray, list[dict]]:
     return np.array(uploads), [rng.bit_generator.state for rng in rngs]
 
 
+def _faulty_process_shard_task(
+    item: tuple[CrashCounter, tuple],
+) -> tuple[np.ndarray, list[dict], int]:
+    """A :func:`_process_shard_task` with an injected-crash counter.
+
+    The counter ticks (and possibly raises) *before* the shard runs, so a
+    retried attempt starts from the exact pre-task state -- the payload's
+    generators are only advanced by the attempt that succeeds.  The retry
+    loop of ``map_resilient`` runs on the same unpickled item inside the
+    worker process, so the counter's attempt count survives retries and
+    travels back with the result.
+    """
+    counter, payload = item
+    counter.tick()
+    uploads, rng_states = _process_shard_task(payload)
+    return uploads, rng_states, counter.calls
+
+
 class WorkerPool:
     """All protocol-following workers of one population, batched in shards.
 
@@ -262,6 +286,8 @@ class WorkerPool:
         self._engine_blob: bytes | None = None
         self._blob_source: Sequential | None = None
         self._process_token = uuid.uuid4().hex
+        #: what the last faulty round observed (``None`` after clean rounds)
+        self.last_fault_report: PoolFaultReport | None = None
 
     @property
     def n_workers(self) -> int:
@@ -370,19 +396,13 @@ class WorkerPool:
             run_shard, self._shard_bounds, self._parallel_workspaces(model, jobs)
         )
 
-    def _compute_uploads_process(
-        self, model: Sequential, uploads: np.ndarray
-    ) -> None:
-        """Dispatch the shards over an out-of-process backend.
+    def _process_round_setup(self, model: Sequential):
+        """Refresh the pickled blobs, publish the parameters, size scratch.
 
-        Mini-batches are sampled in the parent (each worker's own stream,
-        worker order -- identical draws to the serial path), the model
-        skeleton is pickled once per pool and the current flat parameters
-        travel through the backend's shared memory.  Workers return the
-        uploads plus their generators' post-noise states; restoring those
-        keeps the parent's streams bit-identical to a serial round, and
-        the momentum overwrite (Algorithm 1 line 11) equals the uploads,
-        so the parent's state needs no second payload.
+        The shared per-round setup of the out-of-process dispatch paths;
+        returns the parameter handle the shard payloads carry (a
+        :class:`SharedArray` when the backend shares memory, else the
+        flat vector itself).
         """
         batch = self.dp_config.batch_size
         if self._model_blob is None or self._blob_source is not model:
@@ -404,25 +424,48 @@ class WorkerPool:
         self._primary.ensure_scratch(
             batch, self.shard_size * batch, self.datasets[0].dim
         )
-        payloads = []
-        for start, stop in self._shard_bounds:
-            features, labels = self._primary.sample(
-                self.datasets, self.rngs, start, stop, batch
-            )
-            payloads.append(
-                (
-                    self._process_token,
-                    self._model_blob,
-                    self._engine_blob,
-                    parameters,
-                    np.array(features),
-                    np.array(labels),
-                    stop - start,
-                    np.array(self.state.slot_momentum[start:stop]),
-                    self.dp_config,
-                    self.rngs[start:stop],
-                )
-            )
+        return parameters
+
+    def _shard_payload(
+        self, parameters, bounds: tuple[int, int]
+    ) -> tuple:
+        """Sample one shard in the parent and build its task payload."""
+        start, stop = bounds
+        batch = self.dp_config.batch_size
+        features, labels = self._primary.sample(
+            self.datasets, self.rngs, start, stop, batch
+        )
+        return (
+            self._process_token,
+            self._model_blob,
+            self._engine_blob,
+            parameters,
+            np.array(features),
+            np.array(labels),
+            stop - start,
+            np.array(self.state.slot_momentum[start:stop]),
+            self.dp_config,
+            self.rngs[start:stop],
+        )
+
+    def _compute_uploads_process(
+        self, model: Sequential, uploads: np.ndarray
+    ) -> None:
+        """Dispatch the shards over an out-of-process backend.
+
+        Mini-batches are sampled in the parent (each worker's own stream,
+        worker order -- identical draws to the serial path), the model
+        skeleton is pickled once per pool and the current flat parameters
+        travel through the backend's shared memory.  Workers return the
+        uploads plus their generators' post-noise states; restoring those
+        keeps the parent's streams bit-identical to a serial round, and
+        the momentum overwrite (Algorithm 1 line 11) equals the uploads,
+        so the parent's state needs no second payload.
+        """
+        parameters = self._process_round_setup(model)
+        payloads = [
+            self._shard_payload(parameters, bounds) for bounds in self._shard_bounds
+        ]
         results = self.backend.map_ordered(_process_shard_task, payloads)
         for (start, stop), (shard_uploads, rng_states) in zip(
             self._shard_bounds, results
@@ -432,7 +475,136 @@ class WorkerPool:
                 self.rngs[index].bit_generator.state = state
         np.copyto(self.state.slot_momentum, uploads)
 
-    def compute_uploads(self, model: Sequential) -> np.ndarray:
+    # ------------------------------------------------------------------ #
+    # fault-injected execution (the crash seam)
+    # ------------------------------------------------------------------ #
+    def _compute_uploads_resilient(
+        self, model: Sequential, uploads: np.ndarray, plan: ShardFaultPlan
+    ) -> None:
+        """Run the round under an injected crash plan, tolerating failures.
+
+        Every shard task ticks its :class:`~repro.federated.faults
+        .CrashCounter` *before* touching any state (sampling, noise,
+        momentum), so a shard retried within the plan's
+        :class:`~repro.federated.backends.RetryPolicy` budget replays
+        bitwise identically to a never-failing one.  Shards that exhaust
+        the policy lose their workers for the round: their upload rows
+        stay zero, their generators never advance and their momentum is
+        untouched -- identically under every backend.  The outcome is
+        published in :attr:`last_fault_report`.
+        """
+        failures = np.asarray(plan.failures, dtype=np.int64)
+        if failures.shape != (self.n_shards,):
+            raise ValueError(
+                f"crash plan covers {failures.shape} shards, pool has "
+                f"{self.n_shards}"
+            )
+        failed_workers = np.zeros(self.n_workers, dtype=bool)
+        if not self.backend.in_process:
+            retried = self._resilient_process(
+                model, uploads, failures, plan.policy, failed_workers
+            )
+        else:
+            retried = self._resilient_in_process(
+                model, uploads, failures, plan.policy, failed_workers
+            )
+        self.last_fault_report = PoolFaultReport(
+            failed_workers=failed_workers,
+            retried=retried,
+            crashed_shards=int(np.count_nonzero(failures)),
+        )
+
+    def _resilient_in_process(
+        self,
+        model: Sequential,
+        uploads: np.ndarray,
+        failures: np.ndarray,
+        policy,
+        failed_workers: np.ndarray,
+    ) -> int:
+        """Crash-plan execution for the serial and threaded backends."""
+        counters = [CrashCounter(k) for k in failures]
+        jobs = max(1, min(self.backend.max_workers, self.n_shards))
+
+        def run_shard(workspace: _ShardWorkspace, shard_index: int) -> None:
+            # The injected crash fires before sampling touches any worker
+            # stream; a retry therefore re-enters a pristine shard.
+            counters[shard_index].tick()
+            shard_model = workspace.model if workspace.model is not None else model
+            self._compute_shard(
+                shard_model, workspace, self._shard_bounds[shard_index], uploads
+            )
+
+        results = self.backend.map_resilient(
+            run_shard,
+            range(self.n_shards),
+            policy,
+            resources=self._parallel_workspaces(model, jobs),
+        )
+        for shard_index, result in enumerate(results):
+            if isinstance(result, TaskFailure):
+                start, stop = self._shard_bounds[shard_index]
+                failed_workers[start:stop] = True
+        return sum(max(0, counter.calls - 1) for counter in counters)
+
+    def _resilient_process(
+        self,
+        model: Sequential,
+        uploads: np.ndarray,
+        failures: np.ndarray,
+        policy,
+        failed_workers: np.ndarray,
+    ) -> int:
+        """Crash-plan execution for out-of-process backends.
+
+        Permanently failing shards (``failures >= policy.max_attempts``)
+        are detected in the parent and never sampled or dispatched --
+        matching the in-process path, where the crash fires before
+        sampling, so the surviving workers' generator streams stay
+        bit-identical across backends.  Recoverable shards carry their
+        crash counter inside the task item; the retry loop runs in the
+        worker process on the same unpickled counter, and the attempt
+        count travels back with the result.
+        """
+        parameters = self._process_round_setup(model)
+        max_attempts = policy.max_attempts
+        retried = 0
+        live: list[tuple[int, int, int]] = []
+        items: list[tuple[CrashCounter, tuple]] = []
+        for shard_index, (start, stop) in enumerate(self._shard_bounds):
+            scheduled = int(failures[shard_index])
+            if scheduled >= max_attempts:
+                failed_workers[start:stop] = True
+                retried += max_attempts - 1
+                continue
+            items.append(
+                (CrashCounter(scheduled), self._shard_payload(parameters, (start, stop)))
+            )
+            live.append((shard_index, start, stop))
+        results = (
+            self.backend.map_resilient(_faulty_process_shard_task, items, policy)
+            if items
+            else []
+        )
+        for (shard_index, start, stop), result in zip(live, results):
+            if isinstance(result, TaskFailure):
+                # Only an advisory-timeout exhaustion can land here: the
+                # injected crash schedule of a dispatched shard is below
+                # max_attempts by construction.
+                failed_workers[start:stop] = True
+                retried += result.attempts - 1
+                continue
+            shard_uploads, rng_states, attempts = result
+            uploads[start:stop] = shard_uploads
+            for index, state in zip(range(start, stop), rng_states):
+                self.rngs[index].bit_generator.state = state
+            np.copyto(self.state.slot_momentum[start:stop], uploads[start:stop])
+            retried += attempts - 1
+        return retried
+
+    def compute_uploads(
+        self, model: Sequential, crash_plan: ShardFaultPlan | None = None
+    ) -> np.ndarray:
         """One protocol iteration for every worker; returns ``(n_workers, d)``.
 
         The caller is responsible for having loaded the current global
@@ -442,10 +614,22 @@ class WorkerPool:
         streams are independent of the sharding -- and, because shards are
         independent between finalisations, of the execution backend and of
         shard completion order.
+
+        With an *active* ``crash_plan`` (see :class:`~repro.federated
+        .faults.ShardFaultPlan`) shards crash and retry as scheduled:
+        recovered shards are bitwise identical to never-failing ones,
+        permanently failed shards leave zero upload rows and untouched
+        worker state, and :attr:`last_fault_report` describes the round.
+        An inactive (or absent) plan takes the exact fault-free path.
         """
         n, batch = self.n_workers, self.dp_config.batch_size
         dimension = model.num_parameters
         self.state.ensure_shape(n, batch, dimension)
+        self.last_fault_report = None
+        if crash_plan is not None and crash_plan.is_active:
+            uploads = np.zeros((n, dimension), dtype=np.float64)
+            self._compute_uploads_resilient(model, uploads, crash_plan)
+            return uploads
         uploads = np.empty((n, dimension), dtype=np.float64)
         backend = self.backend
         if not backend.in_process:

@@ -74,6 +74,32 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--backend" in capsys.readouterr().err
 
+    def test_faults_defaults_and_choices(self):
+        arguments = build_parser().parse_args(["run"])
+        assert arguments.faults == "none"
+        assert arguments.min_quorum == 1
+        arguments = build_parser().parse_args(
+            ["run", "--faults", "dropout", "--min-quorum", "0.5"]
+        )
+        assert arguments.faults == "dropout"
+        assert arguments.min_quorum == pytest.approx(0.5)
+        assert isinstance(arguments.min_quorum, float)
+
+    def test_min_quorum_integer_stays_integer(self):
+        arguments = build_parser().parse_args(["run", "--min-quorum", "3"])
+        assert arguments.min_quorum == 3
+        assert isinstance(arguments.min_quorum, int)
+
+    def test_accepts_fault_aliases(self):
+        arguments = build_parser().parse_args(["run", "--faults", "dropout_crash"])
+        assert arguments.faults == "dropout_crash"
+
+    def test_rejects_unknown_fault_model(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--faults", "meteor"])
+        assert excinfo.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list_prints_registries(self, capsys):
@@ -86,9 +112,27 @@ class TestCommands:
         assert main(["list", "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
         kinds = {row["kind"] for row in rows}
-        assert kinds == {"dataset", "attack", "defense", "model", "engine", "backend"}
+        assert kinds == {
+            "dataset", "attack", "defense", "model", "engine", "backend", "fault",
+        }
         by_name = {row["name"]: row for row in rows}
         assert by_name["two_stage"]["summary"]
+
+    def test_run_with_faults_and_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "rounds.jsonl"
+        assert main([
+            "run", *FAST_ARGUMENTS, "--attack", "gaussian",
+            "--faults", "dropout", "--min-quorum", "0.25",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "final test accuracy" in output
+        assert f"per-round metrics written to {metrics}" in output
+        records = [
+            json.loads(line) for line in metrics.read_text().strip().splitlines()
+        ]
+        assert records
+        assert all("fault_survivors" in record for record in records)
 
     def test_run_from_config_file(self, tmp_path, capsys):
         from repro.experiments.presets import benchmark_preset

@@ -196,3 +196,34 @@ class TestSerialization:
             "ks_significance": 0.01,
             "use_second_stage": False,
         }
+
+
+class TestFaultFields:
+    def test_defaults_are_fault_free(self):
+        config = ExperimentConfig()
+        assert config.faults == "none"
+        assert config.faults_kwargs == {}
+        assert config.min_quorum == 1
+        assert config.retry_kwargs == {}
+
+    def test_fault_fields_survive_json_round_trip(self):
+        config = ExperimentConfig(
+            faults="chaos",
+            faults_kwargs={"dropout": 0.2, "crash": 0.1},
+            min_quorum=0.25,
+            retry_kwargs={"max_attempts": 4},
+        )
+        restored = ExperimentConfig.from_json(config.to_json())
+        assert restored.faults == "chaos"
+        assert restored.faults_kwargs == {"dropout": 0.2, "crash": 0.1}
+        assert restored.min_quorum == pytest.approx(0.25)
+        assert restored.retry_kwargs == {"max_attempts": 4}
+
+    @pytest.mark.parametrize("bad", [0, -2, 0.0, 1.5, -0.1])
+    def test_invalid_min_quorum_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ExperimentConfig(min_quorum=bad)
+
+    def test_boolean_min_quorum_rejected(self):
+        with pytest.raises(TypeError):
+            ExperimentConfig(min_quorum=True)

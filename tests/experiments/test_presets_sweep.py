@@ -195,3 +195,45 @@ class TestPaperConstants:
         """With mismatched auxiliary data the paper reports near-chance accuracy."""
         for dataset_values in paper.TABLE17_AUX_MISMATCH.values():
             assert max(dataset_values.values()) <= 0.25
+
+
+class TestDropoutSweep:
+    def test_grid_shape_and_keys(self):
+        from repro.experiments.presets import DROPOUT_RATES, dropout_sweep
+
+        grid = dropout_sweep()
+        assert set(grid) == {
+            (defense, rate)
+            for defense in ("two_stage", "mean")
+            for rate in DROPOUT_RATES
+        }
+
+    def test_zero_rate_cell_stays_on_reference_path(self):
+        from repro.experiments.presets import dropout_sweep
+
+        grid = dropout_sweep(rates=(0.0, 0.2), defenses=("two_stage",))
+        clean = grid[("two_stage", 0.0)]
+        assert clean.faults == "none"
+        assert clean.faults_kwargs == {}
+
+    def test_nonzero_cells_configure_dropout(self):
+        from repro.experiments.presets import dropout_sweep
+
+        grid = dropout_sweep(rates=(0.2,), defenses=("mean",), min_quorum=0.5)
+        config = grid[("mean", 0.2)]
+        assert config.faults == "dropout"
+        assert config.faults_kwargs == {"rate": 0.2}
+        assert config.min_quorum == pytest.approx(0.5)
+        assert config.attack == "lmp"
+
+    def test_rejects_invalid_rate(self):
+        from repro.experiments.presets import dropout_sweep
+
+        with pytest.raises(ValueError):
+            dropout_sweep(rates=(1.0,))
+
+    def test_overrides_reach_every_cell(self):
+        from repro.experiments.presets import dropout_sweep
+
+        grid = dropout_sweep(rates=(0.0, 0.1), defenses=("mean",), epochs=2)
+        assert all(config.epochs == 2 for config in grid.values())
