@@ -1,0 +1,358 @@
+#!/usr/bin/env python
+"""Multi-process CI assertions for service mode (``repro serve``/``worker``).
+
+The service-mode tests in ``tests/federated/test_service.py`` exercise the
+coordinator with in-process worker threads; this script is what the
+``service-smoke`` CI job runs to pin the *process-level* guarantees with
+real ``kill -9``:
+
+- ``identity``: the seeded acceptance run over ``--backend remote``
+  (a coordinator plus 4 worker processes) must print byte-identical
+  output to ``--backend serial``, and a seeded chaos run must replay the
+  identical per-round fault trace over the wire.
+- ``worker-kill``: SIGKILL one of 4 workers mid-task; the round must
+  degrade to a partial cohort (``fault_lost`` in the metrics) and the
+  run still completes under the fractional quorum.
+- ``coordinator-restart``: SIGKILL the coordinator mid-training; a
+  restarted coordinator auto-resumes from its ``--state-dir`` snapshot,
+  the surviving workers re-register, and the final model is **bitwise
+  identical** to an uninterrupted in-process run.
+
+Run::
+
+    python benchmarks/check_service.py identity
+    python benchmarks/check_service.py worker-kill
+    python benchmarks/check_service.py coordinator-restart
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+ACCEPTANCE_FLAGS = [
+    "--attack", "lmp", "--defense", "two_stage", "--seed", "1", "--epochs", "2",
+]
+CHAOS_FLAGS = [
+    *ACCEPTANCE_FLAGS, "--faults", "chaos", "--min-quorum", "0.25",
+    "--shard-size", "4",
+]
+
+
+def _env() -> dict[str, str]:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn(*args: str) -> subprocess.Popen:
+    """Start ``python -m repro <args>`` with stdout captured."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=_env(), cwd=REPO,
+    )
+
+
+def start_workers(port: int, count: int, **extra: str) -> list[subprocess.Popen]:
+    flags = [item for pair in extra.items() for item in pair]
+    return [
+        spawn("worker", "--port", str(port), "--name", f"smoke-{index}",
+              "--reconnect-timeout", "120", *flags)
+        for index in range(count)
+    ]
+
+
+def finish(process: subprocess.Popen, timeout: float = 300.0) -> str:
+    """Wait for a captured process; returns stdout, dies loudly on rc != 0."""
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        output, _ = process.communicate()
+        raise SystemExit(
+            f"process {process.args} timed out after {timeout}s:\n{output}"
+        )
+    if process.returncode != 0:
+        raise SystemExit(
+            f"process {process.args} exited {process.returncode}:\n{output}"
+        )
+    return output
+
+
+def reap(workers: list[subprocess.Popen]) -> None:
+    """Workers must exit 0: the coordinator notified them on shutdown."""
+    for worker in workers:
+        output = finish(worker, timeout=60.0)
+        sys.stdout.write(output)
+
+
+def strip_volatile(output: str) -> str:
+    """Drop the lines that legitimately differ between invocations."""
+    return "\n".join(
+        line for line in output.splitlines()
+        if "per-round metrics written to" not in line
+    )
+
+
+def assert_identical(label: str, reference: str, candidate: str) -> None:
+    if reference != candidate:
+        raise SystemExit(
+            f"{label}: outputs differ\n--- serial ---\n{reference}\n"
+            f"--- remote ---\n{candidate}"
+        )
+    print(f"{label}: byte-identical")
+
+
+def remote_config(path: Path, port: int, workers: int, chaos: bool) -> Path:
+    """The acceptance config rebuilt with the remote backend."""
+    sys.path.insert(0, str(SRC))
+    from repro.experiments.presets import benchmark_preset
+
+    config = benchmark_preset(
+        dataset="mnist_like", byzantine_fraction=0.6, attack="lmp",
+        defense="two_stage", epsilon=2.0, seed=1, epochs=2,
+        shard_size=4 if chaos else None,
+        faults="chaos" if chaos else "none",
+        min_quorum=0.25 if chaos else 1,
+        backend="remote",
+        backend_kwargs={"port": port, "max_workers": workers},
+    )
+    path.write_text(config.to_json())
+    return path
+
+
+def command_identity(arguments: argparse.Namespace) -> int:
+    workdir = Path(arguments.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # Plain acceptance run: remote output must match serial byte for byte.
+    serial = finish(spawn("run", *ACCEPTANCE_FLAGS, "--backend", "serial"))
+    port = free_port()
+    config = remote_config(workdir / "remote.json", port, 4, chaos=False)
+    coordinator = spawn("run", "--config", str(config))
+    workers = start_workers(port, 4)
+    remote = finish(coordinator)
+    reap(workers)
+    assert_identical("acceptance run", serial, remote)
+
+    # Chaos run: the seeded fault trace replays bitwise over the wire.
+    serial_metrics = workdir / "chaos-serial.jsonl"
+    remote_metrics = workdir / "chaos-remote.jsonl"
+    serial = finish(spawn(
+        "run", *CHAOS_FLAGS, "--metrics-out", str(serial_metrics)
+    ))
+    port = free_port()
+    config = remote_config(workdir / "remote-chaos.json", port, 4, chaos=True)
+    coordinator = spawn(
+        "run", "--config", str(config), "--metrics-out", str(remote_metrics)
+    )
+    workers = start_workers(port, 4)
+    remote = finish(coordinator)
+    reap(workers)
+    assert_identical(
+        "chaos run", strip_volatile(serial), strip_volatile(remote)
+    )
+    assert_identical(
+        "chaos fault trace",
+        serial_metrics.read_text(), remote_metrics.read_text(),
+    )
+    return 0
+
+
+def command_worker_kill(arguments: argparse.Namespace) -> int:
+    workdir = Path(arguments.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    metrics = workdir / "worker-kill.jsonl"
+    port = free_port()
+
+    # One transport attempt: losing a worker mid-task immediately degrades
+    # its shard to a TaskFailure instead of re-dispatching, which is the
+    # partial-cohort path this mode must observe.
+    coordinator = spawn(
+        "serve", *ACCEPTANCE_FLAGS, "--port", str(port), "--workers", "4",
+        "--min-quorum", "0.25", "--transport-retries", "1",
+        "--metrics-out", str(metrics),
+    )
+    # The victim is throttled and verbose so we can catch it mid-task.
+    victim = spawn("worker", "--port", str(port), "--name", "victim",
+                   "--reconnect-timeout", "120", "--throttle", "0.5",
+                   "--verbose")
+    workers = start_workers(port, 3)
+
+    started = threading.Event()
+
+    def watch() -> None:
+        for line in victim.stdout:
+            sys.stdout.write(line)
+            if "started" in line:
+                started.set()
+
+    watcher = threading.Thread(target=watch, daemon=True)
+    watcher.start()
+    deadline = time.monotonic() + 120.0
+    while not started.wait(timeout=0.1):
+        if time.monotonic() > deadline or coordinator.poll() is not None:
+            victim.kill()
+            for worker in workers:
+                worker.kill()
+            output, _ = coordinator.communicate()
+            raise SystemExit(
+                f"victim worker never started a task; coordinator "
+                f"(rc={coordinator.returncode}) said:\n{output}"
+            )
+    victim.kill()  # SIGKILL mid-task: no goodbye on the wire
+    victim.wait()
+    print("victim worker killed mid-task")
+
+    output = finish(coordinator)
+    sys.stdout.write(output)
+    reap(workers)
+    if "final test accuracy" not in output:
+        raise SystemExit("coordinator finished without reporting accuracy")
+    records = [
+        json.loads(line) for line in metrics.read_text().splitlines() if line
+    ]
+    lost = [record for record in records if record.get("fault_lost", 0) > 0]
+    if not lost:
+        raise SystemExit(
+            f"no round recorded fault_lost > 0 across {len(records)} rounds"
+        )
+    print(
+        f"worker-kill: round {lost[0]['round']} lost "
+        f"{int(lost[0]['fault_lost'])} worker(s), run completed under quorum"
+    )
+    return 0
+
+
+def command_coordinator_restart(arguments: argparse.Namespace) -> int:
+    workdir = Path(arguments.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    state_dir = workdir / "state"
+    metrics = workdir / "restart.jsonl"
+    port = free_port()
+
+    sys.path.insert(0, str(SRC))
+    import numpy as np
+
+    from repro.experiments.presets import benchmark_preset
+    from repro.experiments.runner import prepare_experiment
+    from repro.federated.pipeline import read_metrics
+    from repro.federated.state import STATE_SUFFIX, load_round_state
+
+    config = benchmark_preset(
+        dataset="usps_like", byzantine_fraction=0.4, attack="label_flip",
+        defense="two_stage", epochs=2, scale=0.2, n_honest=4, seed=1,
+    )
+    config_path = workdir / "restart.json"
+    config_path.write_text(config.to_json())
+
+    # Uninterrupted in-process reference for the bitwise comparison.
+    setup = prepare_experiment(config)
+    try:
+        reference_history = setup.simulation.run()
+        reference = setup.simulation.model.get_flat_parameters().copy()
+    finally:
+        setup.simulation.close()
+    total_rounds = len(reference_history.rounds)
+
+    serve_args = [
+        "serve", "--config", str(config_path), "--port", str(port),
+        "--workers", "2", "--state-dir", str(state_dir),
+        "--metrics-out", str(metrics), "--metrics-fsync",
+    ]
+    coordinator = spawn(*serve_args)
+    workers = start_workers(port, 2)
+
+    # Let at least two rounds land durably, then kill -9 the coordinator.
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if metrics.exists() and len(metrics.read_text().splitlines()) >= 2:
+            break
+        if coordinator.poll() is not None:
+            raise SystemExit(
+                "coordinator exited before it could be killed:\n"
+                + coordinator.communicate()[0]
+            )
+        time.sleep(0.05)
+    else:
+        coordinator.kill()
+        raise SystemExit("coordinator never wrote two metrics rounds")
+    coordinator.kill()
+    coordinator.wait()
+    print("coordinator killed mid-training; restarting")
+
+    # The restarted coordinator resumes from the snapshot; the workers
+    # were never told to exit and re-register on their own.
+    output = finish(spawn(*serve_args))
+    sys.stdout.write(output)
+    reap(workers)
+    if "resuming from the latest snapshot" not in output:
+        raise SystemExit("restarted coordinator did not resume from state")
+
+    snapshots = sorted(
+        state_dir.glob(f"round_*{STATE_SUFFIX}"),
+        key=lambda path: int(path.name[len("round_"):-len(STATE_SUFFIX)]),
+    )
+    final = load_round_state(snapshots[-1])
+    if final.round_index != total_rounds - 1:
+        raise SystemExit(
+            f"final snapshot is round {final.round_index}, "
+            f"expected {total_rounds - 1}"
+        )
+    if not np.array_equal(final.parameters, reference):
+        raise SystemExit(
+            "restarted run diverged from the uninterrupted reference "
+            f"(max abs diff {np.abs(final.parameters - reference).max()})"
+        )
+    # The metrics file covers the whole trajectory: a crash between the
+    # metrics line and the snapshot of the same round replays that round,
+    # so consecutive duplicates are legitimate -- gaps are not.
+    rounds = [record["round"] for record in read_metrics(metrics)]
+    deduplicated = [
+        value for index, value in enumerate(rounds)
+        if index == 0 or value != rounds[index - 1]
+    ]
+    if deduplicated != list(range(total_rounds)):
+        raise SystemExit(f"metrics rounds are not contiguous: {rounds}")
+    print(
+        f"coordinator-restart: resumed run bitwise-identical over "
+        f"{total_rounds} rounds ({len(rounds)} metrics lines)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode",
+                        choices=["identity", "worker-kill",
+                                 "coordinator-restart"])
+    parser.add_argument("--workdir", default="service-smoke",
+                        help="scratch directory for configs, metrics, state")
+    arguments = parser.parse_args(argv)
+    command = {
+        "identity": command_identity,
+        "worker-kill": command_worker_kill,
+        "coordinator-restart": command_coordinator_restart,
+    }[arguments.mode]
+    return command(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,24 @@
 """Command-line interface: ``python -m repro ...``.
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 - ``run``     -- run a single experiment and print the outcome;
 - ``compare`` -- run the protocol, the undefended mean and the Reference
   Accuracy for one attack scenario and print them side by side;
+- ``serve``   -- run an experiment as a service-mode *coordinator*:
+  shard tasks are dispatched to ``repro worker`` processes over TCP,
+  with per-round full-state checkpoints (``--state-dir``) enabling a
+  bitwise-exact restart after a coordinator crash;
+- ``worker``  -- join a coordinator as a worker process (reconnects
+  through coordinator restarts);
 - ``list``    -- show every registered component (datasets, attacks,
   defenses, models, engines, backends, fault models) straight from the
   registries' ``describe()`` API.
+
+Operational failures exit with dedicated codes and one-line messages
+instead of tracebacks: ``2`` for a quorum violation (``QuorumError``),
+``3`` for a connection failure (the coordinator lost every worker, or a
+worker could not reach its coordinator).
 
 ``run`` and ``compare`` accept either individual flags or a full
 :class:`~repro.experiments.configs.ExperimentConfig` serialised to JSON
@@ -31,6 +42,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -129,12 +142,77 @@ def build_parser() -> argparse.ArgumentParser:
     add_experiment_arguments(run_parser)
     # run-only: resuming a three-way compare from one snapshot is ill-defined
     run_parser.add_argument("--resume-from", default=None, metavar="SNAPSHOT",
-                            help="restore a Checkpoint round_<i>.npy snapshot (or "
-                                 "the latest one in a directory) and continue the "
-                                 "schedule")
+                            help="restore a Checkpoint round_<i>.npy or "
+                                 "round_<i>.state.npz snapshot (or the latest "
+                                 "one in a directory) and continue the schedule")
     run_parser.add_argument("--metrics-out", default=None, metavar="FILE.jsonl",
                             help="stream per-round metrics (accuracy, fault "
-                                 "counters) to this JSONL file")
+                                 "counters) to this JSONL file (appended to "
+                                 "when resuming)")
+    run_parser.add_argument("--metrics-fsync", action="store_true",
+                            help="fsync the metrics file after every line")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run an experiment as a service-mode coordinator over "
+             "`repro worker` processes",
+    )
+    add_experiment_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="address the coordinator listens on")
+    serve_parser.add_argument("--port", type=int, default=7733,
+                              help="port the coordinator listens on (0 lets "
+                                   "the OS pick one)")
+    serve_parser.add_argument("--workers", type=int, default=1, metavar="N",
+                              help="worker processes to expect (sizes the "
+                                   "pools' shard split)")
+    serve_parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="seconds between liveness heartbeats")
+    serve_parser.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                              metavar="SECONDS",
+                              help="silence after which a worker connection "
+                                   "is declared dead")
+    serve_parser.add_argument("--transport-retries", type=int, default=3,
+                              metavar="N",
+                              help="dispatch attempts per task across worker "
+                                   "losses before the task's workers drop "
+                                   "out of the round")
+    serve_parser.add_argument("--worker-timeout", type=float, default=60.0,
+                              metavar="SECONDS",
+                              help="how long the coordinator tolerates an "
+                                   "empty worker pool mid-round before "
+                                   "aborting")
+    serve_parser.add_argument("--state-dir", default=None, metavar="DIR",
+                              help="write a full-state snapshot there every "
+                                   "round and auto-resume from the latest one "
+                                   "on restart (bitwise-exact crash recovery)")
+    serve_parser.add_argument("--metrics-out", default=None, metavar="FILE.jsonl",
+                              help="stream per-round metrics to this JSONL "
+                                   "file (appended to when resuming)")
+    serve_parser.add_argument("--metrics-fsync", action="store_true",
+                              help="fsync the metrics file after every line")
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="join a service-mode coordinator as a worker process"
+    )
+    worker_parser.add_argument("--host", default="127.0.0.1",
+                               help="coordinator address to connect to")
+    worker_parser.add_argument("--port", type=int, default=7733,
+                               help="coordinator port to connect to")
+    worker_parser.add_argument("--name", default=None,
+                               help="worker name shown in coordinator logs "
+                                    "(default: pid-derived)")
+    worker_parser.add_argument("--reconnect-timeout", type=float, default=30.0,
+                               metavar="SECONDS",
+                               help="keep retrying a lost coordinator for "
+                                    "this long before giving up")
+    worker_parser.add_argument("--throttle", type=float, default=0.0,
+                               metavar="SECONDS",
+                               help="artificial delay before each task "
+                                    "(testing aid)")
+    worker_parser.add_argument("--verbose", action="store_true",
+                               help="log each task as it starts and finishes")
 
     compare_parser = subparsers.add_parser(
         "compare", help="run protocol vs undefended vs Reference Accuracy"
@@ -232,7 +310,11 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if metrics_out is not None:
         from repro.federated.pipeline import MetricsWriter
 
-        callbacks.append(MetricsWriter(metrics_out))
+        callbacks.append(MetricsWriter(
+            metrics_out,
+            append=arguments.resume_from is not None,
+            fsync=getattr(arguments, "metrics_fsync", False),
+        ))
     try:
         result = run_experiment(
             config,
@@ -264,6 +346,83 @@ def _command_run(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.experiments.runner import CheckpointMismatchError
+    from repro.federated.pipeline import Checkpoint, MetricsWriter
+    from repro.federated.state import STATE_SUFFIX
+
+    config = _config_from_arguments(arguments).replace(
+        backend="remote",
+        backend_kwargs={
+            "host": arguments.host,
+            "port": arguments.port,
+            "max_workers": arguments.workers,
+            "heartbeat_interval": arguments.heartbeat_interval,
+            "heartbeat_timeout": arguments.heartbeat_timeout,
+            "transport_attempts": arguments.transport_retries,
+            "worker_timeout": arguments.worker_timeout,
+        },
+    )
+    state_dir = None if arguments.state_dir is None else Path(arguments.state_dir)
+    resume_from = None
+    if state_dir is not None and state_dir.is_dir():
+        has_snapshot = any(state_dir.glob(f"round_*{STATE_SUFFIX}")) or any(
+            state_dir.glob("round_*.npy")
+        )
+        if has_snapshot:
+            resume_from = state_dir
+            print(f"resuming from the latest snapshot in {state_dir}")
+    callbacks = []
+    if arguments.metrics_out is not None:
+        callbacks.append(MetricsWriter(
+            arguments.metrics_out,
+            append=resume_from is not None,
+            fsync=arguments.metrics_fsync,
+        ))
+    if state_dir is not None:
+        callbacks.append(Checkpoint(every=1, directory=state_dir, full_state=True))
+    print(f"coordinator listening on {arguments.host}:{arguments.port}, "
+          f"expecting {arguments.workers} worker(s)")
+    try:
+        result = run_experiment(config, callbacks=callbacks, resume_from=resume_from)
+    except CheckpointMismatchError as error:
+        raise SystemExit(f"repro: cannot resume from {state_dir}: {error}")
+    finally:
+        for callback in callbacks:
+            close = getattr(callback, "close", None)
+            if callable(close):
+                close()
+    print(format_table(["field", "value"], [
+        ["dataset", config.dataset],
+        ["attack / defense", f"{config.attack} / {config.defense}"],
+        ["workers (honest + byzantine)", f"{config.n_honest} + {config.n_byzantine}"],
+        ["epsilon", "non-private" if config.epsilon is None else config.epsilon],
+        ["noise multiplier sigma", result.sigma],
+        ["learning rate", result.learning_rate],
+        ["rounds", result.metadata["total_rounds"]],
+        ["final test accuracy", result.final_accuracy],
+    ], title="Experiment result"))
+    if arguments.metrics_out is not None:
+        print(f"\nper-round metrics written to {arguments.metrics_out}")
+    if arguments.save:
+        save_results({"run": result}, arguments.save)
+        print(f"\nresults written to {arguments.save}")
+    return 0
+
+
+def _command_worker(arguments: argparse.Namespace) -> int:
+    from repro.federated.service import run_worker
+
+    return run_worker(
+        arguments.host,
+        arguments.port,
+        name=arguments.name,
+        reconnect_timeout=arguments.reconnect_timeout,
+        throttle=arguments.throttle,
+        verbose=arguments.verbose,
+    )
+
+
 def _command_compare(arguments: argparse.Namespace) -> int:
     config = _config_from_arguments(arguments)
     reference = reference_accuracy(config)
@@ -287,15 +446,45 @@ def _command_compare(arguments: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operational failures of a distributed run are reported as one-line
+    messages with dedicated exit codes (quorum violation: 2, connection
+    failure: 3) -- the conditions a supervisor restarts on -- instead of
+    tracebacks.
+    """
+    from repro.federated.faults import QuorumError
+
     arguments = build_parser().parse_args(argv)
-    if arguments.command == "list":
-        return _command_list(arguments)
-    if arguments.command == "run":
-        return _command_run(arguments)
-    if arguments.command == "compare":
-        return _command_compare(arguments)
-    return 1
+    commands = {
+        "list": _command_list,
+        "run": _command_run,
+        "serve": _command_serve,
+        "worker": _command_worker,
+        "compare": _command_compare,
+    }
+    command = commands.get(arguments.command)
+    if command is None:
+        return 1
+    try:
+        return command(arguments)
+    except QuorumError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Not a federation transport failure: our own stdout closed early
+        # (``repro list | head``).  Exit with the conventional SIGPIPE
+        # code, quietly, instead of telling a supervisor to restart.
+        # Pointing the fd at devnull stops the interpreter's exit-time
+        # flush from reporting the same broken pipe to stderr.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout has no real fd (e.g. under a capturing harness)
+        return 128 + signal.SIGPIPE
+    except ConnectionError as error:
+        print(f"repro: connection error: {error}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

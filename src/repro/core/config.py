@@ -11,6 +11,7 @@ __all__ = [
     "EngineConfig",
     "FaultsConfig",
     "ProtocolConfig",
+    "ServiceConfig",
 ]
 
 
@@ -180,6 +181,65 @@ class FaultsConfig:
             raise ValueError("a fractional min_quorum must be in (0, 1]")
         object.__setattr__(self, "options", dict(self.options))
         object.__setattr__(self, "retry", dict(self.retry))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-mode coordinator settings (the ``remote`` backend).
+
+    In service mode a long-running *coordinator* process owns the round
+    loop and dispatches shard tasks to *worker* processes over the
+    length-prefixed JSON/TCP wire protocol (see
+    :mod:`repro.federated.service`).  This config is pure data -- the
+    tunables of that deployment, independent of the experiment being
+    trained -- so it serialises alongside the experiment config.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address of the coordinator; port ``0`` lets the OS pick a
+        free port (useful in tests, not for workers that must find it).
+    expected_workers:
+        Worker processes the coordinator waits for before training and
+        uses to size the pools' shard splits.
+    heartbeat_interval:
+        Seconds between the heartbeats each side emits while idle.
+    heartbeat_timeout:
+        Silence (seconds) after which a connection is declared dead and
+        its in-flight task is re-dispatched.
+    transport_attempts:
+        Dispatch attempts per task across worker losses before the task
+        degrades to a :class:`~repro.federated.backends.TaskFailure`.
+    worker_timeout:
+        Seconds the coordinator tolerates an *empty* worker pool
+        mid-round before giving up with a ``ConnectionError``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7733
+    expected_workers: int = 1
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 10.0
+    transport_attempts: int = 3
+    worker_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host must be a non-empty string")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.expected_workers <= 0:
+            raise ValueError("expected_workers must be positive")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        if self.transport_attempts <= 0:
+            raise ValueError("transport_attempts must be positive")
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,28 @@ class TwoStageAggregator(Aggregator):
         self.last_selected = None
         self.last_first_stage_accepted = None
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot the accumulated score list ``S`` (Algorithm 3).
+
+        The first-stage filter is a pure function of the round's noise
+        level and dimension, so only the second stage carries state a
+        bitwise replay needs.
+        """
+        if self._second_stage is None:
+            return {}
+        return {
+            "accumulated_scores": self._second_stage.accumulated_scores.copy()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.reset()
+        scores = state.get("accumulated_scores")
+        if scores is None:
+            return
+        scores = np.asarray(scores, dtype=np.float64)
+        selector = self._second_stage_selector(scores.shape[0])
+        selector.accumulated_scores[:] = scores
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #

@@ -99,6 +99,28 @@ class Aggregator:
     def reset(self) -> None:
         """Clear any cross-round state (default: stateless)."""
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot the rule's evolving cross-round state.
+
+        Stateless rules (the default) return ``{}``.  Stateful rules must
+        return a flat mapping of names to arrays so a crash-tolerant
+        restart can replay the run bitwise (see
+        :mod:`repro.federated.state`).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The default accepts only the empty snapshot; stateful rules
+        override both ends of the round trip.
+        """
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the snapshot "
+                f"carries aggregator state: {sorted(state)}"
+            )
+
     @staticmethod
     def _validate(uploads: np.ndarray | list[np.ndarray]) -> np.ndarray:
         """Return the uploads as an ``(n, d)`` float64 matrix.

@@ -35,6 +35,7 @@ from repro.defenses.registry import DEFENSES, build_defense, defense_config_defa
 from repro.experiments.configs import ExperimentConfig
 from repro.federated.pipeline import RoundCallback
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.federated.state import STATE_SUFFIX, RoundState, load_round_state
 from repro.nn.models import build_model, model_for_dataset
 
 __all__ = [
@@ -51,40 +52,58 @@ class CheckpointMismatchError(ValueError):
     """A resolved checkpoint does not fit the experiment it should resume
     (round outside the schedule, or parameter vector of the wrong size)."""
 
-#: File-name pattern of the snapshots the ``Checkpoint`` callback writes.
+#: File-name patterns of the snapshots the ``Checkpoint`` callback writes.
 _CHECKPOINT_PATTERN = re.compile(r"round_(\d+)\.npy$")
+_STATE_PATTERN = re.compile(r"round_(\d+)\.state\.npz$")
 
 
 def resolve_checkpoint(
     resume_from: str | Path | tuple[int, np.ndarray],
-) -> tuple[int, np.ndarray]:
-    """Resolve a resume specification to ``(round_index, flat_parameters)``.
+) -> tuple[int, np.ndarray | RoundState]:
+    """Resolve a resume specification to ``(round_index, payload)``.
 
-    ``resume_from`` may be a ``(round_index, vector)`` pair, the path of a
-    ``round_<index>.npy`` snapshot written by the
-    :class:`~repro.federated.pipeline.Checkpoint` callback, or a directory
-    of such snapshots (the latest round wins).
+    ``resume_from`` may be a ``(round_index, vector)`` pair, the path of
+    a snapshot written by the :class:`~repro.federated.pipeline
+    .Checkpoint` callback -- a parameter-only ``round_<index>.npy`` or a
+    full-state ``round_<index>.state.npz`` -- or a directory of such
+    snapshots.  In a directory the latest round wins; on a round that has
+    both flavours the full-state snapshot is preferred (it restores
+    strictly more).  The payload is the flat parameter vector for ``.npy``
+    snapshots and a :class:`~repro.federated.state.RoundState` for
+    full-state snapshots.
     """
     if isinstance(resume_from, tuple):
         round_index, parameters = resume_from
         return int(round_index), np.asarray(parameters, dtype=np.float64)
     path = Path(resume_from)
     if path.is_dir():
+        # Full-state candidates sort after parameter-only ones on the
+        # same round, so max() prefers them on a tie.
         candidates = [
-            (int(match.group(1)), entry)
+            (int(match.group(1)), 0, entry)
             for entry in path.glob("round_*.npy")
             if (match := _CHECKPOINT_PATTERN.search(entry.name))
         ]
+        candidates += [
+            (int(match.group(1)), 1, entry)
+            for entry in path.glob(f"round_*{STATE_SUFFIX}")
+            if (match := _STATE_PATTERN.search(entry.name))
+        ]
         if not candidates:
             raise FileNotFoundError(
-                f"no round_<index>.npy checkpoint snapshots in {path}"
+                f"no round_<index>.npy or round_<index>{STATE_SUFFIX} "
+                f"checkpoint snapshots in {path}"
             )
-        _, path = max(candidates)
+        _, _, path = max(candidates)
+    match = _STATE_PATTERN.search(path.name)
+    if match is not None:
+        return int(match.group(1)), load_round_state(path)
     match = _CHECKPOINT_PATTERN.search(path.name)
     if match is None:
         raise ValueError(
             f"cannot infer the round index from {path.name!r}; expected a "
-            "round_<index>.npy snapshot (or pass a (round, vector) tuple)"
+            f"round_<index>.npy or round_<index>{STATE_SUFFIX} snapshot "
+            "(or pass a (round, vector) tuple)"
         )
     return int(match.group(1)), np.load(path)
 
@@ -161,13 +180,15 @@ def prepare_experiment(
     built-ins.
 
     ``resume_from`` restores a :class:`~repro.federated.pipeline
-    .Checkpoint` snapshot (see :func:`resolve_checkpoint`): the flat
-    parameter vector is loaded into the global model and the round counter
-    advances past the snapshot round, so :meth:`FederatedSimulation.run`
-    continues with the remaining rounds.  (Worker generator streams
-    restart from their seeds -- the restored run is a faithful
-    continuation of the *model*, not a bitwise replay of the interrupted
-    process.)
+    .Checkpoint` snapshot (see :func:`resolve_checkpoint`): the round
+    counter advances past the snapshot round, so
+    :meth:`FederatedSimulation.run` continues with the remaining rounds.
+    A parameter-only ``.npy`` snapshot loads the flat vector into the
+    global model (worker generator streams restart from their seeds --
+    a faithful continuation of the *model*); a full-state
+    ``round_<i>.state.npz`` snapshot restores momentum and every
+    generator stream as well, so the resumed run replays the remaining
+    rounds bitwise identically to the uninterrupted one.
     """
     seed = config.seed if seed is None else seed
     rng = np.random.default_rng(seed)
@@ -250,20 +271,28 @@ def prepare_experiment(
         faults=faults_config,
     )
     if resume_from is not None:
-        restored_round, parameters = resolve_checkpoint(resume_from)
+        restored_round, payload = resolve_checkpoint(resume_from)
         if not 0 <= restored_round < total_rounds:
             raise CheckpointMismatchError(
                 f"checkpoint round {restored_round} outside the schedule "
                 f"of {total_rounds} rounds"
             )
-        try:
-            simulation.model.set_flat_parameters(parameters)
-        except ValueError as error:
-            raise CheckpointMismatchError(
-                f"checkpoint parameters do not fit the model: {error}"
-            ) from error
-        simulation.server.round_index = restored_round + 1
-        simulation.start_round = restored_round + 1
+        if isinstance(payload, RoundState):
+            try:
+                simulation.restore_round_state(payload)
+            except ValueError as error:
+                raise CheckpointMismatchError(
+                    f"full-state checkpoint does not fit the experiment: {error}"
+                ) from error
+        else:
+            try:
+                simulation.model.set_flat_parameters(payload)
+            except ValueError as error:
+                raise CheckpointMismatchError(
+                    f"checkpoint parameters do not fit the model: {error}"
+                ) from error
+            simulation.server.round_index = restored_round + 1
+            simulation.start_round = restored_round + 1
     return ExperimentSetup(
         config=config,
         seed=seed,

@@ -33,6 +33,16 @@
   every backend, plus the quorum primitives
   (:class:`~repro.federated.faults.QuorumError`) that let training
   degrade gracefully over partial cohorts.
+- :mod:`repro.federated.service` -- service mode: a crash-tolerant
+  coordinator (:class:`~repro.federated.service.CoordinatorServer`)
+  dispatching shard tasks to ``repro worker`` processes over the
+  length-prefixed JSON/TCP protocol of :mod:`repro.federated.wire`,
+  surfaced as the ``remote`` execution backend
+  (:class:`~repro.federated.service.RemoteBackend`) with heartbeats,
+  transport retries and partial-cohort degradation.
+- :mod:`repro.federated.state` -- atomic full-round-state snapshots
+  (:class:`~repro.federated.state.RoundState`) enabling bitwise-exact
+  resume of an interrupted run.
 """
 
 from repro.federated.backends import (
@@ -87,7 +97,22 @@ from repro.federated.pipeline import (
     StreamingEvaluation,
 )
 from repro.federated.server import Server
+
+# Importing the service module registers the "remote" backend.
+from repro.federated.service import (
+    CoordinatorServer,
+    RemoteBackend,
+    RemoteTaskError,
+    run_worker,
+)
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
+from repro.federated.state import (
+    STATE_SUFFIX,
+    RoundState,
+    load_round_state,
+    save_round_state,
+)
+from repro.federated.wire import WireError
 from repro.federated.worker import HonestWorker, WorkerPool, WorkerSlot
 
 __all__ = [
@@ -140,4 +165,13 @@ __all__ = [
     "MetricsWriter",
     "Checkpoint",
     "StreamingEvaluation",
+    "CoordinatorServer",
+    "RemoteBackend",
+    "RemoteTaskError",
+    "run_worker",
+    "WireError",
+    "STATE_SUFFIX",
+    "RoundState",
+    "load_round_state",
+    "save_round_state",
 ]

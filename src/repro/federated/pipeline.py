@@ -29,6 +29,7 @@ and :class:`Checkpoint` ship as built-in callbacks.  The default run
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,6 +45,7 @@ from repro.federated.faults import (
     ShardFaultPlan,
 )
 from repro.federated.history import TrainingHistory
+from repro.federated.state import STATE_SUFFIX, save_round_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.federated.simulation import FederatedSimulation
@@ -61,6 +63,7 @@ __all__ = [
     "MetricsWriter",
     "StreamingEvaluation",
     "RoundPipeline",
+    "read_metrics",
 ]
 
 
@@ -274,7 +277,24 @@ class RoundLogger(RoundCallback):
 
 
 class Checkpoint(RoundCallback):
-    """Snapshot the global model's flat parameter vector periodically.
+    """Snapshot the run's state periodically, with atomic on-disk writes.
+
+    Two snapshot flavours:
+
+    - Parameter snapshots (the default): the global model's flat vector,
+      written to ``<directory>/round_<index>.npy``.  Resuming restores
+      the *model* but restarts the worker generator streams.
+    - Full-state snapshots (``full_state=True``): everything that evolves
+      across rounds (parameters, pool momentum, every generator stream,
+      the straggler buffer) in one atomically written
+      ``round_<index>.state.npz``, via :meth:`~repro.federated.simulation
+      .FederatedSimulation.capture_round_state`.  A run resumed from it
+      replays the remaining rounds **bitwise** -- the coordinator
+      crash-recovery path of service mode.
+
+    All on-disk writes are atomic (temp file + ``os.replace``), so a
+    process killed mid-checkpoint never leaves a torn snapshot: resume
+    always sees the last *complete* round.
 
     Parameters
     ----------
@@ -284,16 +304,36 @@ class Checkpoint(RoundCallback):
         ``should_stop`` keeps the cadence snapshots taken before the stop
         (use ``every=1`` to capture every round).
     directory:
-        If given, each snapshot is also written to
-        ``<directory>/round_<index>.npy``; otherwise snapshots are kept
-        in memory only (``snapshots`` maps round index to the vector).
+        If given, each snapshot is also written to disk; otherwise
+        snapshots are kept in memory only (``snapshots`` maps round
+        index to the parameter vector).
+    full_state:
+        Write full-state snapshots instead of parameter-only ones
+        (requires ``directory``).  ``snapshots`` still records the
+        parameter vectors for in-memory consumers.
+    keep_last:
+        If set, prune on-disk snapshots beyond the newest ``keep_last``
+        rounds after each write, bounding a long-running service's state
+        directory.
     """
 
-    def __init__(self, every: int = 10, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        every: int = 10,
+        directory: str | Path | None = None,
+        full_state: bool = False,
+        keep_last: int | None = None,
+    ) -> None:
         if every <= 0:
             raise ValueError("every must be positive")
+        if full_state and directory is None:
+            raise ValueError("full_state snapshots require a directory")
+        if keep_last is not None and keep_last <= 0:
+            raise ValueError("keep_last must be positive when set")
         self.every = every
         self.directory = None if directory is None else Path(directory)
+        self.full_state = full_state
+        self.keep_last = keep_last
         self.snapshots: dict[int, np.ndarray] = {}
         self._pipeline: RoundPipeline | None = None
 
@@ -307,11 +347,51 @@ class Checkpoint(RoundCallback):
             return
         if self._pipeline is None:
             raise RuntimeError("Checkpoint must be run by a RoundPipeline")
-        parameters = self._pipeline.simulation.model.get_flat_parameters().copy()
+        simulation = self._pipeline.simulation
+        parameters = simulation.model.get_flat_parameters().copy()
         self.snapshots[event.round_index] = parameters
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            np.save(self.directory / f"round_{event.round_index}.npy", parameters)
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.full_state:
+            state = simulation.capture_round_state(
+                event.round_index, pending=self._pipeline._pending
+            )
+            save_round_state(
+                state,
+                self.directory / f"round_{event.round_index}{STATE_SUFFIX}",
+            )
+        else:
+            target = self.directory / f"round_{event.round_index}.npy"
+            tmp = target.with_name(f"{target.stem}.tmp-{os.getpid()}.npy")
+            try:
+                np.save(tmp, parameters)
+                os.replace(tmp, target)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+        if self.keep_last is not None:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Drop on-disk snapshots older than the newest ``keep_last`` rounds."""
+        assert self.directory is not None and self.keep_last is not None
+        found: list[tuple[int, Path]] = []
+        for entry in self.directory.glob("round_*"):
+            name = entry.name
+            for suffix in (STATE_SUFFIX, ".npy"):
+                if name.endswith(suffix):
+                    stem = name[len("round_"):-len(suffix)]
+                    if stem.isdigit():
+                        found.append((int(stem), entry))
+                    break
+        keep = {
+            round_index
+            for round_index in sorted({r for r, _ in found})[-self.keep_last:]
+        }
+        for round_index, entry in found:
+            if round_index not in keep:
+                entry.unlink(missing_ok=True)
 
 
 class MetricsWriter(RoundCallback):
@@ -327,20 +407,33 @@ class MetricsWriter(RoundCallback):
     Parameters
     ----------
     path:
-        Output file; parent directories are created, an existing file is
-        overwritten.  Close with :meth:`close` (or use the instance as a
-        context manager) to release the handle deterministically.
+        Output file; parent directories are created.  Close with
+        :meth:`close` (or use the instance as a context manager) to
+        release the handle deterministically.
+    append:
+        Append to an existing file instead of overwriting it -- the mode
+        of a resumed run, so the file accumulates one contiguous record
+        of the whole (interrupted) training trajectory.
+    fsync:
+        ``fsync`` the file after every line.  A round whose record was
+        written is then durably on disk even if the whole machine (not
+        just the process) dies right after -- the service-mode default.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, append: bool = False, fsync: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.append = append
+        self.fsync = fsync
         self.lines_written = 0
         self._file = None
 
     def on_round_end(self, event: RoundEndEvent) -> None:
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("w", encoding="utf-8")
+            mode = "a" if self.append else "w"
+            self._file = self.path.open(mode, encoding="utf-8")
         record = {
             "round": event.round_index,
             "total_rounds": event.total_rounds,
@@ -350,6 +443,8 @@ class MetricsWriter(RoundCallback):
             record[key] = float(event.diagnostics[key])
         self._file.write(json.dumps(record) + "\n")
         self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
         self.lines_written += 1
 
     def close(self) -> None:
@@ -369,6 +464,35 @@ class MetricsWriter(RoundCallback):
             self.close()
         except Exception:
             pass
+
+
+def read_metrics(path: str | Path) -> list[dict]:
+    """Read a :class:`MetricsWriter` JSON-lines file, tolerating a kill.
+
+    A process killed mid-write (the crash scenarios service mode is built
+    for) can leave one torn line -- but only as the *final* line, since
+    every complete record ends in a flushed newline.  That trailing
+    fragment is silently dropped; a malformed line anywhere *else* means
+    the file was not produced by :class:`MetricsWriter` and raises
+    ``ValueError`` naming the offending line.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            raise ValueError(f"{path}: blank line {number} inside metrics file")
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines):  # torn final line of a killed run
+                break
+            raise ValueError(
+                f"{path}: malformed metrics record on line {number}"
+            ) from None
+    return records
 
 
 class StreamingEvaluation(RoundCallback):
@@ -445,8 +569,12 @@ class RoundPipeline:
         # Buffered straggler reports awaiting next-round delivery:
         # (worker_ids, upload rows) or None.  Lives on the pipeline, so
         # buffered delivery needs a persistent pipeline (run() uses one;
-        # one-shot run_round calls start with an empty buffer).
-        self._pending: tuple[np.ndarray, np.ndarray] | None = None
+        # one-shot run_round calls start with an empty buffer).  A
+        # simulation restored from a full-state snapshot carries the
+        # buffer across the restart; consume it exactly once.
+        self._pending = getattr(simulation, "_restored_pending", None)
+        if self._pending is not None:
+            simulation._restored_pending = None
         for callback in self.callbacks:
             bind = getattr(callback, "bind", None)
             if callable(bind):
@@ -531,14 +659,61 @@ class RoundPipeline:
         With an active fault model on the simulation, the round runs
         through the fault seams instead (see :meth:`_run_faulty_round`);
         the default no-fault configuration takes this exact path.
+
+        Without injected faults the pools can still lose shards for real:
+        a remote backend turns an exhausted transport retry budget into
+        ordered :class:`~repro.federated.backends.TaskFailure` slots (a
+        worker process was killed and nobody reconnected in time).  The
+        pools publish that through ``last_fault_report``; the round then
+        degrades to partial-cohort aggregation over the survivors exactly
+        like an injected crash fault, instead of silently averaging the
+        dead workers' zero rows.
         """
-        faults = getattr(self.simulation, "fault_model", None)
+        simulation = self.simulation
+        faults = getattr(simulation, "fault_model", None)
         if faults is not None and faults.is_active:
             return self._run_faulty_round(round_index, faults)
         honest = self.honest_uploads()
-        byzantine = self.byzantine_uploads(honest, round_index)
+        honest_report = simulation.honest_pool.last_fault_report
+        if honest_report is None:
+            byzantine = self.byzantine_uploads(honest, round_index)
+        else:
+            # The attacker only observes uploads that were actually
+            # computed; rows lost in transit degenerate to nothing.
+            lost_honest = honest_report.failed_workers
+            attacker_view = honest[~lost_honest]
+            if simulation.n_byzantine > 0 and attacker_view.shape[0] == 0:
+                byzantine = np.zeros((simulation.n_byzantine, honest.shape[1]))
+            else:
+                byzantine = self.byzantine_uploads(attacker_view, round_index)
+        byzantine_report = (
+            simulation.byzantine_pool.last_fault_report
+            if simulation.byzantine_pool is not None
+            else None
+        )
         uploads = np.concatenate((honest, byzantine), axis=0)
-        return self.aggregate_and_update(uploads)
+        if honest_report is None and byzantine_report is None:
+            return self.aggregate_and_update(uploads)
+        n_workers = simulation.n_workers
+        lost = np.zeros(n_workers, dtype=bool)
+        retried = 0
+        if honest_report is not None:
+            lost[: simulation.n_honest] = honest_report.failed_workers
+            retried += honest_report.retried
+        if byzantine_report is not None:
+            lost[simulation.n_honest:] = byzantine_report.failed_workers
+            retried += byzantine_report.retried
+        survivor_ids = np.nonzero(~lost)[0]
+        diagnostics = {
+            "fault_lost": float(np.count_nonzero(lost)),
+            "fault_retried": float(retried),
+            "fault_survivors": float(survivor_ids.shape[0]),
+        }
+        return self.aggregate_and_update(
+            uploads[survivor_ids],
+            worker_ids=survivor_ids,
+            fault_diagnostics=diagnostics,
+        )
 
     def _run_faulty_round(
         self, round_index: int, faults: FaultModel

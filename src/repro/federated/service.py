@@ -1,0 +1,839 @@
+"""Service mode: a crash-tolerant coordinator/worker split over TCP.
+
+This module promotes the in-process simulation to a deployable two-role
+system while keeping every numerical guarantee of the in-process path:
+
+- :class:`CoordinatorServer` -- owns a listening socket and a set of
+  connected worker links; dispatches round tasks over the wire protocol
+  of :mod:`repro.federated.wire` and reduces results **in submission
+  order**, exactly like every other backend.
+- :class:`RemoteBackend` -- the ``"remote"`` entry of the
+  :data:`~repro.federated.backends.BACKENDS` registry.  It is an
+  out-of-process :class:`~repro.federated.backends.ExecutionBackend`, so
+  the worker pools route through the same picklable shard payloads as the
+  process backend and a zero-fault remote run is byte-identical to
+  ``--backend serial``.
+- :func:`run_worker` -- the worker-process main loop behind ``python -m
+  repro worker``: connect, register, execute tasks, heartbeat, and
+  reconnect-with-backoff when the coordinator goes away mid-training.
+
+Failure semantics
+-----------------
+*Liveness* is deadline-based: every worker heartbeats on the cadence the
+coordinator announces in ``welcome``, and a link silent for longer than
+``heartbeat_timeout`` (or whose socket hits EOF -- the immediate signal
+for a ``kill -9``'d worker) is dropped.  A dropped link's in-flight task
+is re-dispatched to a surviving worker under the backend's transport
+:class:`~repro.federated.backends.RetryPolicy` (bounded attempts with
+deterministic backoff); a task that exhausts its transport budget
+surfaces as an ordered :class:`~repro.federated.backends.TaskFailure`
+slot, which the worker pool translates into lost workers for the round
+-- flowing into the existing partial-cohort aggregation and
+``min_quorum`` check instead of crashing the run.  Only two conditions
+abort: no worker connected for ``worker_timeout`` seconds
+(:class:`ConnectionError`) and a worker-side exception from the task
+function itself (:class:`RemoteTaskError` -- a programming error, which
+propagates exactly like under the in-process backends).
+
+Tasks are pure functions of their payloads, so at-least-once dispatch is
+safe: a re-dispatched task whose original worker later answers anyway is
+resolved first-result-wins, and duplicate results are discarded.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.federated.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    RetryPolicy,
+    TaskFailure,
+    _ResilientRunner,
+)
+from repro.federated.wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    decode_blob,
+    encode_blob,
+    recv_message,
+    send_message,
+)
+
+__all__ = [
+    "CoordinatorServer",
+    "RemoteBackend",
+    "RemoteTaskError",
+    "run_worker",
+]
+
+
+class RemoteTaskError(RuntimeError):
+    """A task function raised inside a remote worker (non-transient).
+
+    Mirrors the in-process backends, where a task exception propagates to
+    the caller; the original traceback text travels in the message.
+    """
+
+
+class _Link:
+    """One connected worker, as the coordinator sees it."""
+
+    __slots__ = ("sock", "name", "alive", "last_seen", "task", "send_lock")
+
+    def __init__(self, sock: socket.socket, name: str) -> None:
+        self.sock = sock
+        self.name = name
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.task: _Task | None = None
+        self.send_lock = threading.Lock()
+
+
+class _Task:
+    """One dispatchable unit of an execution, pinned to its result slot."""
+
+    __slots__ = (
+        "task_id", "index", "blob", "attempts", "not_before",
+        "dispatched_at", "done", "result", "failure", "fatal",
+    )
+
+    def __init__(self, task_id: int, index: int, blob: str) -> None:
+        self.task_id = task_id
+        self.index = index
+        self.blob = blob
+        self.attempts = 0
+        self.not_before = 0.0
+        self.dispatched_at: float | None = None
+        self.done = False
+        self.result: object = None
+        self.failure: TaskFailure | None = None
+        self.fatal: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.failure is not None
+
+
+class _Execution:
+    """State of the one in-flight ``execute`` call."""
+
+    __slots__ = ("tasks", "queue", "policy", "by_id")
+
+    def __init__(self, tasks: list[_Task], policy: RetryPolicy) -> None:
+        self.tasks = tasks
+        self.queue: deque[_Task] = deque(tasks)
+        self.policy = policy
+        self.by_id = {task.task_id: task for task in tasks}
+
+
+class CoordinatorServer:
+    """Accepts worker connections and drives ordered task execution.
+
+    Parameters
+    ----------
+    host, port:
+        Listening address; ``port=0`` binds an ephemeral port (read the
+        resolved one from :attr:`port`).
+    heartbeat_interval:
+        Cadence (seconds) workers are told to heartbeat on.
+    heartbeat_timeout:
+        A link silent for longer than this is declared dead and its
+        in-flight task re-dispatched.  Must comfortably exceed the
+        interval.
+    worker_timeout:
+        :meth:`execute` raises :class:`ConnectionError` after this many
+        seconds with *zero* connected workers (before the first connect
+        or after losing them all).
+    """
+
+    _HANDSHAKE_TIMEOUT = 10.0
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 10.0,
+        worker_timeout: float = 60.0,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+        self.host = host
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.worker_timeout = worker_timeout
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._cond = threading.Condition()
+        self._links: list[_Link] = []
+        self._execution: _Execution | None = None
+        self._closed = False
+        self._next_task_id = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="repro-coordinator-monitor", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by shutdown
+            threading.Thread(
+                target=self._serve_connection,
+                args=(sock, address),
+                name="repro-coordinator-link",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, sock: socket.socket, address) -> None:
+        try:
+            sock.settimeout(self._HANDSHAKE_TIMEOUT)
+            hello = recv_message(sock)
+            if hello.get("type") != "hello":
+                raise WireError(f"expected hello, got {hello.get('type')!r}")
+            send_message(sock, {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "heartbeat_interval": self.heartbeat_interval,
+            })
+            sock.settimeout(None)
+        except (ConnectionError, OSError):
+            sock.close()
+            return
+        name = str(hello.get("worker") or f"{address[0]}:{address[1]}")
+        link = _Link(sock, name)
+        with self._cond:
+            if self._closed:
+                sock.close()
+                return
+            self._links.append(link)
+            self._cond.notify_all()
+        self._recv_loop(link)
+
+    def _recv_loop(self, link: _Link) -> None:
+        while True:
+            try:
+                message = recv_message(link.sock)
+            except (ConnectionError, OSError):
+                self._drop_link(link, f"worker {link.name!r}: connection lost")
+                return
+            kind = message.get("type")
+            if kind == "heartbeat":
+                with self._cond:
+                    link.last_seen = time.monotonic()
+            elif kind == "result":
+                try:
+                    self._handle_result(link, message)
+                except Exception as error:  # undecodable result blob
+                    self._drop_link(
+                        link, f"worker {link.name!r}: bad result ({error})"
+                    )
+                    return
+            elif kind == "error":
+                self._handle_error(link, message)
+            # Unknown message types are ignored for forward compatibility.
+
+    def _handle_result(self, link: _Link, message: dict) -> None:
+        result = decode_blob(message["blob"])  # heavy; outside the lock
+        with self._cond:
+            link.last_seen = time.monotonic()
+            link.task = None
+            task = self._lookup(message.get("task_id"))
+            if task is not None and not task.finished:
+                task.result = result
+                task.done = True
+            self._cond.notify_all()
+
+    def _handle_error(self, link: _Link, message: dict) -> None:
+        with self._cond:
+            link.last_seen = time.monotonic()
+            link.task = None
+            task = self._lookup(message.get("task_id"))
+            if task is not None and not task.finished:
+                # A deterministic task-function exception: mirror the
+                # in-process backends and propagate to the caller.
+                task.fatal = str(message.get("error") or "remote task failed")
+                task.done = True
+            self._cond.notify_all()
+
+    def _lookup(self, task_id) -> _Task | None:
+        if self._execution is None or task_id is None:
+            return None
+        return self._execution.by_id.get(task_id)
+
+    def _drop_link(self, link: _Link, reason: str) -> None:
+        with self._cond:
+            if not link.alive:
+                return
+            link.alive = False
+            if link in self._links:
+                self._links.remove(link)
+            task, link.task = link.task, None
+            if task is not None:
+                self._task_lost(task, reason)
+            self._cond.notify_all()
+        try:
+            link.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def _task_lost(self, task: _Task, reason: str) -> None:
+        """Re-dispatch or fail a task whose worker went away (lock held)."""
+        if task.finished or self._execution is None:
+            return
+        task.attempts += 1
+        task.dispatched_at = None
+        policy = self._execution.policy
+        if task.attempts >= policy.max_attempts:
+            task.failure = TaskFailure(
+                index=task.index, attempts=task.attempts, error=reason
+            )
+        else:
+            task.not_before = time.monotonic() + policy.delay(
+                task.index, task.attempts
+            )
+            self._execution.queue.append(task)
+
+    def _monitor_loop(self) -> None:
+        """Deadline-based liveness: drop links whose heartbeats stopped."""
+        poll = max(0.05, self.heartbeat_interval / 2.0)
+        while not self._closed:
+            time.sleep(poll)
+            now = time.monotonic()
+            with self._cond:
+                stale = [
+                    link for link in self._links
+                    if now - link.last_seen > self.heartbeat_timeout
+                ]
+            for link in stale:
+                self._drop_link(
+                    link,
+                    f"worker {link.name!r}: no heartbeat for "
+                    f"{self.heartbeat_timeout}s",
+                )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        """Number of currently connected (live) workers."""
+        with self._cond:
+            return len(self._links)
+
+    def wait_for_workers(self, count: int, timeout: float | None = None) -> int:
+        """Block until ``count`` workers are connected (or ``timeout``).
+
+        Returns the number of connected workers; never raises on timeout
+        (the caller decides whether a smaller cohort is acceptable).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._links) < count:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(remaining if remaining is not None else 0.5)
+            return len(self._links)
+
+    def execute(self, fn: Callable, items: list, policy: RetryPolicy) -> list:
+        """Run ``fn`` over ``items`` on the connected workers, in order.
+
+        Transport failures (dead links, advisory-timeout stragglers) are
+        retried under ``policy``; exhausted slots come back as
+        :class:`TaskFailure`.  Worker-side task exceptions raise
+        :class:`RemoteTaskError`; ``ConnectionError`` is raised only when
+        no worker is connected for :attr:`worker_timeout` seconds.
+        """
+        tasks = []
+        with self._cond:
+            if self._closed:
+                raise ConnectionError("coordinator server is shut down")
+            if self._execution is not None:
+                raise RuntimeError("CoordinatorServer.execute is not reentrant")
+            for index, item in enumerate(items):
+                task = _Task(self._next_task_id, index, encode_blob((fn, item)))
+                self._next_task_id += 1
+                tasks.append(task)
+            self._execution = _Execution(tasks, policy)
+        try:
+            self._drive(tasks, policy)
+        finally:
+            with self._cond:
+                self._execution = None
+                # An aborted round (fatal error, starvation) may leave
+                # in-flight tasks assigned; clear them so their links are
+                # idle again for the next round (workers drain messages
+                # sequentially, so a busy worker just answers later --
+                # and that stale answer is ignored).
+                for link in self._links:
+                    link.task = None
+        for task in tasks:
+            if task.fatal is not None:
+                raise RemoteTaskError(task.fatal)
+        return [
+            task.failure if task.failure is not None else task.result
+            for task in tasks
+        ]
+
+    def _drive(self, tasks: list[_Task], policy: RetryPolicy) -> None:
+        starved_since: float | None = None
+        while True:
+            assignments: list[tuple[_Link, _Task]] = []
+            with self._cond:
+                if self._closed:
+                    raise ConnectionError("coordinator server shut down mid-round")
+                if all(task.finished for task in tasks):
+                    return
+                if any(task.fatal is not None for task in tasks):
+                    # Abandon the rest of the round; in-flight results for
+                    # this execution are discarded once it is cleared.
+                    return
+                now = time.monotonic()
+                self._expire_stragglers(now, policy)
+                if not self._links:
+                    if starved_since is None:
+                        starved_since = now
+                    elif now - starved_since > self.worker_timeout:
+                        raise ConnectionError(
+                            f"no workers connected for {self.worker_timeout}s "
+                            f"({len(tasks)} tasks pending)"
+                        )
+                else:
+                    starved_since = None
+                    queue = self._execution.queue
+                    idle = deque(
+                        link for link in self._links
+                        if link.alive and link.task is None
+                    )
+                    deferred = []
+                    while idle and queue:
+                        task = queue.popleft()
+                        if task.finished:
+                            continue
+                        if task.not_before > now:
+                            deferred.append(task)
+                            continue
+                        link = idle.popleft()
+                        link.task = task
+                        task.dispatched_at = now
+                        assignments.append((link, task))
+                    queue.extend(deferred)
+                if not assignments:
+                    self._cond.wait(0.05)
+            # Sends happen outside the condition: sendall may block, and a
+            # send failure is just another way for a link to die.
+            for link, task in assignments:
+                try:
+                    with link.send_lock:
+                        send_message(link.sock, {
+                            "type": "task",
+                            "task_id": task.task_id,
+                            "blob": task.blob,
+                        })
+                except (ConnectionError, OSError):
+                    self._drop_link(
+                        link, f"worker {link.name!r}: send failed"
+                    )
+
+    def _expire_stragglers(self, now: float, policy: RetryPolicy) -> None:
+        """Advisory per-dispatch deadline (lock held): requeue overdue tasks.
+
+        The original worker keeps computing; if its answer arrives before
+        a re-dispatch finishes, first-result-wins keeps it (the results
+        are identical -- tasks are pure).
+        """
+        if policy.timeout is None:
+            return
+        for link in self._links:
+            task = link.task
+            if (
+                task is not None
+                and task.dispatched_at is not None
+                and now - task.dispatched_at > policy.timeout
+            ):
+                link.task = None
+                self._task_lost(
+                    task,
+                    f"task exceeded the {policy.timeout}s transport deadline",
+                )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, notify_workers: bool = True) -> None:
+        """Stop accepting, drop every link, release the port.
+
+        With ``notify_workers`` each connected worker receives a
+        ``shutdown`` message first (it then exits 0); without it the
+        sockets just close, which a worker treats as a lost coordinator
+        and enters its reconnect loop -- exactly what a crash looks like.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            links = list(self._links)
+            self._links.clear()
+            self._cond.notify_all()
+        if notify_workers:
+            for link in links:
+                try:
+                    with link.send_lock:
+                        send_message(link.sock, {"type": "shutdown"})
+                except (ConnectionError, OSError):
+                    pass
+            # Wait for each worker to close its end first.  Closing our
+            # socket while heartbeats sit unread in its receive queue
+            # turns the close into a RST, which can discard the shutdown
+            # frame before the worker reads it -- the worker would then
+            # mistake a clean shutdown for a crash and spin in its
+            # reconnect loop.  The per-link recv threads flip
+            # ``link.alive`` (under ``_cond``) when they see the
+            # worker-side EOF.
+            deadline = time.monotonic() + 5.0
+            with self._cond:
+                while any(link.alive for link in links):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=min(remaining, 0.1))
+        for link in links:
+            try:
+                link.sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._listener.close()
+        self._accept_thread.join(timeout=2.0)
+        self._monitor_thread.join(timeout=2.0)
+
+
+@BACKENDS.register(
+    "remote",
+    aliases=("service",),
+    summary="tasks run on repro worker processes over the JSON/TCP service protocol",
+)
+class RemoteBackend(ExecutionBackend):
+    """Dispatch tasks to ``repro worker`` processes over TCP.
+
+    An out-of-process backend: the worker pools route through the same
+    picklable shard payloads as :class:`~repro.federated.backends
+    .ProcessBackend`, with mini-batches sampled in the coordinator and
+    generator states restored from the results -- so a zero-fault remote
+    run is byte-identical to ``--backend serial``.  Unlike the process
+    backend, a lost worker does not kill the run: its tasks are retried
+    on surviving workers and, past the transport budget, surface as
+    ordered :class:`~repro.federated.backends.TaskFailure` slots that the
+    pool converts into lost workers for the round (partial-cohort
+    aggregation + ``min_quorum`` decide the outcome).
+
+    Parameters
+    ----------
+    host, port:
+        Listening address (``port=0``: ephemeral; read :attr:`port`).
+    max_workers:
+        *Expected* worker-process count: it sizes the pools' automatic
+        shard split (``--jobs N``), not a hard connection limit.
+    heartbeat_interval, heartbeat_timeout:
+        Liveness cadence and deadline (see :class:`CoordinatorServer`).
+    transport_attempts, transport_backoff:
+        The transport :class:`~repro.federated.backends.RetryPolicy`:
+        dispatch attempts per task before its slot degrades to a
+        :class:`TaskFailure`, and the exponential backoff base between
+        re-dispatches.
+    worker_timeout:
+        Seconds to tolerate *zero* connected workers before a round
+        aborts with :class:`ConnectionError`.
+    """
+
+    in_process = False
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int | None = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 10.0,
+        transport_attempts: int = 3,
+        transport_backoff: float = 0.05,
+        worker_timeout: float = 60.0,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when set")
+        self._host = host
+        self._port = port
+        self._max_workers = 1 if max_workers is None else max_workers
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._worker_timeout = worker_timeout
+        self._policy = RetryPolicy(
+            max_attempts=transport_attempts, backoff_base=transport_backoff
+        )
+        self._server: CoordinatorServer | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def transport_policy(self) -> RetryPolicy:
+        """The transport retry policy applied to lost dispatches."""
+        return self._policy
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The resolved listening port (starts the server if needed)."""
+        return self._ensure_server().port
+
+    @property
+    def server(self) -> CoordinatorServer:
+        """The live coordinator server (started on first use)."""
+        return self._ensure_server()
+
+    def _ensure_server(self) -> CoordinatorServer:
+        with self._lock:
+            if self._server is None:
+                self._server = CoordinatorServer(
+                    host=self._host,
+                    port=self._port,
+                    heartbeat_interval=self._heartbeat_interval,
+                    heartbeat_timeout=self._heartbeat_timeout,
+                    worker_timeout=self._worker_timeout,
+                )
+            return self._server
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if not items:
+            return []
+        return self._ensure_server().execute(fn, items, self._policy)
+
+    def map_resilient(
+        self,
+        fn: Callable,
+        items: Iterable,
+        policy: RetryPolicy | None = None,
+        resources: list | None = None,
+    ) -> list:
+        """Task-level retries run worker-side; transport retries on top.
+
+        ``policy`` governs the *task* retry loop (injected crashes,
+        advisory deadlines) inside the remote worker, exactly like the
+        process backend; losing the worker itself is handled by the
+        backend's transport policy.  ``resources`` is not supported over
+        the wire (out-of-process callers don't lease live objects).
+        """
+        if resources is not None:
+            raise TypeError("RemoteBackend does not support leased resources")
+        runner = _ResilientRunner(fn, policy if policy is not None else RetryPolicy())
+        pairs = list(enumerate(items))
+        if not pairs:
+            return []
+        return self._ensure_server().execute(runner, pairs, self._policy)
+
+    def shutdown(self) -> None:
+        """Send ``shutdown`` to the workers and release the port.
+
+        The backend stays usable: the next map starts a fresh server on
+        the configured address (an explicit ``port`` is re-bound;
+        ``port=0`` binds a new ephemeral one).
+        """
+        with self._lock:
+            server, self._server = self._server, None
+        if server is not None:
+            server.close()
+
+
+# ---------------------------------------------------------------------- #
+# the worker side
+# ---------------------------------------------------------------------- #
+def _default_log(line: str) -> None:
+    print(f"repro-worker: {line}", flush=True)
+
+
+def _serve_session(
+    sock: socket.socket,
+    name: str,
+    throttle: float,
+    emit: Callable[[str], None],
+    task_emit: Callable[[str], None],
+) -> int | None:
+    """One connected session; ``0`` on clean shutdown, ``None`` on loss."""
+    send_lock = threading.Lock()
+    sock.settimeout(10.0)
+    send_message(sock, {
+        "type": "hello",
+        "worker": name,
+        "pid": os.getpid(),
+        "protocol": PROTOCOL_VERSION,
+    })
+    welcome = recv_message(sock)
+    if welcome.get("type") != "welcome":
+        raise WireError(f"expected welcome, got {welcome.get('type')!r}")
+    interval = float(welcome.get("heartbeat_interval") or 0.5)
+    sock.settimeout(None)
+    emit(f"registered with coordinator (heartbeat every {interval}s)")
+
+    stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not stop.wait(interval):
+            try:
+                with send_lock:
+                    send_message(sock, {"type": "heartbeat"})
+            except (ConnectionError, OSError):
+                return
+
+    beater = threading.Thread(target=heartbeat, name="repro-worker-heartbeat",
+                              daemon=True)
+    beater.start()
+    try:
+        while True:
+            message = recv_message(sock)
+            kind = message.get("type")
+            if kind == "shutdown":
+                emit("coordinator sent shutdown; exiting")
+                return 0
+            if kind != "task":
+                continue
+            task_id = message.get("task_id")
+            task_emit(f"task {task_id} started")
+            if throttle > 0:
+                time.sleep(throttle)
+            try:
+                fn, item = decode_blob(message["blob"])
+                result = fn(item)
+            except BaseException as error:  # noqa: BLE001 - reported upstream
+                reply = {
+                    "type": "error",
+                    "task_id": task_id,
+                    "error": f"{type(error).__name__}: {error}",
+                    "transient": False,
+                }
+            else:
+                reply = {
+                    "type": "result",
+                    "task_id": task_id,
+                    "blob": encode_blob(result),
+                }
+            with send_lock:
+                send_message(sock, reply)
+            task_emit(f"task {task_id} done")
+    except (ConnectionError, OSError):
+        emit("lost the coordinator; will try to reconnect")
+        return None
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str | None = None,
+    reconnect_timeout: float = 30.0,
+    throttle: float = 0.0,
+    log: Callable[[str], None] | None = None,
+    verbose: bool = False,
+) -> int:
+    """Serve a coordinator at ``host:port`` until told to shut down.
+
+    The loop connects, registers (``hello``/``welcome``), then executes
+    tasks while a daemon thread heartbeats on the coordinator's cadence.
+    When the coordinator goes away (crash, restart, network blip) the
+    worker re-enters a connect-with-backoff loop and *re-registers* --
+    mid-training reconnects just work, because the coordinator holds all
+    round state and tasks are self-contained payloads.
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator address.
+    name:
+        Worker name shown in coordinator diagnostics (default:
+        ``worker-<pid>``).
+    reconnect_timeout:
+        Give up (exit code 1) after this many seconds without managing to
+        connect; the clock resets on every successful registration.
+    throttle:
+        Sleep this long before each task -- a slow-device simulation used
+        by the fault-injection smoke tests to make kill timing
+        deterministic.
+    log:
+        Sink for progress lines (default prints to stdout, flushed).
+    verbose:
+        Also log per-task start/done lines (the smoke tests key on them).
+
+    Returns the process exit code: 0 after a clean ``shutdown``, 1 after
+    giving up on reconnecting.
+    """
+    if throttle < 0:
+        raise ValueError("throttle must be non-negative")
+    if reconnect_timeout < 0:
+        raise ValueError("reconnect_timeout must be non-negative")
+    worker_name = name or f"worker-{os.getpid()}"
+    emit = log if log is not None else _default_log
+    task_emit = emit if verbose else (lambda line: None)
+    give_up_at: float | None = None
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            now = time.monotonic()
+            if give_up_at is None:
+                give_up_at = now + reconnect_timeout
+            if now >= give_up_at:
+                emit(
+                    f"no coordinator at {host}:{port} for "
+                    f"{reconnect_timeout}s; giving up"
+                )
+                return 1
+            time.sleep(min(1.0, 0.05 * 2.0 ** attempt))
+            attempt += 1
+            continue
+        give_up_at = None
+        attempt = 0
+        try:
+            code = _serve_session(sock, worker_name, throttle, emit, task_emit)
+        except (ConnectionError, OSError):
+            code = None
+        if code is not None:
+            return code
+        # Session lost: loop back to reconnect-and-reregister.

@@ -38,11 +38,12 @@ import numpy as np
 from repro.byzantine.adaptive import AdaptiveAttack
 from repro.byzantine.base import Attack, AttackContext
 from repro.core.config import BackendConfig, DPConfig, EngineConfig, FaultsConfig
-from repro.core.dp_protocol import upload_noise_std
+from repro.core.dp_protocol import BatchedDPState, upload_noise_std
 from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
 from repro.federated.backends import ExecutionBackend, RetryPolicy, build_backend
 from repro.federated.faults import FaultModel, ShardFaultPlan, build_faults
+from repro.federated.state import RoundState
 from repro.federated.history import TrainingHistory
 from repro.federated.pipeline import HistoryRecorder, RoundCallback, RoundPipeline
 from repro.federated.server import Server
@@ -223,6 +224,9 @@ class FederatedSimulation:
         self.backend = build_backend(backend)
         #: first round index :meth:`run` executes (set by checkpoint resume)
         self.start_round = 0
+        # Straggler buffer restored from a full-state snapshot, consumed by
+        # the next RoundPipeline built over this simulation.
+        self._restored_pending: tuple[np.ndarray, np.ndarray] | None = None
 
         seed_sequence = np.random.SeedSequence(seed)
         worker_seeds = seed_sequence.spawn(len(honest_datasets) + n_byzantine + 2)
@@ -382,6 +386,132 @@ class FederatedSimulation:
         recorder = HistoryRecorder()
         RoundPipeline(self, [recorder, *callbacks]).run()
         return recorder.history
+
+    # ------------------------------------------------------------------ #
+    # full-state snapshots (crash-tolerant restart)
+    # ------------------------------------------------------------------ #
+    def capture_round_state(
+        self,
+        round_index: int,
+        pending: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> RoundState:
+        """Snapshot everything that evolves across rounds.
+
+        Captures the flat parameters, both pools' momentum, every
+        generator's bit-generator state and (optionally) the pipeline's
+        straggler buffer, so :meth:`restore_round_state` on a freshly
+        built simulation continues **bitwise identically** to a process
+        that never stopped.  Meant to be called after round
+        ``round_index`` finished (the :class:`~repro.federated.pipeline
+        .Checkpoint` callback with ``full_state=True`` does).
+        """
+        byzantine = self.byzantine_pool
+        return RoundState(
+            round_index=int(round_index),
+            parameters=self.model.get_flat_parameters().copy(),
+            server_rng=self._server_rng.bit_generator.state,
+            attack_rng=self._attack_rng.bit_generator.state,
+            honest_momentum=np.array(
+                self.honest_pool.state.slot_momentum, dtype=np.float64
+            ),
+            honest_batch_size=int(self.honest_pool.state.batch_size),
+            honest_rngs=[
+                rng.bit_generator.state for rng in self.honest_pool.rngs
+            ],
+            byzantine_momentum=(
+                None if byzantine is None
+                else np.array(byzantine.state.slot_momentum, dtype=np.float64)
+            ),
+            byzantine_batch_size=(
+                None if byzantine is None else int(byzantine.state.batch_size)
+            ),
+            byzantine_rngs=(
+                None if byzantine is None
+                else [rng.bit_generator.state for rng in byzantine.rngs]
+            ),
+            pending=(
+                None if pending is None
+                else (np.array(pending[0]), np.array(pending[1]))
+            ),
+            aggregator_state=self.server.aggregator.state_dict() or None,
+        )
+
+    def restore_round_state(self, state: RoundState) -> None:
+        """Restore a :meth:`capture_round_state` snapshot into this run.
+
+        After the restore, :meth:`run` resumes at ``state.round_index +
+        1`` with the exact parameters, momentum, generator streams and
+        straggler buffer of the captured process -- the remaining rounds
+        replay bitwise.  Raises :class:`ValueError` when the snapshot
+        does not fit this simulation (different worker counts, model
+        size, or Byzantine configuration).
+        """
+        if not 0 <= state.round_index < self.settings.total_rounds:
+            raise ValueError(
+                f"snapshot round {state.round_index} outside the schedule "
+                f"of {self.settings.total_rounds} rounds"
+            )
+        if len(state.honest_rngs) != self.n_honest:
+            raise ValueError(
+                f"snapshot has {len(state.honest_rngs)} honest workers, "
+                f"simulation has {self.n_honest}"
+            )
+        if (state.byzantine_rngs is None) != (self.byzantine_pool is None):
+            raise ValueError(
+                "snapshot and simulation disagree on whether the attack "
+                "runs a protocol-following Byzantine pool"
+            )
+        self.model.set_flat_parameters(state.parameters)
+        self._restore_pool(
+            self.honest_pool,
+            state.honest_momentum,
+            state.honest_batch_size,
+            state.honest_rngs,
+        )
+        if self.byzantine_pool is not None:
+            if len(state.byzantine_rngs) != self.byzantine_pool.n_workers:
+                raise ValueError(
+                    f"snapshot has {len(state.byzantine_rngs)} Byzantine "
+                    f"workers, simulation has {self.byzantine_pool.n_workers}"
+                )
+            self._restore_pool(
+                self.byzantine_pool,
+                state.byzantine_momentum,
+                state.byzantine_batch_size,
+                state.byzantine_rngs,
+            )
+        self._server_rng.bit_generator.state = state.server_rng
+        self._attack_rng.bit_generator.state = state.attack_rng
+        # The defense rule may hold evolving server-side state (the
+        # two-stage protocol accumulates per-worker scores across rounds).
+        self.server.aggregator.load_state_dict(state.aggregator_state or {})
+        self._restored_pending = (
+            None if state.pending is None
+            else (np.array(state.pending[0]), np.array(state.pending[1]))
+        )
+        self.server.round_index = state.round_index + 1
+        self.start_round = state.round_index + 1
+
+    @staticmethod
+    def _restore_pool(
+        pool: WorkerPool,
+        momentum: np.ndarray,
+        batch_size: int,
+        rng_states: list[dict],
+    ) -> None:
+        momentum = np.array(momentum, dtype=np.float64)
+        if momentum.size and momentum.shape[0] != pool.n_workers:
+            raise ValueError(
+                f"snapshot momentum covers {momentum.shape[0]} workers, "
+                f"pool has {pool.n_workers}"
+            )
+        # ensure_shape keeps a matching-shape state, so the restored
+        # momentum survives into the next round untouched.
+        pool.state = BatchedDPState(
+            slot_momentum=momentum, batch_size=int(batch_size)
+        )
+        for rng, rng_state in zip(pool.rngs, rng_states):
+            rng.bit_generator.state = rng_state
 
     def close(self) -> None:
         """Release the execution backend's pooled threads/processes.

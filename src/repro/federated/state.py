@@ -1,0 +1,183 @@
+"""Atomic full-round-state snapshots for crash-tolerant restarts.
+
+A parameter-only ``round_<i>.npy`` snapshot restores the *model* but
+restarts the worker generator streams, so a resumed run is a faithful
+continuation rather than a bitwise replay.  :class:`RoundState` captures
+everything that evolves across rounds -- the flat parameters, both
+pools' momentum matrices, every generator's bit-generator state (worker
+streams, server stream, attack stream), the defense rule's cross-round
+state and the straggler buffer -- so a
+coordinator killed between rounds restores the exact process state and
+finishes with a final model **bitwise equal** to an uninterrupted run.
+
+Snapshots are written atomically (temp file + ``os.replace`` after an
+``fsync``), so a crash mid-write can never leave a torn
+``round_<i>.state.npz`` behind: the file either is the previous complete
+snapshot or the new complete one.  The file is a standard ``.npz``
+archive: the large numeric payloads are arrays, the structured metadata
+(round index, generator states, shapes) rides as one UTF-8 JSON blob.
+
+Capture/restore lives on :class:`~repro.federated.simulation
+.FederatedSimulation` (:meth:`capture_round_state` /
+:meth:`restore_round_state`); this module owns the container and the
+file format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "STATE_SUFFIX",
+    "RoundState",
+    "load_round_state",
+    "save_round_state",
+]
+
+#: File-name suffix of full-state snapshots (``round_<i>.state.npz``).
+STATE_SUFFIX = ".state.npz"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class RoundState:
+    """Complete evolving state of a simulation after one finished round.
+
+    Attributes
+    ----------
+    round_index:
+        The 0-based round this state was captured *after*; a restore
+        resumes at ``round_index + 1``.
+    parameters:
+        Flat global model parameters, shape ``(d,)``.
+    server_rng, attack_rng:
+        ``bit_generator.state`` dicts of the server and attacker streams.
+    honest_momentum, honest_batch_size, honest_rngs:
+        The honest pool's ``(n_honest, d)`` slot momentum, its protocol
+        batch size and its per-worker generator states.
+    byzantine_momentum, byzantine_batch_size, byzantine_rngs:
+        Same for the protocol-following Byzantine pool; ``None`` when the
+        attack crafts uploads instead of running the protocol.
+    pending:
+        The straggler buffer awaiting next-round delivery --
+        ``(worker_ids, upload_rows)`` -- or ``None``.
+    aggregator_state:
+        The defense rule's cross-round state as returned by
+        :meth:`~repro.defenses.base.Aggregator.state_dict` (e.g. the
+        two-stage protocol's accumulated score list); ``None``/``{}``
+        for stateless rules.
+    """
+
+    round_index: int
+    parameters: np.ndarray
+    server_rng: dict
+    attack_rng: dict
+    honest_momentum: np.ndarray
+    honest_batch_size: int
+    honest_rngs: list[dict]
+    byzantine_momentum: np.ndarray | None = None
+    byzantine_batch_size: int | None = None
+    byzantine_rngs: list[dict] | None = None
+    pending: tuple[np.ndarray, np.ndarray] | None = None
+    aggregator_state: dict[str, np.ndarray] | None = None
+
+
+def save_round_state(state: RoundState, path: str | Path) -> Path:
+    """Write ``state`` to ``path`` atomically; returns the final path.
+
+    The archive appears under its final name only after its bytes are
+    durably on disk (``fsync`` + ``os.replace``), so a reader never
+    observes a torn snapshot -- the write-temp-then-rename discipline the
+    restart path relies on.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "round_index": int(state.round_index),
+        "server_rng": state.server_rng,
+        "attack_rng": state.attack_rng,
+        "honest_batch_size": int(state.honest_batch_size),
+        "honest_rngs": state.honest_rngs,
+        "byzantine_batch_size": (
+            None if state.byzantine_batch_size is None
+            else int(state.byzantine_batch_size)
+        ),
+        "byzantine_rngs": state.byzantine_rngs,
+        "has_byzantine": state.byzantine_momentum is not None,
+        "has_pending": state.pending is not None,
+        "aggregator_keys": sorted(state.aggregator_state or {}),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "parameters": np.asarray(state.parameters, dtype=np.float64),
+        "honest_momentum": np.asarray(state.honest_momentum, dtype=np.float64),
+        "meta": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    if state.byzantine_momentum is not None:
+        arrays["byzantine_momentum"] = np.asarray(
+            state.byzantine_momentum, dtype=np.float64
+        )
+    if state.pending is not None:
+        pending_ids, pending_rows = state.pending
+        arrays["pending_ids"] = np.asarray(pending_ids, dtype=np.int64)
+        arrays["pending_rows"] = np.asarray(pending_rows, dtype=np.float64)
+    for key in meta["aggregator_keys"]:
+        arrays[f"agg__{key}"] = np.asarray(state.aggregator_state[key])
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failed write; never leave the temp behind
+            tmp.unlink()
+    return path
+
+
+def load_round_state(path: str | Path) -> RoundState:
+    """Read a snapshot written by :func:`save_round_state`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported round-state format version "
+                f"{meta.get('version')!r} in {path}"
+            )
+        pending = None
+        if meta["has_pending"]:
+            pending = (
+                np.array(archive["pending_ids"]),
+                np.array(archive["pending_rows"]),
+            )
+        aggregator_state = {
+            key: np.array(archive[f"agg__{key}"])
+            for key in meta.get("aggregator_keys", [])
+        } or None
+        return RoundState(
+            round_index=int(meta["round_index"]),
+            parameters=np.array(archive["parameters"]),
+            server_rng=meta["server_rng"],
+            attack_rng=meta["attack_rng"],
+            honest_momentum=np.array(archive["honest_momentum"]),
+            honest_batch_size=int(meta["honest_batch_size"]),
+            honest_rngs=meta["honest_rngs"],
+            byzantine_momentum=(
+                np.array(archive["byzantine_momentum"])
+                if meta["has_byzantine"] else None
+            ),
+            byzantine_batch_size=meta["byzantine_batch_size"],
+            byzantine_rngs=meta["byzantine_rngs"],
+            pending=pending,
+            aggregator_state=aggregator_state,
+        )

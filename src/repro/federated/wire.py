@@ -1,0 +1,116 @@
+"""Length-prefixed JSON wire protocol of the federation service.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object with a ``"type"`` key.  The
+framing is deliberately minimal: every control field (message type, task
+ids, heartbeat cadence) is readable JSON, while task payloads and results
+-- arbitrary Python objects such as shard payloads and upload matrices --
+travel as base64-encoded pickle blobs inside the JSON envelope
+(:func:`encode_blob` / :func:`decode_blob`).
+
+Message vocabulary (coordinator <-> worker):
+
+===================  ==========  ==========================================
+type                 direction   fields
+===================  ==========  ==========================================
+``hello``            w -> c      ``worker`` (name), ``pid``, ``protocol``
+``welcome``          c -> w      ``heartbeat_interval``, ``protocol``
+``task``             c -> w      ``task_id``, ``blob``
+``result``           w -> c      ``task_id``, ``blob``
+``error``            w -> c      ``task_id``, ``error``, ``transient``
+``heartbeat``        w -> c      (liveness only; no fields)
+``shutdown``         c -> w      (worker exits cleanly)
+===================  ==========  ==========================================
+
+A peer closing its socket surfaces as :class:`ConnectionError` from
+:func:`recv_message`; a malformed frame raises :class:`WireError` (a
+``ConnectionError`` subclass, so transport-level handling catches both).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
+    "WireError",
+    "decode_blob",
+    "encode_blob",
+    "recv_message",
+    "send_message",
+]
+
+#: Version stamped into ``hello``/``welcome``; bumped on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's body -- guards against garbage length
+#: prefixes from a non-protocol peer allocating gigabytes.
+MAX_MESSAGE_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">I")
+_RECV_CHUNK = 1 << 20
+
+
+class WireError(ConnectionError):
+    """The peer sent a frame that is not valid protocol."""
+
+
+def encode_blob(obj: object) -> str:
+    """Serialise an arbitrary Python object into a JSON-safe string."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_blob(text: str) -> object:
+    """Inverse of :func:`encode_blob`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame ``message`` and write it to ``sock`` in one ``sendall``."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise WireError(
+            f"message of {len(body)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; :class:`ConnectionError` on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, _RECV_CHUNK))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one framed message from ``sock``; blocks until complete.
+
+    Raises :class:`ConnectionError` when the peer hangs up and
+    :class:`WireError` when the frame is not valid protocol.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise WireError(
+            f"peer announced a {length}-byte frame, above the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    body = _recv_exact(sock, length)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireError("frame body must be a JSON object with a 'type' key")
+    return message

@@ -47,6 +47,7 @@ all its fake workers at once).
 from __future__ import annotations
 
 import pickle
+import threading
 import uuid
 
 import numpy as np
@@ -118,11 +119,22 @@ class _ShardWorkspace:
         return self._features[:rows], self._labels[:rows]
 
 
-#: Per-process cache of (model, engine) pairs built by process-backend
+#: Per-thread cache of (model, engine) pairs built by process-backend
 #: tasks, keyed by the owning pool's token: repeated shard tasks in the
-#: same worker process reuse one skeleton and one engine's scratch.
-_PROCESS_CACHE: dict[str, tuple[Sequential, ClientEngine]] = {}
+#: same worker reuse one skeleton and one engine's scratch.  The cache
+#: must be thread-local, not merely process-local: service-mode workers
+#: can run as threads of one process (the test harness does), and two
+#: threads finalising shards of the same pool concurrently would race on
+#: a shared model's parameters and activations.
+_PROCESS_CACHE = threading.local()
 _PROCESS_CACHE_LIMIT = 8
+
+
+def _process_cache() -> dict[str, tuple[Sequential, ClientEngine]]:
+    cache = getattr(_PROCESS_CACHE, "entries", None)
+    if cache is None:
+        cache = _PROCESS_CACHE.entries = {}
+    return cache
 
 
 def _process_shard_task(payload: tuple) -> tuple[np.ndarray, list[dict]]:
@@ -147,7 +159,8 @@ def _process_shard_task(payload: tuple) -> tuple[np.ndarray, list[dict]]:
         dp_config,
         rngs,
     ) = payload
-    cached = _PROCESS_CACHE.get(token)
+    cache = _process_cache()
+    cached = cache.get(token)
     if cached is None:
         model = pickle.loads(model_blob)
         engine_ref = pickle.loads(engine_blob)
@@ -156,9 +169,9 @@ def _process_shard_task(payload: tuple) -> tuple[np.ndarray, list[dict]]:
             if isinstance(engine_ref, ClientEngine)
             else build_engine(engine_ref)
         )
-        if len(_PROCESS_CACHE) >= _PROCESS_CACHE_LIMIT:
-            _PROCESS_CACHE.clear()
-        _PROCESS_CACHE[token] = (model, engine)
+        if len(cache) >= _PROCESS_CACHE_LIMIT:
+            cache.clear()
+        cache[token] = (model, engine)
     else:
         model, engine = cached
     vector = parameters.open() if isinstance(parameters, SharedArray) else parameters
@@ -461,19 +474,39 @@ class WorkerPool:
         keeps the parent's streams bit-identical to a serial round, and
         the momentum overwrite (Algorithm 1 line 11) equals the uploads,
         so the parent's state needs no second payload.
+
+        A backend may degrade a lost task (a dead remote worker past its
+        transport retry budget) to an ordered :class:`TaskFailure` slot
+        instead of raising.  The affected shard's workers then drop out
+        of the round exactly like a permanently crashed shard: zero
+        upload rows, momentum untouched, post-noise generator states
+        never restored -- and :attr:`last_fault_report` carries the mask
+        so the pipeline aggregates the surviving partial cohort.
         """
         parameters = self._process_round_setup(model)
         payloads = [
             self._shard_payload(parameters, bounds) for bounds in self._shard_bounds
         ]
         results = self.backend.map_ordered(_process_shard_task, payloads)
-        for (start, stop), (shard_uploads, rng_states) in zip(
-            self._shard_bounds, results
-        ):
+        failed_workers = np.zeros(self.n_workers, dtype=bool)
+        lost_shards = 0
+        for (start, stop), result in zip(self._shard_bounds, results):
+            if isinstance(result, TaskFailure):
+                failed_workers[start:stop] = True
+                lost_shards += 1
+                uploads[start:stop] = 0.0
+                continue
+            shard_uploads, rng_states = result
             uploads[start:stop] = shard_uploads
             for index, state in zip(range(start, stop), rng_states):
                 self.rngs[index].bit_generator.state = state
-        np.copyto(self.state.slot_momentum, uploads)
+            np.copyto(self.state.slot_momentum[start:stop], uploads[start:stop])
+        if lost_shards:
+            self.last_fault_report = PoolFaultReport(
+                failed_workers=failed_workers,
+                retried=0,
+                crashed_shards=lost_shards,
+            )
 
     # ------------------------------------------------------------------ #
     # fault-injected execution (the crash seam)
@@ -588,9 +621,9 @@ class WorkerPool:
         )
         for (shard_index, start, stop), result in zip(live, results):
             if isinstance(result, TaskFailure):
-                # Only an advisory-timeout exhaustion can land here: the
-                # injected crash schedule of a dispatched shard is below
-                # max_attempts by construction.
+                # An advisory-timeout exhaustion, or a transport loss on a
+                # remote backend (the injected crash schedule of a
+                # dispatched shard is below max_attempts by construction).
                 failed_workers[start:stop] = True
                 retried += result.attempts - 1
                 continue

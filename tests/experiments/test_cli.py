@@ -101,6 +101,87 @@ class TestParser:
         assert "--faults" in capsys.readouterr().err
 
 
+class TestServiceParser:
+    def test_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 7733
+        assert arguments.workers == 1
+        assert arguments.heartbeat_interval == pytest.approx(0.5)
+        assert arguments.heartbeat_timeout == pytest.approx(10.0)
+        assert arguments.transport_retries == 3
+        assert arguments.worker_timeout == pytest.approx(60.0)
+        assert arguments.state_dir is None
+        assert arguments.metrics_out is None
+        assert not arguments.metrics_fsync
+
+    def test_serve_accepts_experiment_flags(self):
+        arguments = build_parser().parse_args([
+            "serve", "--dataset", "usps_like", "--workers", "4",
+            "--state-dir", "/tmp/state", "--port", "0",
+        ])
+        assert arguments.dataset == "usps_like"
+        assert arguments.workers == 4
+        assert arguments.state_dir == "/tmp/state"
+        assert arguments.port == 0
+
+    def test_worker_defaults(self):
+        arguments = build_parser().parse_args(["worker"])
+        assert arguments.command == "worker"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 7733
+        assert arguments.name is None
+        assert arguments.reconnect_timeout == pytest.approx(30.0)
+        assert arguments.throttle == pytest.approx(0.0)
+        assert not arguments.verbose
+
+    def test_metrics_fsync_flag_on_run_and_serve(self):
+        assert build_parser().parse_args(
+            ["run", "--metrics-fsync"]
+        ).metrics_fsync
+        assert build_parser().parse_args(
+            ["serve", "--metrics-fsync"]
+        ).metrics_fsync
+
+
+class TestOperationalExitCodes:
+    def test_quorum_violation_exits_2_with_one_line_message(self, capsys):
+        # Full-population quorum under injected dropout: some round loses
+        # a worker, and the CLI must report it, not traceback.
+        code = main([
+            "run", *FAST_ARGUMENTS, "--attack", "gaussian",
+            "--faults", "chaos", "--min-quorum", "1.0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_broken_stdout_pipe_exits_quietly(self, monkeypatch, capsys):
+        # BrokenPipeError subclasses ConnectionError, but ``repro list |
+        # head`` closing our stdout is not a federation transport failure:
+        # conventional 128+SIGPIPE exit, nothing on stderr.
+        def explode(arguments):
+            raise BrokenPipeError
+
+        monkeypatch.setattr("repro.cli._command_list", explode)
+        assert main(["list"]) == 141
+        assert capsys.readouterr().err == ""
+
+    def test_connection_failure_exits_3_with_one_line_message(self, capsys):
+        # A coordinator whose workers never show up aborts with the
+        # connection exit code a supervisor restarts on.
+        code = main([
+            "serve", *FAST_ARGUMENTS, "--attack", "gaussian",
+            "--port", "0", "--worker-timeout", "0.2",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro: connection error: ")
+        assert len(err.strip().splitlines()) == 1
+
+
 class TestCommands:
     def test_list_prints_registries(self, capsys):
         assert main(["list"]) == 0

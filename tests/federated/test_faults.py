@@ -39,7 +39,7 @@ from repro.federated.faults import (
     resolve_quorum,
     validate_quorum,
 )
-from repro.federated.pipeline import MetricsWriter
+from repro.federated.pipeline import MetricsWriter, read_metrics
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.nn.layers import Linear
 from repro.nn.network import Sequential
@@ -522,3 +522,74 @@ class TestMetricsWriter:
         writer.close()
         writer.close()
         assert writer.lines_written == 0
+
+    def test_append_mode_accumulates_across_resumed_runs(self, tmp_path):
+        # A resumed run reopens the same file in append mode: the JSONL
+        # accumulates one contiguous record of the whole trajectory.
+        path = tmp_path / "m.jsonl"
+        with MetricsWriter(path) as writer:
+            build_simulation().run([writer])
+        first = len(path.read_text().splitlines())
+        assert first > 0
+        with MetricsWriter(path, append=True) as writer:
+            build_simulation().run([writer])
+        assert len(path.read_text().splitlines()) == 2 * first
+
+    def test_default_mode_overwrites(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"round": 99}\n')
+        with MetricsWriter(path) as writer:
+            build_simulation().run([writer])
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["round"] == 0
+
+    def test_fsync_knob_still_writes_valid_records(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsWriter(path, fsync=True) as writer:
+            build_simulation().run([writer])
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["round"] for r in records] == list(range(len(records)))
+
+
+class TestReadMetrics:
+    def write(self, path, lines):
+        path.write_text("".join(lines))
+        return path
+
+    def test_reads_writer_output(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsWriter(path) as writer:
+            build_simulation().run([writer])
+        records = read_metrics(path)
+        assert len(records) == writer.lines_written
+        assert [r["round"] for r in records] == list(range(len(records)))
+
+    def test_tolerates_torn_final_line(self, tmp_path):
+        # A kill -9 mid-write leaves at most one partial trailing line.
+        path = self.write(tmp_path / "m.jsonl", [
+            '{"round": 0, "accuracy": null}\n',
+            '{"round": 1, "accuracy": 0.5}\n',
+            '{"round": 2, "accu',
+        ])
+        records = read_metrics(path)
+        assert [r["round"] for r in records] == [0, 1]
+
+    def test_trailing_blank_lines_are_ignored(self, tmp_path):
+        path = self.write(tmp_path / "m.jsonl", [
+            '{"round": 0}\n', "\n", "\n",
+        ])
+        assert read_metrics(path) == [{"round": 0}]
+
+    def test_malformed_interior_line_raises_with_line_number(self, tmp_path):
+        path = self.write(tmp_path / "m.jsonl", [
+            '{"round": 0}\n', "garbage\n", '{"round": 2}\n',
+        ])
+        with pytest.raises(ValueError, match="line 2"):
+            read_metrics(path)
+
+    def test_blank_interior_line_raises(self, tmp_path):
+        path = self.write(tmp_path / "m.jsonl", [
+            '{"round": 0}\n', "\n", '{"round": 2}\n',
+        ])
+        with pytest.raises(ValueError, match="blank line 2"):
+            read_metrics(path)

@@ -1,0 +1,130 @@
+"""Tests for the length-prefixed JSON wire protocol of service mode."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.federated.wire import (
+    MAX_MESSAGE_BYTES,
+    WireError,
+    decode_blob,
+    encode_blob,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestMessageRoundTrip:
+    def test_simple_message(self, pair):
+        left, right = pair
+        send_message(left, {"type": "heartbeat"})
+        assert recv_message(right) == {"type": "heartbeat"}
+
+    def test_preserves_fields_and_order_independence(self, pair):
+        left, right = pair
+        message = {"type": "task", "task_id": 7, "blob": "abc", "nested": {"a": [1, 2]}}
+        send_message(left, message)
+        assert recv_message(right) == message
+
+    def test_multiple_messages_in_sequence(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_message(left, {"type": "task", "task_id": index})
+        received = [recv_message(right)["task_id"] for _ in range(5)]
+        assert received == list(range(5))
+
+    def test_large_message(self, pair):
+        left, right = pair
+        blob = "x" * 500_000
+        done = threading.Thread(
+            target=send_message, args=(left, {"type": "task", "blob": blob})
+        )
+        done.start()
+        message = recv_message(right)
+        done.join()
+        assert message["blob"] == blob
+
+    def test_unicode_payload(self, pair):
+        left, right = pair
+        send_message(left, {"type": "hello", "worker": "wörker-π"})
+        assert recv_message(right)["worker"] == "wörker-π"
+
+
+class TestFraming:
+    def test_eof_mid_frame_raises_connection_error(self, pair):
+        left, right = pair
+        body = b'{"type": "heartbeat"}'
+        left.sendall(struct.pack(">I", len(body)) + body[:5])
+        left.close()
+        with pytest.raises(ConnectionError):
+            recv_message(right)
+
+    def test_eof_before_header_raises_connection_error(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(ConnectionError):
+            recv_message(right)
+
+    def test_oversized_frame_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(WireError, match="above the"):
+            recv_message(right)
+
+    def test_invalid_json_rejected(self, pair):
+        left, right = pair
+        body = b"not json at all"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(WireError):
+            recv_message(right)
+
+    def test_non_object_json_rejected(self, pair):
+        left, right = pair
+        body = b"[1, 2, 3]"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(WireError):
+            recv_message(right)
+
+    def test_object_without_type_rejected(self, pair):
+        left, right = pair
+        body = b'{"task_id": 1}'
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(WireError, match="type"):
+            recv_message(right)
+
+    def test_wire_error_is_a_connection_error(self):
+        # The coordinator and worker loops catch ConnectionError for every
+        # way a peer can go bad; protocol violations must flow through it.
+        assert issubclass(WireError, ConnectionError)
+
+
+class TestBlobs:
+    def test_round_trips_arbitrary_python_objects(self):
+        payload = {"a": (1, 2), "b": [None, "x"]}
+        assert decode_blob(encode_blob(payload)) == payload
+
+    def test_round_trips_numpy_arrays_bitwise(self):
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal((7, 13))
+        restored = decode_blob(encode_blob(array))
+        assert restored.dtype == array.dtype
+        np.testing.assert_array_equal(restored, array)
+
+    def test_blob_is_json_safe_text(self, pair):
+        left, right = pair
+        blob = encode_blob(np.arange(10))
+        assert isinstance(blob, str)
+        send_message(left, {"type": "result", "blob": blob})
+        message = recv_message(right)
+        np.testing.assert_array_equal(decode_blob(message["blob"]), np.arange(10))
