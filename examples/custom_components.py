@@ -23,7 +23,14 @@ and the CLI -- without touching repro source.  This example
    schedule, and the run must still complete over the surviving
    sub-cohorts (graceful partial-cohort aggregation);
 4. hands the same names to ``python -m repro run`` (in-process) to show
-   that the CLI accepts freshly registered components too.
+   that the CLI accepts freshly registered components too;
+5. runs ``repro lint`` over this very file: scenario-pack authors get
+   the repo's invariant checks (unregistered components, unseeded RNG,
+   ``config_defaults`` typos, ...) on their own modules for free --
+   ``repro lint --unscoped mypack/`` from the shell, or
+   :func:`repro.tools.lint.lint_paths` from code.  Lint rules are
+   themselves registry components, so packs can ship their own checks
+   on ``LINT_RULES``.
 
 Run with::
 
@@ -261,6 +268,19 @@ def main() -> None:
         f"reports (smallest cohort {int(smallest)} of "
         f"{config.n_honest + config.n_byzantine} workers), final accuracy "
         f"{chaos.final_accuracy:.3f}"
+    )
+
+    # Scenario packs get the repo's invariant linter for free: REP004
+    # (registry hygiene) runs on every file, and --unscoped/unscoped=True
+    # promotes the path-scoped rules (determinism, dtype, ...) too.  This
+    # example registers everything it defines, so it lints clean.
+    from repro.tools.lint import lint_paths
+
+    report = lint_paths([__file__], select=["REP004"])
+    assert report.findings == [], [f.as_dict() for f in report.findings]
+    print(
+        f"\nrepro lint: {report.files_checked} pack file checked, "
+        f"{len(report.findings)} registry-hygiene finding(s)"
     )
 
     # The CLI sees registered components immediately -- same names, same

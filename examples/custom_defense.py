@@ -27,7 +27,9 @@ from repro.experiments.runner import run_experiment as _run  # noqa: F401 (shown
 from repro.federated.simulation import FederatedSimulation
 
 
-class NormCappedMean(Aggregator):
+# This example predates the registry and constructs the rule directly;
+# examples/custom_components.py shows the registered (lint-clean) idiom.
+class NormCappedMean(Aggregator):  # repro-lint: disable=REP004 -- constructed directly below
     """Average the uploads after capping each one at the median upload norm.
 
     A deliberately simple defense: it bounds the damage any single upload

@@ -16,7 +16,9 @@ from repro.data.dataset import Dataset
 __all__ = ["AdaptiveAttack"]
 
 
-class AdaptiveAttack(Attack):
+# Registered by convention, not by name: build_attack constructs this
+# wrapper for every "adaptive_<name>" over the ATTACKS registry.
+class AdaptiveAttack(Attack):  # repro-lint: disable=REP004 -- built via the adaptive_<name> convention
     """Wrap another attack and delay its activation.
 
     Parameters

@@ -13,7 +13,11 @@ Five subcommands cover the common workflows:
   through coordinator restarts);
 - ``list``    -- show every registered component (datasets, attacks,
   defenses, models, engines, backends, fault models) straight from the
-  registries' ``describe()`` API.
+  registries' ``describe()`` API;
+- ``lint``    -- run the AST-based invariant linter
+  (:mod:`repro.tools.lint`) over a source tree: determinism,
+  concurrency safety, dtype discipline, registry hygiene, service
+  robustness and ``out=`` aliasing, gated on the committed baseline.
 
 Operational failures exit with dedicated codes and one-line messages
 instead of tracebacks: ``2`` for a quorum violation (``QuorumError``),
@@ -226,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--json", action="store_true",
                              help="emit the registries' describe() rows as JSON")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check a source tree against the repo's "
+             "reproducibility invariants (REP001-REP006)",
+    )
+    # The flags live next to the linter so `python -m repro.tools.lint`
+    # and `repro lint` stay identical.
+    from repro.tools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -423,6 +438,12 @@ def _command_worker(arguments: argparse.Namespace) -> int:
     )
 
 
+def _command_lint(arguments: argparse.Namespace) -> int:
+    from repro.tools.lint.cli import run_lint_command
+
+    return run_lint_command(arguments)
+
+
 def _command_compare(arguments: argparse.Namespace) -> int:
     config = _config_from_arguments(arguments)
     reference = reference_accuracy(config)
@@ -462,6 +483,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _command_serve,
         "worker": _command_worker,
         "compare": _command_compare,
+        "lint": _command_lint,
     }
     command = commands.get(arguments.command)
     if command is None:

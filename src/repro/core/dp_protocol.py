@@ -118,7 +118,9 @@ class LocalDPState:
     the ``j``-th position in the local mini-batch (Algorithm 1, line 1).
     """
 
-    momentum: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    momentum: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.float64)
+    )
 
     def ensure_shape(self, batch_size: int, dimension: int) -> None:
         """(Re)initialise the momentum list if the shape does not match."""
@@ -175,7 +177,9 @@ class BatchedDPState:
     materialising (or ``np.tile``-ing) the full stacked array.
     """
 
-    slot_momentum: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    slot_momentum: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.float64)
+    )
     batch_size: int = 0
 
     def ensure_shape(self, n_workers: int, batch_size: int, dimension: int) -> None:

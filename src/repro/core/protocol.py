@@ -21,7 +21,10 @@ from repro.defenses.base import AggregationContext, Aggregator
 __all__ = ["TwoStageAggregator"]
 
 
-class TwoStageAggregator(Aggregator):
+# Registered in repro.defenses.registry (as two_stage / first_stage_only /
+# second_stage_only builders): repro.core must stay importable without the
+# defenses package, so the registration cannot live here.
+class TwoStageAggregator(Aggregator):  # repro-lint: disable=REP004 -- registered in defenses.registry
     """Private-and-secure aggregation: FirstAGG + FilterGradient.
 
     Parameters

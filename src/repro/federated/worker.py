@@ -298,7 +298,8 @@ class WorkerPool:
         self._model_blob: bytes | None = None
         self._engine_blob: bytes | None = None
         self._blob_source: Sequential | None = None
-        self._process_token = uuid.uuid4().hex
+        # Cache-invalidation token only: never feeds any computed result.
+        self._process_token = uuid.uuid4().hex  # repro-lint: disable=REP001 -- cache key only
         #: what the last faulty round observed (``None`` after clean rounds)
         self.last_fault_report: PoolFaultReport | None = None
 
@@ -424,7 +425,8 @@ class WorkerPool:
             model.unbind_per_example_grad_buffers()
             self._model_blob = pickle.dumps(model)
             self._blob_source = model
-            self._process_token = uuid.uuid4().hex
+            # Fresh token invalidates the worker-process caches; cache key only.
+            self._process_token = uuid.uuid4().hex  # repro-lint: disable=REP001 -- cache key only
             engine_ref = (
                 self._engine_source.clone()
                 if isinstance(self._engine_source, ClientEngine)

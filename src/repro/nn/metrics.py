@@ -9,8 +9,10 @@ __all__ = ["accuracy", "confusion_matrix"]
 
 def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
     """Fraction of correctly classified examples."""
-    predictions = np.asarray(predictions)
-    labels = np.asarray(labels)
+    # Equality test between class labels: the inputs' own (integer) dtype
+    # must be preserved, not coerced to the float64 reference tier.
+    predictions = np.asarray(predictions)  # repro-lint: disable=REP003 -- label dtype preserved
+    labels = np.asarray(labels)  # repro-lint: disable=REP003 -- label dtype preserved
     if predictions.shape != labels.shape:
         raise ValueError("predictions and labels must have the same shape")
     if predictions.size == 0:

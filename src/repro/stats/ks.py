@@ -192,7 +192,7 @@ def ks_pvalues(statistics: np.ndarray, sample_size: int) -> np.ndarray:
         raise ValueError("sample_size must be positive")
     statistics = np.asarray(statistics, dtype=np.float64)
     lam = _stephens_scale(sample_size) * statistics
-    return np.asarray(kolmogorov_survival(lam))
+    return np.asarray(kolmogorov_survival(lam), dtype=np.float64)
 
 
 def ks_test(samples: np.ndarray, sigma: float) -> KSResult:
@@ -205,7 +205,7 @@ def ks_test(samples: np.ndarray, sigma: float) -> KSResult:
     samples = np.asarray(samples, dtype=np.float64).ravel()
     statistic = ks_statistic(samples, sigma)
     d = samples.size
-    pvalue = float(ks_pvalues(np.asarray([statistic]), d)[0])
+    pvalue = float(ks_pvalues(np.asarray([statistic], dtype=np.float64), d)[0])
     return KSResult(statistic=statistic, pvalue=pvalue, sample_size=d)
 
 

@@ -1,0 +1,6 @@
+"""Developer tooling shipped with the library.
+
+Unlike the runtime packages, nothing here is imported by experiment
+code: these are the programs run *about* the codebase -- currently the
+invariant linter :mod:`repro.tools.lint` (``repro lint``).
+"""

@@ -1,0 +1,54 @@
+"""AST-based invariant linter (``repro lint``).
+
+Static enforcement of the conventions the test suite can only
+spot-check dynamically.  The built-in rules:
+
+=======  ====================  ============================================
+code     slug                  invariant
+=======  ====================  ============================================
+REP001   naked-nondeterminism  seeded components draw only from
+                               counter-derived ``SeedSequence`` generators
+REP002   shared-mutable-state  no module/class-level mutable containers in
+                               backend-executed files (the PR 7 race class)
+REP003   implicit-dtype        reference-tier array constructors pass an
+                               explicit ``dtype=``
+REP004   registry-hygiene      component subclasses are registered;
+                               ``config_defaults`` keys match the builder
+REP005   service-robustness    no bare except / deadline-less sockets /
+                               non-atomic state writes in the service layer
+REP006   blas-out-aliasing     ``out=`` of matmul/dot/einsum never aliases
+                               an input buffer
+=======  ====================  ============================================
+
+Suppress per line with ``# repro-lint: disable=REP001 -- why``; accept
+pre-existing findings wholesale through ``tools/lint_baseline.json``
+(see :mod:`repro.tools.lint.baseline`).  Third-party scenario packs run
+the same checks on their own trees (``repro lint --unscoped mypack/``)
+and register additional rules on :data:`LINT_RULES` through the public
+:class:`repro.registry.Registry` API.
+"""
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintReport,
+    LintRule,
+    ModuleSource,
+    lint_paths,
+    lint_text,
+)
+from repro.tools.lint import rules  # noqa: F401  (registers the built-in rules)
+from repro.tools.lint.baseline import load_baseline, partition, write_baseline
+
+__all__ = [
+    "LINT_RULES",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "lint_paths",
+    "lint_text",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]

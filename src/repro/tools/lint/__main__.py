@@ -1,0 +1,8 @@
+"""``python -m repro.tools.lint`` -- standalone linter entry point."""
+
+import sys
+
+from repro.tools.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

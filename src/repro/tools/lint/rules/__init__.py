@@ -1,0 +1,24 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule on
+:data:`repro.tools.lint.LINT_RULES`; each module holds one rule family
+and documents the invariant it encodes.
+"""
+
+from repro.tools.lint.rules import (  # noqa: F401  (imported for registration)
+    aliasing,
+    concurrency,
+    determinism,
+    dtype,
+    registry_hygiene,
+    service,
+)
+
+__all__ = [
+    "aliasing",
+    "concurrency",
+    "determinism",
+    "dtype",
+    "registry_hygiene",
+    "service",
+]

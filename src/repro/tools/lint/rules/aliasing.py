@@ -1,0 +1,97 @@
+"""REP006 -- ``out=`` buffer aliasing in the engine hot paths.
+
+The engines and the DP protocol reuse preallocated scratch aggressively
+(``out=`` everywhere) to keep the hot loop allocation-free.  For
+*elementwise ufuncs* (``np.multiply(x, c, out=x)``) in-place aliasing is
+defined behaviour and idiomatic.  For the **BLAS-backed contractions**
+it is not: ``np.matmul`` / ``np.dot`` / ``np.einsum`` /
+``np.tensordot`` read their inputs while streaming results into ``out``,
+so ``np.matmul(a, b, out=a)`` silently computes garbage (NumPy does not
+reliably detect the overlap for these paths).
+
+Scoped to the hot-path modules (``federated/engines.py``,
+``core/dp_protocol.py``, ``nn/``), this rule flags a contraction whose
+``out=`` expression is syntactically identical to one of its array
+inputs, or shares the input's base buffer name (``out=scratch[rows]``
+with input ``scratch`` overlaps just as fatally).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintRule,
+    ModuleSource,
+    import_aliases,
+    resolve_call,
+)
+
+#: numpy contractions that must not alias out= with an input.
+_CONTRACTIONS = frozenset({
+    "numpy.matmul",
+    "numpy.dot",
+    "numpy.einsum",
+    "numpy.tensordot",
+    "numpy.inner",
+    "numpy.outer",
+    "numpy.vdot",
+})
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """The root Name of an expression (``a`` for ``a[i].T``), else None."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@LINT_RULES.register(
+    "REP006",
+    aliases=("blas-out-aliasing",),
+    summary="out= aliases an input of a BLAS contraction (matmul/dot/einsum)",
+)
+class BlasOutAliasing(LintRule):
+    code = "REP006"
+    name = "blas-out-aliasing"
+    targets = (
+        "repro/federated/engines.py",
+        "repro/core/dp_protocol.py",
+        "repro/nn/",
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in module.walk(ast.Call):
+            called = resolve_call(node, aliases)
+            if called not in _CONTRACTIONS:
+                continue
+            out = None
+            for keyword in node.keywords:
+                if keyword.arg == "out":
+                    out = keyword.value
+            if out is None:
+                continue
+            out_base = _base_name(out)
+            out_dump = ast.dump(out)
+            # einsum's first argument is the subscript string, not an array.
+            operands = node.args[1:] if called == "numpy.einsum" else node.args
+            for operand in operands:
+                operand_base = _base_name(operand)
+                if ast.dump(operand) == out_dump or (
+                    out_base is not None and operand_base == out_base
+                ):
+                    short = called.rpartition(".")[2]
+                    yield self.finding(
+                        module, node,
+                        f"out= of np.{short} aliases input buffer "
+                        f"{operand_base or 'operand'!r}; BLAS contractions "
+                        "read inputs while writing out= -- use a disjoint "
+                        "scratch buffer",
+                    )
+                    break

@@ -1,0 +1,126 @@
+"""REP001 -- naked nondeterminism in seeded components.
+
+The invariant (established in PR 6 and relied on ever since): every
+random draw in the deterministic core flows from a counter-derived
+generator -- ``np.random.default_rng(SeedSequence((seed, component,
+*counters)))`` -- keyed by *what* is being drawn, never by execution
+order.  That is what makes fault traces, shard schedules and noise
+streams replay bit-identically across serial/threaded/process/remote
+backends.
+
+Any of the following inside ``core/``, ``federated/``, ``byzantine/``
+or ``stats/`` silently breaks that chain:
+
+- ``np.random.<fn>()`` convenience calls (global hidden-state stream);
+- ``default_rng()`` / ``SeedSequence()`` with no argument (OS entropy);
+- the stdlib ``random`` module (global hidden-state stream);
+- wall-clock reads ``time.time()`` / ``time.time_ns()`` and
+  ``uuid.uuid1()`` / ``uuid.uuid4()`` (different on every run).
+
+``time.monotonic()`` is deliberately allowed: liveness deadlines and
+backoff timers are wall-clock by nature and never feed the model path.
+Genuinely non-semantic uses (cache tokens, temp names) carry a per-line
+suppression with a justification instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintRule,
+    ModuleSource,
+    import_aliases,
+    resolve_call,
+)
+
+#: numpy.random attributes that are constructors/types, not draws from
+#: the hidden global stream.
+_NUMPY_RANDOM_SAFE = frozenset({
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # flagged separately would be ideal; explicit legacy opt-in
+})
+
+#: Zero-argument calls to these pull OS entropy: unreproducible by design.
+_ENTROPY_SOURCES = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+})
+
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+_UUIDS = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+
+@LINT_RULES.register(
+    "REP001",
+    aliases=("naked-nondeterminism",),
+    summary="unseeded/global RNG, wall-clock or uuid draws in seeded components",
+)
+class NakedNondeterminism(LintRule):
+    code = "REP001"
+    name = "naked-nondeterminism"
+    targets = (
+        "repro/core/",
+        "repro/federated/",
+        "repro/byzantine/",
+        "repro/stats/",
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in module.walk(ast.Call):
+            called = resolve_call(node, aliases)
+            if called is None:
+                continue
+            if called in _ENTROPY_SOURCES and not node.args and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    f"{called.rpartition('.')[2]}() with no seed draws OS entropy; "
+                    "derive the generator from SeedSequence((seed, component, "
+                    "*counters)) so runs replay bit-identically",
+                    symbol="unseeded-rng",
+                )
+            elif called.startswith("numpy.random."):
+                attribute = called[len("numpy.random."):]
+                if "." not in attribute and attribute not in _NUMPY_RANDOM_SAFE:
+                    yield self.finding(
+                        module, node,
+                        f"np.random.{attribute}() draws from the hidden global "
+                        "stream; use a Generator derived from "
+                        "SeedSequence((seed, component, *counters))",
+                        symbol="global-numpy-random",
+                    )
+            elif called.startswith("random."):
+                yield self.finding(
+                    module, node,
+                    f"stdlib {called}() draws from a process-global hidden "
+                    "state; use the component's seeded numpy Generator",
+                    symbol="stdlib-random",
+                )
+            elif called in _WALL_CLOCK:
+                yield self.finding(
+                    module, node,
+                    f"{called}() reads the wall clock inside a deterministic "
+                    "component; key on (seed, round, ...) counters instead "
+                    "(time.monotonic() is fine for liveness deadlines)",
+                    symbol="wall-clock",
+                )
+            elif called in _UUIDS:
+                yield self.finding(
+                    module, node,
+                    f"{called}() is different on every run; derive identifiers "
+                    "from seeds/counters, or suppress with a justification if "
+                    "the value never feeds results",
+                    symbol="uuid",
+                )

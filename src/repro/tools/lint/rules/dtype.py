@@ -1,0 +1,76 @@
+"""REP003 -- dtype discipline in reference-tier numerics.
+
+The NumPy float64 path is the *bitwise reference tier*: every
+accelerator or float32 variant is gated on equivalence against it
+(rtol 1e-9 harness in the engines).  An array constructed without an
+explicit ``dtype=`` inherits whatever NumPy infers -- an integer shape
+literal yields int64, a list of Python floats yields float64 today but
+the inference rules are not part of our contract -- and a dtype that
+drifts silently downgrades (or upcasts) an entire pipeline while every
+test still passes numerically.
+
+Inside ``core/``, ``nn/``, ``defenses/`` and ``stats/`` every call to
+``np.zeros`` / ``np.empty`` / ``np.array`` / ``np.asarray`` must pass
+``dtype=`` explicitly (positionally, for the signatures where dtype is
+the second parameter, also counts).  Constructors that *should* preserve
+their input's dtype (e.g. wrapping integer label arrays) say so with a
+suppression, which doubles as documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintRule,
+    ModuleSource,
+    import_aliases,
+    resolve_call,
+)
+
+#: numpy constructors with dtype as the second positional parameter.
+_CONSTRUCTORS = frozenset({
+    "numpy.zeros",
+    "numpy.empty",
+    "numpy.ones",
+    "numpy.array",
+    "numpy.asarray",
+})
+
+
+@LINT_RULES.register(
+    "REP003",
+    aliases=("implicit-dtype",),
+    summary="np.zeros/empty/array/asarray without explicit dtype= in reference-tier code",
+)
+class ImplicitDtype(LintRule):
+    code = "REP003"
+    name = "implicit-dtype"
+    targets = (
+        "repro/core/",
+        "repro/nn/",
+        "repro/defenses/",
+        "repro/stats/",
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in module.walk(ast.Call):
+            called = resolve_call(node, aliases)
+            if called not in _CONSTRUCTORS:
+                continue
+            has_dtype = len(node.args) >= 2 or any(
+                keyword.arg == "dtype" for keyword in node.keywords
+            )
+            if not has_dtype:
+                short = called.rpartition(".")[2]
+                yield self.finding(
+                    module, node,
+                    f"np.{short}() without an explicit dtype= in reference-tier "
+                    "code; the float64 contract requires dtype=np.float64 (or a "
+                    "suppression documenting why the input dtype must be "
+                    "preserved)",
+                )

@@ -1,0 +1,227 @@
+"""REP004 -- registry hygiene for pluggable components.
+
+Two failure modes this rule catches:
+
+**Unregistered components.**  A module that defines a concrete public
+subclass of one of the scenario-axis bases (``Attack``, ``Aggregator``,
+``ClientEngine``, ``ExecutionBackend``, ``FaultModel``) but never
+registers it produces a component that exists in the import graph yet is
+invisible to ``repro list``, experiment configs and the CLI -- the
+classic "my defense silently never ran" bug for scenario-pack authors.
+Private classes (leading underscore) are treated as implementation
+detail; classes registered elsewhere by design carry a suppression.
+
+**``config_defaults`` drift.**  Registrations may declare
+``metadata={"config_defaults": {...}}`` mapping *constructor keywords*
+to experiment-config fields; the runner applies the mapping blindly, so
+a key that the component's builder does not accept only explodes at
+build time, deep inside a sweep.  When both sides are statically visible
+(a dict literal -- possibly via a module-level name -- and a builder
+signature or literal ``valid_kwargs=``) the keys are checked here.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintRule,
+    ModuleSource,
+    dotted_name,
+)
+
+#: Scenario-axis base classes whose concrete subclasses must be registered.
+_COMPONENT_BASES = {
+    "Attack": "ATTACKS",
+    "Aggregator": "DEFENSES",
+    "ClientEngine": "ENGINES",
+    "ExecutionBackend": "BACKENDS",
+    "FaultModel": "FAULTS",
+}
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.add(name.rpartition(".")[2])
+    return names
+
+
+def _is_register_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "register"
+
+
+def _has_register_decorator(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(decorator, ast.Call) and _is_register_call(decorator)
+        for decorator in node.decorator_list
+    )
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def _keyword(call: ast.Call, name: str) -> ast.AST | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _literal_string_elements(node: ast.AST) -> set[str] | None:
+    """The strings of a literal tuple/list/set, ``None`` if not literal."""
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    values = set()
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.add(element.value)
+    return values
+
+
+def _accepted_keywords(definition: ast.AST) -> tuple[set[str], bool] | None:
+    """(keyword names, takes **kwargs) of a function/class builder."""
+    if isinstance(definition, ast.ClassDef):
+        for statement in definition.body:
+            if (
+                isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name == "__init__"
+            ):
+                return _accepted_keywords(statement)
+        return None  # inherited __init__: not statically visible here
+    if not isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    arguments = definition.args
+    names = {
+        argument.arg
+        for argument in [*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs]
+        if argument.arg not in ("self", "cls")
+    }
+    return names, arguments.kwarg is not None
+
+
+@LINT_RULES.register(
+    "REP004",
+    aliases=("registry-hygiene",),
+    summary="component subclasses must be registered; config_defaults keys must exist",
+)
+class RegistryHygiene(LintRule):
+    code = "REP004"
+    name = "registry-hygiene"
+    targets = ()  # applies everywhere, including third-party scenario packs
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        top_level = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_constants = {
+            target.id: statement.value
+            for statement in module.tree.body
+            if isinstance(statement, ast.Assign)
+            for target in statement.targets
+            if isinstance(target, ast.Name)
+        }
+        register_calls = [
+            node for node in module.walk(ast.Call) if _is_register_call(node)
+        ]
+        registered_by_call = set()
+        for call in register_calls:
+            for argument in call.args:
+                registered_by_call |= _names_in(argument)
+
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            component_bases = _base_names(node) & set(_COMPONENT_BASES)
+            if not component_bases:
+                continue
+            if node.name.startswith("_") or node.name in _COMPONENT_BASES:
+                continue
+            if _has_register_decorator(node) or node.name in registered_by_call:
+                continue
+            base = sorted(component_bases)[0]
+            yield self.finding(
+                module, node,
+                f"class {node.name} subclasses {base} but is never registered "
+                f"in this module; decorate it with @{_COMPONENT_BASES[base]}."
+                "register(...) so configs, sweeps and the CLI can find it "
+                "(suppress if it is registered elsewhere by design)",
+                symbol="unregistered-component",
+            )
+
+        for call in register_calls:
+            yield from self._check_config_defaults(
+                module, call, top_level, module_constants
+            )
+
+    def _check_config_defaults(
+        self,
+        module: ModuleSource,
+        call: ast.Call,
+        top_level: dict[str, ast.AST],
+        module_constants: dict[str, ast.AST],
+    ) -> Iterable[Finding]:
+        metadata = _keyword(call, "metadata")
+        if not isinstance(metadata, ast.Dict):
+            return
+        defaults: ast.AST | None = None
+        for key, value in zip(metadata.keys, metadata.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "config_defaults"
+            ):
+                defaults = value
+        if isinstance(defaults, ast.Name):
+            defaults = module_constants.get(defaults.id)
+        if not isinstance(defaults, ast.Dict):
+            return
+        declared = {
+            key.value
+            for key in defaults.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        if not declared:
+            return
+        accepted = self._builder_keywords(module, call, top_level)
+        if accepted is None:
+            return
+        names, has_var_keyword = accepted
+        if has_var_keyword:
+            valid_kwargs = _literal_string_elements(_keyword(call, "valid_kwargs"))
+            if valid_kwargs is None:
+                return  # accepted set not statically visible
+            names = names | valid_kwargs
+        unknown = sorted(declared - names)
+        if unknown:
+            yield self.finding(
+                module, call,
+                f"config_defaults key(s) {unknown} are not accepted by the "
+                f"registered builder (accepted: {sorted(names)}); the runner "
+                "would crash applying them at build time",
+                symbol="config-defaults-mismatch",
+            )
+
+    @staticmethod
+    def _builder_keywords(
+        module: ModuleSource,
+        call: ast.Call,
+        top_level: dict[str, ast.AST],
+    ) -> tuple[set[str], bool] | None:
+        # Decorator form: find the class/function this call decorates.
+        for node in module.walk(ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef):
+            if call in getattr(node, "decorator_list", []):
+                return _accepted_keywords(node)
+        # Direct form: REGISTRY.register("name", Builder) with a local Builder.
+        for argument in call.args:
+            if isinstance(argument, ast.Name) and argument.id in top_level:
+                return _accepted_keywords(top_level[argument.id])
+        return None

@@ -1,0 +1,145 @@
+"""REP005 -- wire/service robustness.
+
+The coordinator/worker service (PR 7) is the one part of the codebase
+whose failure modes are *operational*: a silently swallowed exception, a
+read that blocks forever on a half-dead peer, or a torn state file after
+``kill -9`` each turn a recoverable fault into a hang or corruption.
+Three checks, scoped to ``federated/service.py`` / ``wire.py`` /
+``state.py``:
+
+- **bare-except** -- ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, turning an operator's Ctrl-C into an ignored
+  event inside a retry loop; name the exceptions (``ConnectionError``,
+  ``OSError``, ...) instead.
+- **no-socket-deadline** -- a function that creates a socket
+  (``socket.socket()`` / ``socket.create_connection()``) must bound it:
+  ``settimeout(...)`` in the same function, or a ``timeout=`` argument
+  at creation.  Unbounded blocking reads are how a silent peer wedges
+  the coordinator; the heartbeat protocol only works because every read
+  has a deadline.
+- **non-atomic-write** -- a function that opens a file for writing (or
+  calls ``np.save``/``np.savez``/``Path.write_text``...) must rename it
+  into place (``os.replace``/``os.rename``/``Path.rename``) so a crash
+  mid-write can never leave a torn snapshot where the next start will
+  read it.  Append-mode opens are exempt: the JSONL metrics stream is
+  torn-line-tolerant by contract (``read_metrics``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.tools.lint.framework import (
+    LINT_RULES,
+    Finding,
+    LintRule,
+    ModuleSource,
+    import_aliases,
+    resolve_call,
+)
+
+_SOCKET_FACTORIES = frozenset({"socket.socket", "socket.create_connection"})
+_ARRAY_WRITERS = frozenset({"numpy.save", "numpy.savez", "numpy.savez_compressed"})
+_PATH_WRITER_METHODS = frozenset({"write_text", "write_bytes"})
+_RENAMERS = frozenset({"os.replace", "os.rename"})
+
+
+def _call_attr(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _open_write_mode(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The mode string of a write-mode ``open()``-family call, else None."""
+    called = resolve_call(node, aliases)
+    is_builtin_open = called == "open"
+    is_method_open = _call_attr(node) == "open"  # Path.open
+    if not (is_builtin_open or is_method_open):
+        return None
+    mode_node: ast.AST | None = None
+    position = 1 if is_builtin_open else 0
+    if len(node.args) > position:
+        mode_node = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not (isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)):
+        return None  # default "r", or dynamic -- not a statically visible write
+    mode = mode_node.value
+    if any(flag in mode for flag in ("w", "x", "+")):
+        return mode
+    return None
+
+
+@LINT_RULES.register(
+    "REP005",
+    aliases=("service-robustness",),
+    summary="bare except, deadline-less sockets, non-atomic state writes",
+)
+class ServiceRobustness(LintRule):
+    code = "REP005"
+    name = "service-robustness"
+    targets = (
+        "repro/federated/service.py",
+        "repro/federated/wire.py",
+        "repro/federated/state.py",
+    )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for handler in module.walk(ast.ExceptHandler):
+            if handler.type is None:
+                yield self.finding(
+                    module, handler,
+                    "bare except: also swallows KeyboardInterrupt/SystemExit "
+                    "inside the service loop; catch the specific transport "
+                    "exceptions (ConnectionError, OSError, socket.timeout)",
+                    symbol="bare-except",
+                )
+        for function in module.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+            yield from self._check_function(module, function, aliases)
+
+    def _check_function(
+        self,
+        module: ModuleSource,
+        function: ast.AST,
+        aliases: dict[str, str],
+    ) -> Iterable[Finding]:
+        calls = [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Call)
+        ]
+        has_settimeout = any(_call_attr(call) == "settimeout" for call in calls)
+        has_rename = any(
+            resolve_call(call, aliases) in _RENAMERS or _call_attr(call) == "rename"
+            for call in calls
+        )
+        for call in calls:
+            called = resolve_call(call, aliases)
+            if called in _SOCKET_FACTORIES:
+                has_timeout_kwarg = any(kw.arg == "timeout" for kw in call.keywords)
+                if not (has_settimeout or has_timeout_kwarg):
+                    yield self.finding(
+                        module, call,
+                        "socket created without a deadline in this function; "
+                        "a silent peer blocks the next read forever -- call "
+                        "settimeout() (or pass timeout=) and handle "
+                        "socket.timeout",
+                        symbol="no-socket-deadline",
+                    )
+            mode = _open_write_mode(call, aliases)
+            is_array_writer = called in _ARRAY_WRITERS
+            is_path_writer = _call_attr(call) in _PATH_WRITER_METHODS
+            if (mode is not None and "a" not in mode) or is_array_writer or is_path_writer:
+                if not has_rename:
+                    yield self.finding(
+                        module, call,
+                        "state written in place: a crash mid-write leaves a "
+                        "torn file where restart will read it; write to a "
+                        "temp path and os.replace() it into place "
+                        "(append-mode JSONL streams are exempt)",
+                        symbol="non-atomic-write",
+                    )

@@ -55,7 +55,7 @@ def make_pool(shards, config, engine=None, shard_size=None, backend=None, seed=1
     )
 
 
-class ReversedCompletionBackend(ExecutionBackend):
+class ReversedCompletionBackend(ExecutionBackend):  # repro-lint: disable=REP004 -- test double, constructed directly
     """Test double: tasks *complete* in reverse submission order.
 
     The reduction stays ordered, so a correctly written caller (results

@@ -86,7 +86,7 @@ def two_stage(gamma: float = 0.5) -> TwoStageAggregator:
     return TwoStageAggregator(ProtocolConfig(gamma=gamma))
 
 
-class AllButOneDrop(FaultModel):
+class AllButOneDrop(FaultModel):  # repro-lint: disable=REP004 -- test double, constructed directly
     """Deterministic test model: every worker except index 0 drops out."""
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:
@@ -95,7 +95,7 @@ class AllButOneDrop(FaultModel):
         return ReportFaultPlan(dropped=dropped, late=np.zeros(n_workers, dtype=bool))
 
 
-class AllDrop(FaultModel):
+class AllDrop(FaultModel):  # repro-lint: disable=REP004 -- test double, constructed directly
     """Deterministic test model: the whole cohort drops out every round."""
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:

@@ -62,7 +62,7 @@ def build_pool(shards, config, seed, **kwargs):
     return WorkerPool(shards, config, rngs, **kwargs)
 
 
-class ShuffledCompletionBackend(ExecutionBackend):
+class ShuffledCompletionBackend(ExecutionBackend):  # repro-lint: disable=REP004 -- test double, constructed directly
     """Runs tasks in a seeded arbitrary order; reduction stays ordered."""
 
     def __init__(self, order_seed: int, max_workers: int = 4) -> None:
