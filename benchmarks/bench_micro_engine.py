@@ -11,6 +11,9 @@ model on 64 features / 10 classes, d = 650):
 - ``micro-engine-shard``: the unsharded pool vs a sharded pool
   (``shard_size=8``) through the materialized engine -- sharding bounds
   peak scratch memory and should cost nearly nothing.
+- ``micro-engine-fused``: the ghost engine's fused terminal-layer capture
+  (skips the backward input-gradient GEMM on 1-layer models) vs the full
+  capture-mode backward, gated on bitwise equality.
 
 Every benchmark *asserts engine equivalence* on freshly seeded pools
 before timing (ghost vs materialized within the ``rtol 1e-9`` gate;
@@ -30,7 +33,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import DPConfig
+from repro.core.config import DPConfig, EngineConfig
 from repro.data.synthetic import make_classification
 from repro.federated.worker import WorkerPool
 from repro.nn.models import build_model
@@ -126,6 +129,38 @@ def bench_micro_engine_mlp(benchmark, engine_setup, engine):
     assert_engines_agree(model, shards, config)
     pool = make_pool(shards, config, engine)
 
+    uploads = benchmark(pool.compute_uploads, model)
+    assert uploads.shape == (N_WORKERS, model.num_parameters)
+
+
+@pytest.mark.benchmark(group="micro-engine-fused")
+@pytest.mark.parametrize("fused", [False, True])
+def bench_micro_engine_fused(benchmark, engine_setup, fused):
+    """Ghost engine with/without fused terminal-layer capture (linear, b=16).
+
+    The fused path must be *bitwise* identical -- it records the same factor
+    arrays and merely skips the discarded ``Delta @ W^T`` GEMM -- so the
+    gate here is exact equality, stricter than the cross-engine rtol gate.
+    """
+    models, shards = engine_setup
+    model = models["linear"]
+    config = DPConfig(batch_size=16, sigma=SIGMA)
+    fused_pool = make_pool(
+        shards, config, EngineConfig("ghost_norm", options={"fused": True})
+    )
+    plain_pool = make_pool(
+        shards, config, EngineConfig("ghost_norm", options={"fused": False})
+    )
+    for round_index in range(3):
+        np.testing.assert_array_equal(
+            fused_pool.compute_uploads(model),
+            plain_pool.compute_uploads(model),
+            err_msg=f"fused ghost path diverged at round {round_index}",
+        )
+
+    pool = make_pool(
+        shards, config, EngineConfig("ghost_norm", options={"fused": fused})
+    )
     uploads = benchmark(pool.compute_uploads, model)
     assert uploads.shape == (N_WORKERS, model.num_parameters)
 

@@ -12,8 +12,8 @@ Five subcommands cover the common workflows:
 - ``worker``  -- join a coordinator as a worker process (reconnects
   through coordinator restarts);
 - ``list``    -- show every registered component (datasets, attacks,
-  defenses, models, engines, backends, fault models) straight from the
-  registries' ``describe()`` API;
+  defenses, models, engines, backends, fault models, cohort samplers)
+  straight from the registries' ``describe()`` API;
 - ``lint``    -- run the AST-based invariant linter
   (:mod:`repro.tools.lint`) over a source tree: determinism,
   concurrency safety, dtype discipline, registry hygiene, service
@@ -64,6 +64,7 @@ from repro.experiments.runner import run_experiment
 from repro.federated.backends import BACKENDS
 from repro.federated.engines import ENGINES
 from repro.federated.faults import FAULTS
+from repro.federated.sampling import SAMPLERS
 from repro.nn.models import MODELS, available_models
 
 __all__ = ["main", "build_parser"]
@@ -138,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="minimum surviving cohort per round: an integer "
                               "count or a fraction of the population "
                               "(violations abort with a QuorumError)")
+        sub.add_argument("--population", type=int, default=None, metavar="N",
+                         help="cross-device mode: register N lazy honest "
+                              "workers and subsample a cohort each round "
+                              "(peak memory scales with the cohort, not N)")
+        sub.add_argument("--cohort", type=int, default=None, metavar="K",
+                         help="honest workers sampled per round in "
+                              "cross-device mode (default: the population)")
+        # choices include aliases so every name build_sampler accepts works here
+        sub.add_argument("--sampling", default="uniform",
+                         choices=SAMPLERS.names(include_aliases=True),
+                         help="cohort sampler for cross-device mode; plans "
+                              "are seeded per round and replay "
+                              "bit-identically across backends and restarts")
         sub.add_argument("--paper-scale", action="store_true",
                          help="use the paper's full-scale settings (slow on CPU)")
         sub.add_argument("--save", default=None, help="write results to this JSON file")
@@ -226,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser(
         "list",
         help="list the registered datasets, attacks, defenses, models, "
-             "engines, backends and fault models",
+             "engines, backends, fault models and cohort samplers",
     )
     list_parser.add_argument("--json", action="store_true",
                              help="emit the registries' describe() rows as JSON")
@@ -234,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = subparsers.add_parser(
         "lint",
         help="statically check a source tree against the repo's "
-             "reproducibility invariants (REP001-REP006)",
+             "reproducibility invariants (REP001-REP007)",
     )
     # The flags live next to the linter so `python -m repro.tools.lint`
     # and `repro lint` stay identical.
@@ -254,6 +268,24 @@ def _load_config_file(path: str) -> ExperimentConfig:
         return ExperimentConfig.from_json(text)
     except (TypeError, ValueError) as error:  # JSONDecodeError is a ValueError
         raise SystemExit(f"repro: invalid --config {path!r}: {error}")
+
+
+def _worker_rows(config: ExperimentConfig) -> list[list]:
+    """Result-table rows describing the per-round worker composition.
+
+    In population mode the honest cohort is drawn per round, so the
+    relevant honest count is ``cohort`` (``n_honest`` is unused there).
+    """
+    if config.population is None:
+        return [
+            ["workers (honest + byzantine)",
+             f"{config.n_honest} + {config.n_byzantine}"],
+        ]
+    return [
+        ["population (sampling)", f"{config.population} ({config.sampling})"],
+        ["cohort (honest + byzantine)",
+         f"{config.cohort} + {config.n_byzantine}"],
+    ]
 
 
 def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
@@ -278,11 +310,16 @@ def _config_from_arguments(arguments: argparse.Namespace) -> ExperimentConfig:
         ),
         faults=arguments.faults,
         min_quorum=arguments.min_quorum,
+        population=arguments.population,
+        cohort=arguments.cohort,
+        sampling=arguments.sampling,
         **({} if arguments.paper_scale else {"epochs": arguments.epochs}),
     )
 
 
-_REGISTRIES = (DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES, BACKENDS, FAULTS)
+_REGISTRIES = (
+    DATASETS, ATTACKS, DEFENSES, MODELS, ENGINES, BACKENDS, FAULTS, SAMPLERS
+)
 
 
 def _command_list(arguments: argparse.Namespace) -> int:
@@ -346,7 +383,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
     print(format_table(["field", "value"], [
         ["dataset", config.dataset],
         ["attack / defense", f"{config.attack} / {config.defense}"],
-        ["workers (honest + byzantine)", f"{config.n_honest} + {config.n_byzantine}"],
+        *_worker_rows(config),
         ["epsilon", "non-private" if config.epsilon is None else config.epsilon],
         ["noise multiplier sigma", result.sigma],
         ["learning rate", result.learning_rate],
@@ -410,7 +447,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     print(format_table(["field", "value"], [
         ["dataset", config.dataset],
         ["attack / defense", f"{config.attack} / {config.defense}"],
-        ["workers (honest + byzantine)", f"{config.n_honest} + {config.n_byzantine}"],
+        *_worker_rows(config),
         ["epsilon", "non-private" if config.epsilon is None else config.epsilon],
         ["noise multiplier sigma", result.sigma],
         ["learning rate", result.learning_rate],

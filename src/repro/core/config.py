@@ -11,6 +11,7 @@ __all__ = [
     "EngineConfig",
     "FaultsConfig",
     "ProtocolConfig",
+    "SamplingConfig",
     "ServiceConfig",
 ]
 
@@ -181,6 +182,55 @@ class FaultsConfig:
             raise ValueError("a fractional min_quorum must be in (0, 1]")
         object.__setattr__(self, "options", dict(self.options))
         object.__setattr__(self, "retry", dict(self.retry))
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Cohort-subsampling selection (who participates each round).
+
+    The *sampler* decides which registered honest workers compute uploads
+    in a given round of a cross-device run -- each round's participation
+    plan derives deterministically from the sampler seed and the round
+    index, so a trace replays bit-identically on every execution backend
+    and across restarts.  Samplers are registered in
+    :data:`repro.federated.sampling.SAMPLERS`; this config is pure data
+    so it serialises with the experiment config.  ``population=None``
+    keeps the classic fixed-cohort simulation, where every worker
+    participates every round.
+
+    Attributes
+    ----------
+    name:
+        Registered sampler name (see
+        :func:`repro.federated.sampling.SAMPLERS`); ``"uniform"`` draws
+        without replacement in O(cohort) memory.
+    population:
+        Size of the registered honest population, or ``None`` for the
+        classic mode.
+    cohort:
+        Honest workers drawn per round; ``None`` draws the whole
+        population (making subsampling a no-op that still exercises the
+        population machinery).
+    options:
+        Extra keyword arguments for the sampler builder.
+    """
+
+    name: str = "uniform"
+    population: int | None = None
+    cohort: int | None = None
+    options: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sampler name must be a non-empty string")
+        if self.population is not None and self.population <= 0:
+            raise ValueError("population must be positive when set")
+        if self.cohort is not None:
+            if self.cohort <= 0:
+                raise ValueError("cohort must be positive when set")
+            if self.population is not None and self.cohort > self.population:
+                raise ValueError("cohort must not exceed the population")
+        object.__setattr__(self, "options", dict(self.options))
 
 
 @dataclass(frozen=True)

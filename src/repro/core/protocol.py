@@ -10,6 +10,7 @@ benchmarks.
 from __future__ import annotations
 
 import math
+import tempfile
 
 import numpy as np
 
@@ -46,6 +47,7 @@ class TwoStageAggregator(Aggregator):  # repro-lint: disable=REP004 -- registere
     """
 
     requires_auxiliary = True
+    accepts_streaming = True
 
     def __init__(self, config: ProtocolConfig | None = None) -> None:
         self.config = config if config is not None else ProtocolConfig()
@@ -166,3 +168,87 @@ class TwoStageAggregator(Aggregator):  # repro-lint: disable=REP004 -- registere
         # Model update term (Algorithm 1, line 14): average over the
         # round's realised cohort (all n workers on the fault-free path).
         return total / n_workers
+
+    def aggregate_stream(
+        self, blocks, context: AggregationContext
+    ) -> np.ndarray:
+        """Out-of-core Algorithm 3: consume upload blocks, never the matrix.
+
+        FirstAGG's acceptance statistics are per-upload, so stage 1 runs
+        block-by-block as uploads arrive; filtered rows are spilled to an
+        anonymous temporary file.  Stage 2 needs every row's inner product
+        with the server gradient, which is **one matvec over the
+        disk-backed spill** -- computing it per-block and concatenating is
+        *not* bitwise-safe (BLAS blocks the rows of a matvec in groups of
+        8, so partial-matrix results differ in the last ulp), whereas the
+        memmap matvec visits the same bytes in the same order as the
+        in-memory path and is bitwise-identical by construction.  Peak
+        resident memory is one block plus the score vector; the
+        ``(n, d)`` matrix exists only on disk.
+        """
+        worker_ids = context.worker_ids
+        spill = tempfile.TemporaryFile()
+        try:
+            n_rows = 0
+            dimension: int | None = None
+            apply_first = False
+            first_stage: FirstStageFilter | None = None
+            masks: list[np.ndarray] = []
+            for block in blocks:
+                stacked = self._validate(block)
+                if dimension is None:
+                    dimension = stacked.shape[1]
+                    apply_first = (
+                        self.config.use_first_stage
+                        and context.upload_noise_std > 0
+                    )
+                    if apply_first:
+                        first_stage = self._first_stage_filter(
+                            dimension, context.upload_noise_std
+                        )
+                elif stacked.shape[1] != dimension:
+                    raise ValueError(
+                        f"inconsistent upload dimension in stream: "
+                        f"{stacked.shape[1]} != {dimension}"
+                    )
+                if apply_first:
+                    # Stage 1 is bitwise block-splittable: per-row einsum
+                    # norms and KS statistics see one upload at a time.
+                    filtered, accepted = first_stage.apply_batch(stacked)
+                else:
+                    filtered = stacked
+                    accepted = np.ones(stacked.shape[0], dtype=bool)
+                masks.append(accepted)
+                # Rejected rows are spilled as zeros (apply_batch already
+                # zeroed them), keeping row i of the spill aligned with
+                # upload i exactly like the in-memory filtered matrix.
+                spill.write(np.ascontiguousarray(filtered).tobytes())
+                n_rows += stacked.shape[0]
+            if n_rows == 0 or dimension is None:
+                raise ValueError("cannot aggregate an empty stream of uploads")
+            spill.flush()
+            population = n_rows if context.population is None else context.population
+            self.last_first_stage_accepted = np.concatenate(masks)
+
+            filtered_view = np.memmap(
+                spill, dtype=np.float64, mode="r", shape=(n_rows, dimension)
+            )
+            try:
+                if self.config.use_second_stage:
+                    selector = self._second_stage_selector(population)
+                    server_gradient = self._server_gradient(context)
+                    scores = filtered_view @ server_gradient
+                    report = selector.select_scored(scores, worker_ids=worker_ids)
+                    self.last_selected = report.selected
+                    selected_rows = np.asarray(
+                        filtered_view[report.selected], dtype=np.float64
+                    )
+                    total = selected_rows.sum(axis=0)
+                else:
+                    self.last_selected = np.arange(n_rows)
+                    total = np.add.reduce(filtered_view, axis=0)
+            finally:
+                del filtered_view
+            return total / n_rows
+        finally:
+            spill.close()

@@ -168,7 +168,52 @@ class SecondStageSelector:
 
         # Lines 5-8: all inner-product scores in a single matvec.
         scores = matrix @ server_gradient
+        return self._finish(scores, ids, keep)
 
+    def select_scored(
+        self,
+        scores: np.ndarray,
+        worker_ids: np.ndarray | None = None,
+    ) -> SecondStageReport:
+        """Run lines 9-14 on pre-computed inner-product scores.
+
+        The out-of-core aggregation path computes the scores itself (one
+        matvec over a disk-backed upload spill) and delegates the
+        threshold / accumulation / selection arithmetic here, so the
+        streaming and in-memory results are bitwise-identical by
+        construction.  ``scores`` and ``worker_ids`` have the same
+        semantics as in :meth:`select`.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+        if worker_ids is None:
+            if scores.shape[0] != self.n_workers:
+                raise ValueError(
+                    f"expected {self.n_workers} scores, got {scores.shape[0]}"
+                )
+            ids = None
+            keep = self.keep
+        else:
+            ids = np.asarray(worker_ids, dtype=np.int64)
+            if scores.shape[0] != ids.shape[0]:
+                raise ValueError(
+                    f"expected one score per worker id ({ids.shape[0]}), "
+                    f"got {scores.shape[0]}"
+                )
+            if ids.shape[0] == 0:
+                raise ValueError("cannot select from an empty cohort")
+            if ids.min() < 0 or ids.max() >= self.n_workers:
+                raise ValueError(
+                    f"worker ids must be in [0, {self.n_workers}), got "
+                    f"[{ids.min()}, {ids.max()}]"
+                )
+            keep = max(1, math.ceil(self.gamma * scores.shape[0]))
+        return self._finish(scores, ids, keep)
+
+    def _finish(
+        self, scores: np.ndarray, ids: np.ndarray | None, keep: int
+    ) -> SecondStageReport:
         # Line 9: mean of the top ceil(gamma m) scores is the threshold.
         threshold = self._threshold(scores, keep)
 

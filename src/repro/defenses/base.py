@@ -85,6 +85,11 @@ class Aggregator:
     #: whether the rule needs ``context.auxiliary`` to be populated
     requires_auxiliary: bool = False
 
+    #: whether :meth:`aggregate_stream` consumes upload blocks out-of-core
+    #: (never holding the full ``(n, d)`` matrix); rules that leave the
+    #: base fallback in place concatenate and must keep this ``False``
+    accepts_streaming: bool = False
+
     def aggregate(
         self, uploads: np.ndarray | list[np.ndarray], context: AggregationContext
     ) -> np.ndarray:
@@ -95,6 +100,29 @@ class Aggregator:
         sequence of 1-D vectors is accepted and stacked at the boundary.
         """
         raise NotImplementedError
+
+    def aggregate_stream(
+        self,
+        blocks,
+        context: AggregationContext,
+    ) -> np.ndarray:
+        """Aggregate an iterable of ``(m_i, d)`` upload blocks.
+
+        Blocks arrive in worker order (their concatenation is exactly the
+        matrix :meth:`aggregate` would receive) and may alias scratch
+        buffers that the producer reuses, so each block must be consumed
+        -- or copied -- before the next one is drawn.
+
+        The base implementation copies and concatenates, trading the
+        memory win for universality: every rule accepts a streamed round,
+        and the result is bitwise-identical to the in-memory path.  Rules
+        that set :attr:`accepts_streaming` override this with a true
+        out-of-core reduction.
+        """
+        copied = [np.array(block, dtype=np.float64) for block in blocks]
+        if not copied:
+            raise ValueError("cannot aggregate an empty stream of uploads")
+        return self.aggregate(np.concatenate(copied, axis=0), context)
 
     def reset(self) -> None:
         """Clear any cross-round state (default: stateless)."""

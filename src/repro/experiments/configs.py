@@ -102,6 +102,17 @@ class ExperimentConfig:
         Keyword arguments for the crash-retry
         :class:`~repro.federated.backends.RetryPolicy`
         (``max_attempts``, ``backoff_base``, ``timeout``, ...).
+    population, cohort, sampling, sampling_kwargs:
+        Cross-device mode: ``population`` registers that many lazy honest
+        workers (``n_honest`` is then ignored) of which a seeded
+        ``sampling`` sampler (see
+        :data:`repro.federated.sampling.SAMPLERS`) draws ``cohort`` per
+        round; only the sampled workers' data and generators are ever
+        materialised, so peak memory scales with the cohort, not the
+        population.  ``sampling_kwargs`` feeds the sampler builder; its
+        optional ``"local_size"`` key sets the per-worker local dataset
+        size instead.  ``population=None`` (the default) keeps the
+        classic every-worker-every-round simulation.
     eval_every:
         Evaluation cadence in rounds (``None``: about 8 points per run).
     seed:
@@ -140,6 +151,10 @@ class ExperimentConfig:
     faults_kwargs: dict = field(default_factory=dict)
     min_quorum: int | float = 1
     retry_kwargs: dict = field(default_factory=dict)
+    population: int | None = None
+    cohort: int | None = None
+    sampling: str = "uniform"
+    sampling_kwargs: dict = field(default_factory=dict)
     eval_every: int | None = None
     seed: int = 1
 
@@ -164,14 +179,34 @@ class ExperimentConfig:
                 raise ValueError("an integer min_quorum must be >= 1")
         elif not 0.0 < quorum <= 1.0:
             raise ValueError("a fractional min_quorum must be in (0, 1]")
+        if self.population is not None and self.population <= 0:
+            raise ValueError("population must be positive or None")
+        if self.cohort is not None:
+            if self.cohort <= 0:
+                raise ValueError("cohort must be positive or None")
+            if self.population is None:
+                raise ValueError("cohort requires a population")
+            if self.cohort > self.population:
+                raise ValueError("cohort must not exceed the population")
+        if not self.sampling:
+            raise ValueError("sampling must be a non-empty sampler name")
 
     @property
     def n_byzantine(self) -> int:
-        """Number of Byzantine workers implied by ``byzantine_fraction``."""
+        """Number of Byzantine workers implied by ``byzantine_fraction``.
+
+        In cross-device mode the fraction applies to the round's
+        *reporting* cohort (the honest cohort plus the always-on
+        Byzantine workers), since that is the population the aggregation
+        rule sees each round.
+        """
         if self.byzantine_fraction == 0.0:
             return 0
         ratio = self.byzantine_fraction / (1.0 - self.byzantine_fraction)
-        return max(1, int(round(ratio * self.n_honest)))
+        base = self.n_honest
+        if self.population is not None:
+            base = self.cohort if self.cohort is not None else self.population
+        return max(1, int(round(ratio * base)))
 
     def replace(self, **changes) -> "ExperimentConfig":
         """Copy of the config with the given fields replaced."""

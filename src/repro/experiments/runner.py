@@ -34,6 +34,7 @@ from repro.defenses.base import Aggregator
 from repro.defenses.registry import DEFENSES, build_defense, defense_config_defaults
 from repro.experiments.configs import ExperimentConfig
 from repro.federated.pipeline import RoundCallback
+from repro.federated.sampling import WorkerSource, build_sampler
 from repro.federated.simulation import FederatedSimulation, SimulationSettings
 from repro.federated.state import STATE_SUFFIX, RoundState, load_round_state
 from repro.nn.models import build_model, model_for_dataset
@@ -195,9 +196,28 @@ def prepare_experiment(
 
     # Data: load, partition across honest workers, sample auxiliary data.
     train, test = load_dataset(config.dataset, scale=config.scale, seed=seed)
-    partition = partition_iid if config.iid else partition_noniid
-    shards = partition(train, config.n_honest, rng=rng)
-    local_size = min(len(shard) for shard in shards)
+    population_source = None
+    sampler = None
+    if config.population is not None:
+        # Cross-device mode: no eager partitioning -- the lazy source
+        # derives a worker's local data on demand from its global id, so
+        # registering 10**6 workers allocates nothing up front.
+        shards: list = []
+        sampling_kwargs = dict(config.sampling_kwargs)
+        local_size = sampling_kwargs.pop("local_size", None)
+        if local_size is None:
+            local_size = max(config.batch_size, min(50, len(train)))
+        local_size = int(local_size)
+        population_source = WorkerSource(
+            train, config.population, local_size, seed
+        )
+        sampler = build_sampler(
+            config.sampling, default_seed=seed, **sampling_kwargs
+        )
+    else:
+        partition = partition_iid if config.iid else partition_noniid
+        shards = partition(train, config.n_honest, rng=rng)
+        local_size = min(len(shard) for shard in shards)
 
     if config.aux_mismatched:
         auxiliary = sample_mismatched_auxiliary(test, per_class=config.aux_per_class, rng=rng)
@@ -269,6 +289,9 @@ def prepare_experiment(
         engine=engine_config,
         backend=backend_config,
         faults=faults_config,
+        population=population_source,
+        cohort=config.cohort,
+        sampler=sampler,
     )
     if resume_from is not None:
         restored_round, payload = resolve_checkpoint(resume_from)
@@ -335,6 +358,17 @@ def run_experiment(
         # long sweep of runs never accumulates executors.
         setup.simulation.close()
 
+    metadata = {
+        "total_rounds": setup.total_rounds,
+        "delta": setup.delta,
+        "n_byzantine": config.n_byzantine,
+        "n_honest": config.n_honest,
+        "local_dataset_size": setup.local_size,
+        "model_size": setup.simulation.model.num_parameters,
+    }
+    if config.population is not None:
+        metadata["population"] = config.population
+        metadata["cohort"] = setup.simulation.cohort
     return RunResult(
         final_accuracy=history.final_accuracy,
         history=history,
@@ -342,14 +376,7 @@ def run_experiment(
         learning_rate=setup.learning_rate,
         epsilon=config.epsilon,
         seed=setup.seed,
-        metadata={
-            "total_rounds": setup.total_rounds,
-            "delta": setup.delta,
-            "n_byzantine": config.n_byzantine,
-            "n_honest": config.n_honest,
-            "local_dataset_size": setup.local_size,
-            "model_size": setup.simulation.model.num_parameters,
-        },
+        metadata=metadata,
     )
 
 

@@ -27,7 +27,38 @@ from repro.analysis.results import RunResult
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.runner import run_experiment
 
-__all__ = ["run_grid", "accuracy_grid", "series_from_grid"]
+__all__ = ["run_grid", "accuracy_grid", "population_grid", "series_from_grid"]
+
+
+def population_grid(
+    populations: Iterable[int],
+    cohort: int = 64,
+    **overrides,
+) -> dict[int, ExperimentConfig]:
+    """Population-scaling grid: one cell per registered population size.
+
+    Every cell draws ``cohort`` honest workers per round (capped by its
+    population), so the sweep isolates how cost scales with the
+    *registered* population at a fixed per-round compute budget -- the
+    cross-device scaling question ``benchmarks/bench_macro_population.py``
+    measures.  Extra keywords are forwarded to
+    :func:`~repro.experiments.presets.benchmark_preset` for every cell.
+    """
+    from repro.experiments.presets import benchmark_preset
+
+    if cohort <= 0:
+        raise ValueError("cohort must be positive")
+    grid: dict[int, ExperimentConfig] = {}
+    for population in populations:
+        population = int(population)
+        if population <= 0:
+            raise ValueError("populations must be positive")
+        grid[population] = benchmark_preset(
+            population=population,
+            cohort=min(cohort, population),
+            **overrides,
+        )
+    return grid
 
 
 def run_grid(

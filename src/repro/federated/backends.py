@@ -252,6 +252,18 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def map_streamed(self, fn: Callable, items: Iterable) -> Iterable:
+        """Lazily apply ``fn``; yield results in **submission order**.
+
+        The streaming sibling of :meth:`map_ordered`: results are
+        consumed one at a time instead of being collected into a list, so
+        an out-of-core reduction never holds more than the in-flight
+        results.  The base implementation evaluates tasks on demand
+        (nothing runs until the consumer advances); pooled backends
+        overlap execution while preserving the yield order.
+        """
+        return (fn(item) for item in items)
+
     def map_leased(self, fn: Callable, items: Iterable, resources: list) -> list:
         """:meth:`map_ordered` with a leased per-task resource.
 
@@ -367,6 +379,16 @@ class _PooledBackend(ExecutionBackend):
         # Executor.map yields results in submission order by construction
         # and re-raises the first task exception at its position.
         return list(self._ensure_executor().map(fn, items))
+
+    def map_streamed(self, fn: Callable, items: Iterable) -> Iterable:
+        items = list(items)
+        if not items:
+            return iter(())
+        if self.in_process and (len(items) == 1 or self._max_workers == 1):
+            return (fn(item) for item in items)
+        # Executor.map is already an ordered lazy iterator; tasks overlap
+        # while the consumer drains results one at a time.
+        return self._ensure_executor().map(fn, items)
 
     def shutdown(self) -> None:
         with self._lock:

@@ -47,6 +47,7 @@ from repro.core.dp_protocol import (
     finalize_uploads,
     local_update_batch,
 )
+from repro.nn.losses import softmax_cross_entropy
 from repro.nn.network import Sequential
 from repro.registry import Registry
 
@@ -215,13 +216,57 @@ class GhostNormEngine(ClientEngine):
     forward pass) and the peak extra memory is one ``(n_workers, d)``
     bounded-sum buffer -- the ``(n_workers * b_c, d)`` gradient tensor of
     the materialized path never exists.
+
+    Parameters
+    ----------
+    fused:
+        When the network's only parametrised layer is its *last* layer (the
+        paper's linear models), the capture-mode backward pass computes an
+        input gradient ``Delta @ W^T`` that nothing below ever consumes.
+        With ``fused=True`` (the default) the engine captures the ghost
+        factors directly after the forward pass via
+        :meth:`~repro.nn.layers.Linear.capture_terminal_grad_factors`,
+        skipping that GEMM entirely.  The captured factors are bitwise the
+        same arrays, so fused and unfused uploads are bit-identical; models
+        with hidden parametrised layers silently fall back to the full
+        capture-mode backward.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fused: bool = True) -> None:
+        self.fused = bool(fused)
         # Capacity buffer plus row-sliced views, so uneven shard sizes
         # (e.g. 8,8,8,6) reuse one allocation instead of thrashing.
         self._bounded: np.ndarray | None = None
         self._bounded_views: dict[int, np.ndarray] = {}
+
+    @staticmethod
+    def _fused_eligible(model: Sequential) -> bool:
+        """Terminal-layer capture applies iff the last layer holds all
+        parameters, supports factor capture, and implements the
+        terminal-capture hook.  Layers opting out of factor capture
+        (``supports_grad_factors = False``) must keep flowing through
+        ``per_example_grad_factors`` so its unsupported-layer error fires.
+        """
+        last = model.layers[-1]
+        if (
+            not last.parameters
+            or not getattr(last, "supports_grad_factors", False)
+            or not hasattr(last, "capture_terminal_grad_factors")
+        ):
+            return False
+        return not any(layer.parameters for layer in model.layers[:-1])
+
+    def _capture_factors(
+        self, model: Sequential, features: np.ndarray, labels: np.ndarray
+    ) -> list[tuple]:
+        if self.fused and self._fused_eligible(model):
+            last = model.layers[-1]
+            logits = model.forward(features)
+            _, grad_logits = softmax_cross_entropy(logits, labels)
+            last.capture_terminal_grad_factors(grad_logits)
+            return [(last, *last.grad_factors)]
+        _, factors = model.per_example_grad_factors(features, labels)
+        return factors
 
     def _bounded_scratch(self, n_workers: int, dimension: int) -> np.ndarray:
         if (
@@ -253,7 +298,7 @@ class GhostNormEngine(ClientEngine):
         state.ensure_shape(n_workers, batch, dimension)
         momentum = state.slot_momentum  # (n, d), rank-1 across slots
 
-        _, factors = model.per_example_grad_factors(features, labels)
+        factors = self._capture_factors(model, features, labels)
         layout = model.parameter_layout()
 
         # Per-layer factors reshaped worker-major: X_l (n, b, in), D_l (n, b, out).

@@ -613,22 +613,58 @@ class RoundPipeline:
         surviving sub-cohort's rows; the ids map each row back to its
         worker so the server can aggregate the partial cohort against the
         expected population, and the selection diagnostic translates row
-        indices back to worker identities.
+        indices back to worker identities.  In population mode (a
+        simulation with a ``population_source``) the ids are *global*
+        population ids -- callers translate local row indices through
+        :meth:`_state_ids` before handing them in -- and the server keys
+        its per-worker state by the full registered population.
         """
         simulation = self.simulation
+        population_mode = getattr(simulation, "population_source", None) is not None
+        if population_mode and worker_ids is None:
+            worker_ids = simulation.global_worker_ids()
         if worker_ids is None:
             simulation.server.update(uploads)
+        elif population_mode:
+            simulation.server.update(
+                uploads,
+                worker_ids=worker_ids,
+                population=simulation.total_population,
+                expected=simulation.n_workers,
+            )
         else:
             simulation.server.update(
                 uploads, worker_ids=worker_ids, population=simulation.n_workers
             )
+        return self._selection_diagnostics(worker_ids, fault_diagnostics)
+
+    def _state_ids(self, local_ids: np.ndarray) -> np.ndarray:
+        """Translate the round's local row indices to server-state ids.
+
+        Classic simulations key server state by the local row index, so
+        this is the identity; population-mode simulations map row ``i``
+        through the round's sampling plan to its global population id.
+        """
+        mapper = getattr(self.simulation, "global_worker_ids", None)
+        if callable(mapper):
+            return mapper(local_ids)
+        return np.asarray(local_ids, dtype=np.int64)
+
+    def _selection_diagnostics(
+        self,
+        row_ids: np.ndarray | None,
+        fault_diagnostics: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """The round diagnostics dict, given the rows' server-state ids."""
+        simulation = self.simulation
         byz_selected = 0.0
         selected = getattr(simulation.server.aggregator, "last_selected", None)
         if selected is not None and simulation.n_byzantine > 0:
             selected = np.asarray(selected)
-            if worker_ids is not None:
-                selected = np.asarray(worker_ids)[selected]
-            byz_selected = float(np.mean(selected >= simulation.n_honest))
+            if row_ids is not None:
+                selected = np.asarray(row_ids)[selected]
+            floor = getattr(simulation, "byzantine_id_floor", simulation.n_honest)
+            byz_selected = float(np.mean(selected >= floor))
         diagnostics = {"byzantine_selected_fraction": byz_selected}
         if fault_diagnostics:
             diagnostics.update(fault_diagnostics)
@@ -670,9 +706,14 @@ class RoundPipeline:
         dead workers' zero rows.
         """
         simulation = self.simulation
+        prepare = getattr(simulation, "prepare_round", None)
+        if callable(prepare):
+            prepare(round_index)
         faults = getattr(simulation, "fault_model", None)
         if faults is not None and faults.is_active:
             return self._run_faulty_round(round_index, faults)
+        if self._streaming_eligible(round_index):
+            return self._run_streaming_round(round_index)
         honest = self.honest_uploads()
         honest_report = simulation.honest_pool.last_fault_report
         if honest_report is None:
@@ -711,9 +752,72 @@ class RoundPipeline:
         }
         return self.aggregate_and_update(
             uploads[survivor_ids],
-            worker_ids=survivor_ids,
+            worker_ids=self._state_ids(survivor_ids),
             fault_diagnostics=diagnostics,
         )
+
+    def _streaming_eligible(self, round_index: int) -> bool:
+        """Whether this round can stream upload blocks to the server.
+
+        Streaming feeds shard-sized blocks straight into the rule's
+        :meth:`~repro.defenses.base.Aggregator.aggregate_stream` (bitwise
+        identical to the in-memory path), so the stacked ``(n, d)``
+        matrix never materialises.  It requires a rule that accepts
+        streams, an in-process backend (a remote transport can lose
+        shards mid-stream, which needs the partial-cohort path), and an
+        attacker that never looks at the honest matrix this round: no
+        Byzantine workers at all, or a protocol-following attack in an
+        active round (inactive rounds copy honest uploads, and crafting
+        attacks read the omniscient view).
+        """
+        simulation = self.simulation
+        if not getattr(simulation.server.aggregator, "accepts_streaming", False):
+            return False
+        pool = getattr(simulation, "honest_pool", None)
+        if pool is None or not hasattr(pool, "iter_upload_blocks"):
+            return False
+        backend = getattr(simulation, "backend", None)
+        if backend is not None and not backend.in_process:
+            return False
+        if simulation.n_byzantine == 0:
+            return True
+        attack = getattr(simulation, "attack", None)
+        return (
+            attack is not None
+            and attack.follows_protocol
+            and attack.is_active(round_index, simulation.settings.total_rounds)
+            and simulation.byzantine_pool is not None
+        )
+
+    def _run_streaming_round(self, round_index: int) -> dict[str, float]:
+        """Stages 2-5 out-of-core: upload blocks flow straight to the rule.
+
+        Only taken when :meth:`_streaming_eligible` holds, so the round
+        is clean (no faults, no fault reports possible) and the full
+        cohort reports.  The aggregated update is bitwise equal to the
+        in-memory path's.
+        """
+        simulation = self.simulation
+        model = simulation.model
+        n_rows = simulation.n_workers
+
+        def blocks():
+            yield from simulation.honest_pool.iter_upload_blocks(model)
+            if simulation.byzantine_pool is not None:
+                yield from simulation.byzantine_pool.iter_upload_blocks(model)
+
+        if getattr(simulation, "population_source", None) is not None:
+            worker_ids = simulation.global_worker_ids()
+            simulation.server.update_stream(
+                blocks(),
+                n_rows,
+                worker_ids=worker_ids,
+                population=simulation.total_population,
+                expected=n_rows,
+            )
+            return self._selection_diagnostics(worker_ids)
+        simulation.server.update_stream(blocks(), n_rows)
+        return self._selection_diagnostics(None)
 
     def _run_faulty_round(
         self, round_index: int, faults: FaultModel
@@ -789,6 +893,12 @@ class RoundPipeline:
         lost = crashed | dropped | late
         survivor_ids = np.nonzero(~lost)[0]
         rows = stacked[survivor_ids]
+        # From here on ids live in server-state space (identity in the
+        # classic mode, global population ids under cohort subsampling),
+        # so a buffered straggler row stays attributed to the *worker*
+        # that computed it even when the next round samples a different
+        # cohort.
+        survivor_ids = self._state_ids(survivor_ids)
 
         # Buffered stragglers: deliver last round's late reports now,
         # stash this round's for the next (a worker may then contribute
@@ -802,7 +912,7 @@ class RoundPipeline:
             buffered = int(np.count_nonzero(buffer_mask))
             if buffered:
                 self._pending = (
-                    np.nonzero(buffer_mask)[0],
+                    self._state_ids(np.nonzero(buffer_mask)[0]),
                     stacked[buffer_mask].copy(),
                 )
         if arrivals is not None:

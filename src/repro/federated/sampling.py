@@ -1,0 +1,302 @@
+"""Seeded cohort subsampling for cross-device populations.
+
+Real cross-device federated learning draws a small cohort from a huge
+registered population each round.  This module makes population size a
+free variable:
+
+- :data:`SAMPLERS` is the registry axis of cohort samplers.  A sampler
+  draws the round's participation plan -- a sorted array of worker ids --
+  from a counter-derived stream keyed ``(seed, "sampler", round_index)``,
+  so the plan for any round is a pure function of the experiment seed and
+  the round number.  Traces therefore replay bit-identically regardless
+  of execution backend or restart point.
+- :func:`derive_rng` is the shared keyed-derivation helper: stable string
+  component tags (hashed through CRC-32) plus integer counters feed a
+  ``SeedSequence``, mirroring the fault-model idiom.  Streams are keyed
+  by *stable identifiers* (worker id, round index), never by execution
+  order -- the property lint rule REP007 enforces.
+- :class:`WorkerSource` is the lazy population: it can stand in for a
+  million registered workers while allocating nothing until a worker is
+  actually sampled.  A worker's local dataset and per-round generator are
+  derived on demand from ``(seed, "worker_data", worker_id)`` and
+  ``(seed, "worker", worker_id, round_index)`` respectively, so clients
+  are stateless between participations.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.registry import Registry
+
+__all__ = [
+    "SAMPLERS",
+    "CohortSampler",
+    "FixedSampler",
+    "UniformSampler",
+    "WeightedSampler",
+    "WorkerSource",
+    "build_sampler",
+    "derive_rng",
+]
+
+#: Registry of cohort samplers (the eighth scenario axis).
+SAMPLERS = Registry("sampler")
+
+
+def _component_tag(component: str | int) -> int:
+    """Stable integer tag for a derivation component name."""
+    if isinstance(component, int):
+        return int(component)
+    return zlib.crc32(component.encode("utf-8"))
+
+
+def derive_rng(
+    seed: int, component: str | int, *counters: int
+) -> np.random.Generator:
+    """Generator for the stream keyed ``(seed, component, *counters)``.
+
+    ``component`` names the consumer ("sampler", "worker", "server", ...)
+    and the counters are stable identifiers such as worker ids or round
+    indices.  Equal keys give bitwise-equal streams on every backend and
+    across restarts; distinct keys give independent streams.
+    """
+    entropy = (int(seed), _component_tag(component)) + tuple(
+        int(counter) for counter in counters
+    )
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+class CohortSampler:
+    """Base class: draw a sorted cohort of worker ids for each round.
+
+    Subclasses implement :meth:`_plan`.  Draws are stateless -- the plan
+    depends only on ``(seed, round_index, population, cohort)`` -- but the
+    sampler counts the rounds it has drawn so checkpoints can assert a
+    restored schedule resumes where it left off.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rounds_drawn = 0
+
+    def rng(self, round_index: int) -> np.random.Generator:
+        """The round's plan stream, keyed ``(seed, "sampler", round)``."""
+        return derive_rng(self.seed, "sampler", round_index)
+
+    def draw(self, round_index: int, population: int, cohort: int) -> np.ndarray:
+        """Sorted ``int64`` ids of the workers participating this round."""
+        population = int(population)
+        cohort = int(cohort)
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if not 0 < cohort <= population:
+            raise ValueError(
+                f"cohort must be in [1, population]; got cohort={cohort} "
+                f"for population={population}"
+            )
+        plan = np.asarray(
+            self._plan(int(round_index), population, cohort), dtype=np.int64
+        )
+        if plan.shape != (cohort,):
+            raise ValueError(
+                f"sampler returned {plan.shape[0] if plan.ndim == 1 else plan.shape} "
+                f"ids, expected {cohort}"
+            )
+        if plan.size and (plan[0] < 0 or plan[-1] >= population):
+            raise ValueError("sampled worker ids out of range")
+        if np.any(np.diff(plan) <= 0):
+            raise ValueError("sampler must return strictly increasing worker ids")
+        self.rounds_drawn += 1
+        return plan
+
+    def _plan(self, round_index: int, population: int, cohort: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable sampler state for round-state snapshots."""
+        return {"rounds_drawn": int(self.rounds_drawn)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rounds_drawn = int(state.get("rounds_drawn", 0))
+
+
+@SAMPLERS.register(
+    "uniform",
+    summary="uniform cohort without replacement (Floyd; O(cohort) memory)",
+)
+class UniformSampler(CohortSampler):
+    """Uniform sampling without replacement via Robert Floyd's algorithm.
+
+    Memory and draw cost scale with the *cohort*, not the population, so
+    drawing 64 workers from 10**6 registered ones is as cheap as from 100.
+    """
+
+    def _plan(self, round_index: int, population: int, cohort: int) -> np.ndarray:
+        rng = self.rng(round_index)
+        chosen: set[int] = set()
+        for upper in range(population - cohort, population):
+            candidate = int(rng.integers(0, upper + 1))
+            chosen.add(upper if candidate in chosen else candidate)
+        return np.sort(np.fromiter(chosen, dtype=np.int64, count=cohort))
+
+
+@SAMPLERS.register(
+    "fixed",
+    summary="deterministic cohort: the first `cohort` worker ids every round",
+)
+class FixedSampler(CohortSampler):
+    """Always select workers ``0 .. cohort-1`` (debug / ablation baseline)."""
+
+    def _plan(self, round_index: int, population: int, cohort: int) -> np.ndarray:
+        return np.arange(cohort, dtype=np.int64)
+
+
+@SAMPLERS.register(
+    "weighted",
+    summary="weighted cohort without replacement (O(population) per draw)",
+)
+class WeightedSampler(CohortSampler):
+    """Sample proportionally to per-worker weights, without replacement.
+
+    Parameters
+    ----------
+    seed:
+        Stream seed (injected from the experiment seed by
+        :func:`build_sampler` unless given explicitly).
+    weights:
+        Optional explicit per-worker weights; must have length
+        ``population`` at draw time.
+    exponent:
+        When ``weights`` is omitted, worker ``i`` gets weight
+        ``(i + 1) ** exponent`` -- a simple skew knob for availability
+        heterogeneity studies.
+
+    Unlike :class:`UniformSampler` this materialises the probability
+    vector, so a draw costs O(population) time and memory.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        weights: np.ndarray | list[float] | None = None,
+        exponent: float = 1.0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        self.exponent = float(exponent)
+
+    def _plan(self, round_index: int, population: int, cohort: int) -> np.ndarray:
+        if self.weights is not None:
+            probabilities = self.weights
+            if probabilities.shape != (population,):
+                raise ValueError(
+                    f"weights must have shape ({population},), "
+                    f"got {probabilities.shape}"
+                )
+        else:
+            probabilities = (
+                np.arange(1, population + 1, dtype=np.float64) ** self.exponent
+            )
+        if not np.all(np.isfinite(probabilities)) or np.any(probabilities < 0):
+            raise ValueError("weights must be finite and non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("weights must not sum to zero")
+        rng = self.rng(round_index)
+        plan = rng.choice(
+            population, size=cohort, replace=False, p=probabilities / total
+        )
+        return np.sort(plan.astype(np.int64))
+
+
+def build_sampler(
+    spec: str, *, default_seed: int | None = None, **kwargs
+) -> CohortSampler:
+    """Build a sampler from its registry name.
+
+    ``default_seed`` seeds the sampler's derivation stream when the
+    builder accepts a ``seed`` keyword and the caller did not pass one --
+    the same injection idiom :func:`~repro.federated.faults.build_faults`
+    uses, so custom samplers without a ``seed`` parameter still work.
+    """
+    merged = dict(kwargs)
+    if default_seed is not None and "seed" not in merged:
+        try:
+            SAMPLERS.validate_kwargs(spec, {**merged, "seed": default_seed})
+        except TypeError:
+            pass
+        else:
+            merged["seed"] = default_seed
+    return SAMPLERS.build(spec, **merged)
+
+
+class WorkerSource:
+    """Lazy registered population backed by one base dataset.
+
+    Nothing is allocated per registered worker: a worker's local dataset
+    is derived on demand from the stream keyed
+    ``(seed, "worker_data", worker_id)`` and its per-round generator from
+    ``(seed, "worker", worker_id, round_index)``.  Both are pure
+    functions of stable identifiers, so the same worker id yields the
+    same data and the same round yields the same batch stream on every
+    backend and after any restart.
+    """
+
+    def __init__(
+        self, base: Dataset, population: int, local_size: int, seed: int
+    ) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if local_size <= 0:
+            raise ValueError("local_size must be positive")
+        if len(base) == 0:
+            raise ValueError("base dataset must be non-empty")
+        self.base = base
+        self.population = int(population)
+        self.local_size = int(local_size)
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return self.population
+
+    @property
+    def dim(self) -> int:
+        return self.base.dim
+
+    def _check_id(self, worker_id: int) -> int:
+        worker_id = int(worker_id)
+        if not 0 <= worker_id < self.population:
+            raise ValueError(
+                f"worker_id {worker_id} out of range for population "
+                f"{self.population}"
+            )
+        return worker_id
+
+    def dataset(self, worker_id: int) -> Dataset:
+        """The worker's local dataset, materialised on demand."""
+        worker_id = self._check_id(worker_id)
+        rng = derive_rng(self.seed, "worker_data", worker_id)
+        replace = self.local_size > len(self.base)
+        indices = rng.choice(len(self.base), size=self.local_size, replace=replace)
+        return self.base.subset(np.sort(indices))
+
+    def round_rng(self, worker_id: int, round_index: int) -> np.random.Generator:
+        """The worker's generator for one round's participation."""
+        worker_id = self._check_id(worker_id)
+        return derive_rng(self.seed, "worker", worker_id, int(round_index))
+
+    def datasets(self, worker_ids: np.ndarray) -> list[Dataset]:
+        """Local datasets for a sampled cohort (materialised now)."""
+        return [self.dataset(worker_id) for worker_id in worker_ids]
+
+    def round_rngs(
+        self, worker_ids: np.ndarray, round_index: int
+    ) -> list[np.random.Generator]:
+        """Per-round generators for a sampled cohort."""
+        return [
+            self.round_rng(worker_id, round_index) for worker_id in worker_ids
+        ]

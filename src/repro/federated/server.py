@@ -108,6 +108,7 @@ class Server:
         uploads: np.ndarray | list[np.ndarray],
         worker_ids: np.ndarray | None = None,
         population: int | None = None,
+        expected: int | None = None,
     ) -> np.ndarray:
         """Aggregate the round's uploads and apply the model update.
 
@@ -124,14 +125,22 @@ class Server:
         The quorum check runs first, so an under-quorum round raises a
         clean :class:`~repro.federated.faults.QuorumError` rather than a
         shape error from the aggregation rule.
+
+        When cohort subsampling decouples the per-worker state dimension
+        from the round's reporting cohort, ``expected`` carries the
+        number of workers the round *should* deliver (the quorum base),
+        while ``population`` stays the registered-population size the
+        per-worker server state is keyed by.  ``expected`` defaults to
+        ``population`` -- the classic partial-cohort semantics.
         """
         survivors = (
             int(uploads.shape[0])
             if isinstance(uploads, np.ndarray)
             else len(uploads)
         )
-        expected = survivors if population is None else int(population)
-        required = resolve_quorum(self.min_quorum, expected)
+        state_population = survivors if population is None else int(population)
+        quorum_base = state_population if expected is None else int(expected)
+        required = resolve_quorum(self.min_quorum, quorum_base)
         if survivors < required:
             raise QuorumError(
                 round_index=self.round_index,
@@ -141,8 +150,47 @@ class Server:
         context = self.aggregation_context()
         if worker_ids is not None:
             context.worker_ids = np.asarray(worker_ids, dtype=np.int64)
-            context.population = expected
+            context.population = state_population
         aggregated = self.aggregator.aggregate(uploads, context)
+        parameters = self.model.get_flat_parameters()
+        self.model.set_flat_parameters(parameters - self.learning_rate * aggregated)
+        self.round_index += 1
+        return aggregated
+
+    def update_stream(
+        self,
+        blocks,
+        n_rows: int,
+        worker_ids: np.ndarray | None = None,
+        population: int | None = None,
+        expected: int | None = None,
+    ) -> np.ndarray:
+        """Streaming counterpart of :meth:`update`.
+
+        ``blocks`` is an iterable of ``(m_i, d)`` upload blocks whose
+        concatenation is the round matrix; ``n_rows`` is the total row
+        count (the producer knows it without materialising anything, and
+        the quorum check must run *before* the stream is consumed).  The
+        blocks are forwarded to the rule's
+        :meth:`~repro.defenses.base.Aggregator.aggregate_stream`, which
+        is bitwise-identical to the in-memory path.  ``population`` and
+        ``expected`` carry the same semantics as in :meth:`update`.
+        """
+        survivors = int(n_rows)
+        state_population = survivors if population is None else int(population)
+        quorum_base = state_population if expected is None else int(expected)
+        required = resolve_quorum(self.min_quorum, quorum_base)
+        if survivors < required:
+            raise QuorumError(
+                round_index=self.round_index,
+                survivors=survivors,
+                required=required,
+            )
+        context = self.aggregation_context()
+        if worker_ids is not None:
+            context.worker_ids = np.asarray(worker_ids, dtype=np.int64)
+            context.population = state_population
+        aggregated = self.aggregator.aggregate_stream(blocks, context)
         parameters = self.model.get_flat_parameters()
         self.model.set_flat_parameters(parameters - self.learning_rate * aggregated)
         self.round_index += 1

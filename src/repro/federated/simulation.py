@@ -43,6 +43,12 @@ from repro.data.dataset import Dataset
 from repro.defenses.base import Aggregator
 from repro.federated.backends import ExecutionBackend, RetryPolicy, build_backend
 from repro.federated.faults import FaultModel, ShardFaultPlan, build_faults
+from repro.federated.sampling import (
+    CohortSampler,
+    WorkerSource,
+    build_sampler,
+    derive_rng,
+)
 from repro.federated.state import RoundState
 from repro.federated.history import TrainingHistory
 from repro.federated.pipeline import HistoryRecorder, RoundCallback, RoundPipeline
@@ -158,6 +164,24 @@ class FederatedSimulation:
         :class:`~repro.federated.backends.RetryPolicy`, a mapping of its
         keyword arguments, or ``None`` for the default (3 attempts, no
         backoff).  Overrides a ``FaultsConfig``'s ``retry`` mapping.
+    population:
+        A lazy :class:`~repro.federated.sampling.WorkerSource` standing
+        in for the full registered honest population (cross-device
+        mode).  ``honest_datasets`` must then be empty: each round a
+        cohort of ``cohort`` workers is drawn by ``sampler`` and only
+        those workers' data and generators are materialised.  Server-side
+        per-worker state (the two-stage accumulated scores, quorum
+        fractions) is keyed by the *global* worker ids over
+        ``len(population) + n_byzantine``.
+    cohort:
+        Honest workers drawn per round in population mode (defaults to
+        the full population).
+    sampler:
+        The :class:`~repro.federated.sampling.CohortSampler` drawing each
+        round's plan; defaults to the seeded ``uniform`` sampler.  Plans
+        are keyed ``(seed, "sampler", round)``, so the participation
+        trace replays bit-identically on every backend and across
+        restarts.
     """
 
     def __init__(
@@ -179,9 +203,16 @@ class FederatedSimulation:
         faults: str | FaultsConfig | FaultModel | None = None,
         min_quorum: int | float | None = None,
         retry: RetryPolicy | dict | None = None,
+        population: WorkerSource | None = None,
+        cohort: int | None = None,
+        sampler: CohortSampler | None = None,
     ) -> None:
-        if not honest_datasets:
+        if population is None and not honest_datasets:
             raise ValueError("at least one honest worker is required")
+        if population is not None and honest_datasets:
+            raise ValueError(
+                "pass either honest_datasets or a population source, not both"
+            )
         if n_byzantine < 0:
             raise ValueError("n_byzantine must be non-negative")
         if n_byzantine > 0 and attack is None:
@@ -228,44 +259,98 @@ class FederatedSimulation:
         # the next RoundPipeline built over this simulation.
         self._restored_pending: tuple[np.ndarray, np.ndarray] | None = None
 
-        seed_sequence = np.random.SeedSequence(seed)
-        worker_seeds = seed_sequence.spawn(len(honest_datasets) + n_byzantine + 2)
-        self._server_rng = np.random.default_rng(worker_seeds[0])
-        self._attack_rng = np.random.default_rng(worker_seeds[1])
-
-        self.honest_pool = WorkerPool(
-            honest_datasets,
-            dp_config,
-            [
-                np.random.default_rng(worker_seeds[2 + i])
-                for i in range(len(honest_datasets))
-            ],
-            engine=engine,
-            shard_size=shard_size,
-            backend=self.backend,
-        )
+        #: lazy registered population (cross-device mode); ``None`` runs
+        #: the classic fixed-cohort simulation
+        self.population_source = population
+        self.sampler: CohortSampler | None = None
+        self.cohort = 0
+        #: global honest worker ids sampled for the current round
+        self.current_plan: np.ndarray | None = None
 
         self.byzantine_pool: WorkerPool | None = None
-        if n_byzantine > 0 and attack is not None and attack.follows_protocol:
-            offset = 2 + len(honest_datasets)
-            poisoned_datasets: list[Dataset] = []
-            for i in range(n_byzantine):
-                if byzantine_datasets is not None:
-                    local = byzantine_datasets[i % len(byzantine_datasets)]
-                else:
-                    local = honest_datasets[i % len(honest_datasets)]
-                poisoned_datasets.append(attack.poison_dataset(local))
-            self.byzantine_pool = WorkerPool(
-                poisoned_datasets,
+        if population is not None:
+            cohort = len(population) if cohort is None else int(cohort)
+            if not 0 < cohort <= len(population):
+                raise ValueError(
+                    f"cohort must be in [1, {len(population)}], got {cohort}"
+                )
+            self.cohort = cohort
+            self.sampler = (
+                sampler
+                if sampler is not None
+                else build_sampler("uniform", default_seed=seed)
+            )
+            # Derived, not spawned: every stream is keyed by a stable
+            # component name / worker id, so a 10^6-strong registered
+            # population costs nothing until a worker is actually drawn.
+            self._server_rng = derive_rng(seed, "server")
+            self._attack_rng = derive_rng(seed, "attack")
+            # The pool's slot count (cohort) is fixed; _prepare_round
+            # re-points the slots at each round's sampled workers, so the
+            # bootstrap contents below never feed a computation.
+            bootstrap = list(range(cohort))
+            self.honest_pool = WorkerPool(
+                [population.dataset(i) for i in bootstrap],
+                dp_config,
+                [population.round_rng(i, 0) for i in bootstrap],
+                engine=engine,
+                shard_size=shard_size,
+                backend=self.backend,
+            )
+            if n_byzantine > 0 and attack is not None and attack.follows_protocol:
+                poisoned_datasets: list[Dataset] = []
+                for i in range(n_byzantine):
+                    if byzantine_datasets is not None:
+                        local = byzantine_datasets[i % len(byzantine_datasets)]
+                    else:
+                        local = population.dataset(i % len(population))
+                    poisoned_datasets.append(attack.poison_dataset(local))
+                self.byzantine_pool = WorkerPool(
+                    poisoned_datasets,
+                    dp_config,
+                    [derive_rng(seed, "byzantine", i) for i in range(n_byzantine)],
+                    engine=engine,
+                    shard_size=shard_size,
+                    backend=self.backend,
+                )
+        else:
+            seed_sequence = np.random.SeedSequence(seed)
+            worker_seeds = seed_sequence.spawn(len(honest_datasets) + n_byzantine + 2)
+            self._server_rng = np.random.default_rng(worker_seeds[0])
+            self._attack_rng = np.random.default_rng(worker_seeds[1])
+
+            self.honest_pool = WorkerPool(
+                honest_datasets,
                 dp_config,
                 [
-                    np.random.default_rng(worker_seeds[offset + i])
-                    for i in range(n_byzantine)
+                    np.random.default_rng(worker_seeds[2 + i])
+                    for i in range(len(honest_datasets))
                 ],
                 engine=engine,
                 shard_size=shard_size,
                 backend=self.backend,
             )
+
+            if n_byzantine > 0 and attack is not None and attack.follows_protocol:
+                offset = 2 + len(honest_datasets)
+                poisoned_datasets = []
+                for i in range(n_byzantine):
+                    if byzantine_datasets is not None:
+                        local = byzantine_datasets[i % len(byzantine_datasets)]
+                    else:
+                        local = honest_datasets[i % len(honest_datasets)]
+                    poisoned_datasets.append(attack.poison_dataset(local))
+                self.byzantine_pool = WorkerPool(
+                    poisoned_datasets,
+                    dp_config,
+                    [
+                        np.random.default_rng(worker_seeds[offset + i])
+                        for i in range(n_byzantine)
+                    ],
+                    engine=engine,
+                    shard_size=shard_size,
+                    backend=self.backend,
+                )
 
         self.server = Server(
             model=model,
@@ -284,13 +369,75 @@ class FederatedSimulation:
     # ------------------------------------------------------------------ #
     @property
     def n_honest(self) -> int:
-        """Number of honest workers."""
+        """Number of honest workers computing uploads per round."""
         return self.honest_pool.n_workers
 
     @property
     def n_workers(self) -> int:
-        """Total number of workers (honest + Byzantine)."""
+        """Workers reporting per round (honest cohort + Byzantine)."""
         return self.n_honest + self.n_byzantine
+
+    @property
+    def total_population(self) -> int:
+        """Registered worker count keying per-worker server state.
+
+        Equals :attr:`n_workers` in the classic fixed-cohort mode; in
+        population mode it spans the whole registered honest population
+        plus the Byzantine workers, so a worker's accumulated second-stage
+        score survives the rounds it is not sampled.
+        """
+        if self.population_source is None:
+            return self.n_workers
+        return len(self.population_source) + self.n_byzantine
+
+    @property
+    def byzantine_id_floor(self) -> int:
+        """First Byzantine global worker id (every id below is honest)."""
+        if self.population_source is None:
+            return self.n_honest
+        return len(self.population_source)
+
+    def prepare_round(self, round_index: int) -> None:
+        """Draw the round's cohort and re-point the honest pool at it.
+
+        A no-op in the classic mode.  In population mode the sampler's
+        plan -- keyed ``(seed, "sampler", round_index)``, independent of
+        backend and restart point -- selects the honest workers, whose
+        data and generators are materialised only now.
+        """
+        if self.population_source is None or self.sampler is None:
+            return
+        plan = self.sampler.draw(
+            round_index, len(self.population_source), self.cohort
+        )
+        self.current_plan = plan
+        self.honest_pool.assign(
+            self.population_source.datasets(plan),
+            self.population_source.round_rngs(plan, round_index),
+        )
+
+    def global_worker_ids(self, local_ids: np.ndarray | None = None) -> np.ndarray:
+        """Map round-local row indices to population-global worker ids.
+
+        Row ``i`` of the round's stacked upload matrix belongs to the
+        ``i``-th sampled honest worker for ``i < n_honest`` and to
+        Byzantine worker ``i - n_honest`` otherwise.  In the classic mode
+        the mapping is the identity.  ``local_ids=None`` maps the full
+        round.
+        """
+        if self.population_source is None or self.current_plan is None:
+            full = np.arange(self.n_workers, dtype=np.int64)
+        else:
+            full = np.concatenate(
+                (
+                    self.current_plan,
+                    self.byzantine_id_floor
+                    + np.arange(self.n_byzantine, dtype=np.int64),
+                )
+            )
+        if local_ids is None:
+            return full
+        return full[np.asarray(local_ids, dtype=np.int64)]
 
     @property
     def honest_workers(self) -> list[WorkerSlot]:
@@ -434,6 +581,9 @@ class FederatedSimulation:
                 else (np.array(pending[0]), np.array(pending[1]))
             ),
             aggregator_state=self.server.aggregator.state_dict() or None,
+            sampler_state=(
+                None if self.sampler is None else self.sampler.state_dict()
+            ),
         )
 
     def restore_round_state(self, state: RoundState) -> None:
@@ -485,6 +635,11 @@ class FederatedSimulation:
         # The defense rule may hold evolving server-side state (the
         # two-stage protocol accumulates per-worker scores across rounds).
         self.server.aggregator.load_state_dict(state.aggregator_state or {})
+        if self.sampler is not None and state.sampler_state is not None:
+            # Draws are keyed by the round index, so the restored counter
+            # is bookkeeping -- but it lets resumes assert the schedule
+            # picks up exactly where the snapshot left off.
+            self.sampler.load_state_dict(state.sampler_state)
         self._restored_pending = (
             None if state.pending is None
             else (np.array(state.pending[0]), np.array(state.pending[1]))

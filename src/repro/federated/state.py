@@ -72,6 +72,10 @@ class RoundState:
         :meth:`~repro.defenses.base.Aggregator.state_dict` (e.g. the
         two-stage protocol's accumulated score list); ``None``/``{}``
         for stateless rules.
+    sampler_state:
+        The cohort sampler's JSON-serialisable state (population mode);
+        ``None`` for classic fixed-cohort runs and snapshots written
+        before samplers existed.
     """
 
     round_index: int
@@ -86,6 +90,7 @@ class RoundState:
     byzantine_rngs: list[dict] | None = None
     pending: tuple[np.ndarray, np.ndarray] | None = None
     aggregator_state: dict[str, np.ndarray] | None = None
+    sampler_state: dict | None = None
 
 
 def save_round_state(state: RoundState, path: str | Path) -> Path:
@@ -113,6 +118,8 @@ def save_round_state(state: RoundState, path: str | Path) -> Path:
         "has_byzantine": state.byzantine_momentum is not None,
         "has_pending": state.pending is not None,
         "aggregator_keys": sorted(state.aggregator_state or {}),
+        # Optional key (readers use .get), so the format version holds.
+        "sampler_state": state.sampler_state,
     }
     arrays: dict[str, np.ndarray] = {
         "parameters": np.asarray(state.parameters, dtype=np.float64),
@@ -180,4 +187,5 @@ def load_round_state(path: str | Path) -> RoundState:
             byzantine_rngs=meta["byzantine_rngs"],
             pending=pending,
             aggregator_state=aggregator_state,
+            sampler_state=meta.get("sampler_state"),
         )

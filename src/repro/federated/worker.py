@@ -47,6 +47,7 @@ all its fake workers at once).
 from __future__ import annotations
 
 import pickle
+import queue
 import threading
 import uuid
 
@@ -323,6 +324,34 @@ class WorkerPool:
         """Per-worker views (dataset, generator, momentum) into the pool."""
         return [WorkerSlot(self, index) for index in range(self.n_workers)]
 
+    def assign(
+        self, datasets: list[Dataset], rngs: list[np.random.Generator]
+    ) -> None:
+        """Re-point every slot at a freshly sampled cohort.
+
+        Cross-device rounds draw a new cohort from the registered
+        population each round; the pool's slot count (and therefore its
+        shard bounds and scratch sizes) stays constant while the slots'
+        datasets and generators are swapped in.  Momentum is zeroed:
+        a sampled worker starts its participation from a fresh local
+        state, the standard stateless-client semantics of cross-device
+        federated learning.
+        """
+        if len(datasets) != self.n_workers or len(rngs) != self.n_workers:
+            raise ValueError(
+                f"assign expects exactly {self.n_workers} datasets and "
+                f"generators, got {len(datasets)} and {len(rngs)}"
+            )
+        dims = {dataset.dim for dataset in datasets}
+        if len(dims) > 1:
+            raise ValueError(f"workers disagree on feature dimensionality: {dims}")
+        for dataset in datasets:
+            if len(dataset) == 0:
+                raise ValueError("worker dataset must not be empty")
+        self.datasets = list(datasets)
+        self.rngs = list(rngs)
+        self.state.slot_momentum[...] = 0.0
+
     # ------------------------------------------------------------------ #
     # shard execution
     # ------------------------------------------------------------------ #
@@ -360,6 +389,90 @@ class WorkerPool:
             self.dp_config,
             self.rngs[start:stop],
         )
+
+    def _stream_shard(
+        self,
+        model: Sequential,
+        workspace: _ShardWorkspace,
+        bounds: tuple[int, int],
+    ) -> np.ndarray:
+        """Sample, run the engine and return one shard's uploads as a copy.
+
+        Identical arithmetic and state semantics to :meth:`_compute_shard`
+        (same worker streams, same momentum view), but the result is a
+        fresh ``(stop - start, d)`` array rather than rows of a
+        pre-allocated ``(n, d)`` matrix -- the engine's scratch is reused
+        by the next shard, so the copy is what makes the block safe to
+        hand to a streaming consumer.
+        """
+        start, stop = bounds
+        batch = self.dp_config.batch_size
+        workspace.ensure_scratch(
+            batch, self.shard_size * batch, self.datasets[0].dim
+        )
+        features, labels = workspace.sample(
+            self.datasets, self.rngs, start, stop, batch
+        )
+        shard_state = BatchedDPState(
+            slot_momentum=self.state.slot_momentum[start:stop],
+            batch_size=batch,
+        )
+        return np.array(
+            workspace.engine.compute_uploads(
+                model,
+                features,
+                labels,
+                stop - start,
+                shard_state,
+                self.dp_config,
+                self.rngs[start:stop],
+            )
+        )
+
+    def iter_upload_blocks(self, model: Sequential):
+        """Yield the round's uploads shard-by-shard (fault-free path only).
+
+        The streaming sibling of :meth:`compute_uploads`: blocks arrive
+        in worker order and their concatenation is bitwise-identical to
+        the ``(n, d)`` matrix -- but on the serial in-process path that
+        matrix never exists, so peak memory is one shard's uploads plus
+        the engine scratch no matter how large the cohort.  In-process
+        parallel backends overlap shard computation behind the backend's
+        ordered lazy iterator (leased workspaces, copies per block);
+        out-of-process backends already materialise the round in the
+        parent and simply yield views of it.
+        """
+        n, batch = self.n_workers, self.dp_config.batch_size
+        dimension = model.num_parameters
+        self.state.ensure_shape(n, batch, dimension)
+        self.last_fault_report = None
+        backend = self.backend
+        if not backend.in_process:
+            uploads = np.empty((n, dimension), dtype=np.float64)
+            self._compute_uploads_process(model, uploads)
+            for start, stop in self._shard_bounds:
+                yield uploads[start:stop]
+            return
+        jobs = min(backend.max_workers, self.n_shards)
+        if jobs <= 1:
+            for bounds in self._shard_bounds:
+                yield self._stream_shard(model, self._primary, bounds)
+            return
+        free: queue.SimpleQueue = queue.SimpleQueue()
+        for workspace in self._parallel_workspaces(model, jobs):
+            free.put(workspace)
+
+        def run_shard(bounds: tuple[int, int]) -> np.ndarray:
+            workspace = free.get()
+            try:
+                shard_model = (
+                    workspace.model if workspace.model is not None else model
+                )
+                return self._stream_shard(shard_model, workspace, bounds)
+            finally:
+                free.put(workspace)
+
+        yield from backend.map_streamed(run_shard, self._shard_bounds)
 
     def _new_engine(self) -> ClientEngine:
         """A fresh engine for a parallel slot (spec rebuild, or clone)."""

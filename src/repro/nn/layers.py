@@ -157,6 +157,27 @@ class Linear(Layer):
         self._bound_grads = [grad_weight, grad_bias]
         return True
 
+    def capture_terminal_grad_factors(self, grad_output: np.ndarray) -> None:
+        """Record ghost factors for a *terminal* layer without a backward pass.
+
+        Equivalent to a capture-mode :meth:`backward` except the input
+        gradient ``grad_output @ W^T`` is never formed -- that return value
+        only exists to keep propagating below this layer, so when the layer
+        is the last (and only) parametrised layer of the network the GEMM is
+        pure waste.  The fused ghost engine calls this directly after the
+        forward pass; the recorded factors are bitwise the same arrays a
+        capture-mode backward would store.
+        """
+        if self._input is None:
+            raise RuntimeError("capture_terminal_grad_factors called before forward")
+        if grad_output.shape != (self._input.shape[0], self.out_features):
+            raise ValueError(
+                f"expected grad_output of shape "
+                f"({self._input.shape[0]}, {self.out_features}), got {grad_output.shape}"
+            )
+        self.grad_factors = (self._input, grad_output)
+        self.per_example_grads = None
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")

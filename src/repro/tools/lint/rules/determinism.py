@@ -1,4 +1,4 @@
-"""REP001 -- naked nondeterminism in seeded components.
+"""REP001/REP007 -- naked nondeterminism in seeded components.
 
 The invariant (established in PR 6 and relied on ever since): every
 random draw in the deterministic core flows from a counter-derived
@@ -21,6 +21,15 @@ or ``stats/`` silently breaks that chain:
 backoff timers are wall-clock by nature and never feed the model path.
 Genuinely non-semantic uses (cache tokens, temp names) carry a per-line
 suppression with a justification instead.
+
+REP007 catches the *subtle* sibling of REP001: a correctly seeded
+counter-derived stream keyed by the wrong counter.  Deriving a worker's
+generator from its position in an iteration (``for index, worker in
+enumerate(cohort): derive_rng(seed, "worker", index)``) produces streams
+that depend on execution/selection order -- reorder the cohort, shard
+it differently, or subsample a different round and worker 7 silently
+draws worker 3's noise.  Streams must be keyed by *stable identity*
+(worker id, round number), never by loop position.
 """
 
 from __future__ import annotations
@@ -124,3 +133,118 @@ class NakedNondeterminism(LintRule):
                     "the value never feeds results",
                     symbol="uuid",
                 )
+
+
+#: Calls whose arguments are RNG-stream keys: seeding one of these with a
+#: loop-position counter keys the stream by execution order.
+_STREAM_KEY_SINKS = frozenset({
+    "numpy.random.SeedSequence",
+    "numpy.random.default_rng",
+    "repro.federated.sampling.derive_rng",
+})
+
+
+def _enumerate_index_names(loop: ast.For) -> frozenset[str]:
+    """Names bound to the *index* of ``for idx, ... in enumerate(...)``.
+
+    Only the first element of a tuple target is the position counter; the
+    payload element(s) are the items themselves and are fine to key on.
+    A bare ``for idx in enumerate(...)`` binds the (index, item) pair, so
+    keying on it also embeds the position -- flagged too.
+    """
+    call = loop.iter
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "enumerate"
+    ):
+        return frozenset()
+    target = loop.target
+    if isinstance(target, ast.Tuple) and target.elts:
+        target = target.elts[0]
+    if isinstance(target, ast.Name):
+        return frozenset({target.id})
+    return frozenset()
+
+
+@LINT_RULES.register(
+    "REP007",
+    aliases=("order-keyed-rng",),
+    summary="RNG stream keyed by enumerate/loop position instead of a stable id",
+)
+class OrderKeyedRng(LintRule):
+    """Counter-derivation misuse: seeding a stream with a loop position.
+
+    ``SeedSequence((seed, component, counter))`` only replays across
+    backends and cohort plans when every counter is a *stable identity*
+    (worker id, round index).  An ``enumerate`` index is an execution-order
+    artifact: the same worker gets a different stream whenever the
+    iteration order, shard split or sampled cohort changes.
+    """
+
+    code = "REP007"
+    name = "order-keyed-rng"
+    targets = ("repro/federated/",)
+
+    @staticmethod
+    def _is_sink(called: str | None) -> bool:
+        if called is None:
+            return False
+        return (
+            called in _STREAM_KEY_SINKS
+            or called.endswith(".derive_rng")
+            or called == "derive_rng"
+        )
+
+    def _index_names_used(
+        self,
+        node: ast.Call,
+        index_names: frozenset[str],
+        aliases: dict[str, str],
+    ) -> list[str]:
+        """Index names fed to this sink call, nested sinks excluded.
+
+        ``default_rng(SeedSequence((seed, index)))`` charges the index to
+        the inner ``SeedSequence`` only, so each misuse yields one finding.
+        """
+        used: set[str] = set()
+        stack: list[ast.AST] = list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Call) and self._is_sink(
+                resolve_call(current, aliases)
+            ):
+                continue
+            if (
+                isinstance(current, ast.Name)
+                and isinstance(current.ctx, ast.Load)
+                and current.id in index_names
+            ):
+                used.add(current.id)
+            stack.extend(ast.iter_child_nodes(current))
+        return sorted(used)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for loop in module.walk(ast.For):
+            index_names = _enumerate_index_names(loop)
+            if not index_names:
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_sink(resolve_call(node, aliases)):
+                    continue
+                used = self._index_names_used(node, index_names, aliases)
+                if used:
+                    yield self.finding(
+                        module, node,
+                        f"RNG stream keyed by enumerate index "
+                        f"{', '.join(repr(name) for name in used)}: the same "
+                        "worker draws a different stream whenever iteration "
+                        "order or the sampled cohort changes; key on a stable "
+                        "id (worker id, round index) instead",
+                        symbol="order-keyed-rng",
+                    )

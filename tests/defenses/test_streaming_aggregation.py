@@ -1,0 +1,104 @@
+"""Streaming aggregation is bitwise-identical to the in-memory path.
+
+``Aggregator.aggregate_stream`` consumes ``(m_i, d)`` upload blocks whose
+concatenation is exactly the matrix ``aggregate`` would receive.  The
+contract -- relied on by the out-of-core pipeline path -- is *bitwise*
+equality for every registered defense, every shard split (including
+ragged and single-row blocks), and partial cohorts with ``worker_ids``:
+the true out-of-core reductions (``accepts_streaming`` rules) must
+reproduce the in-memory result exactly, and the base concatenate-fallback
+makes every other rule streamable by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import Aggregator
+from repro.defenses.registry import DEFENSES, build_defense
+from tests.helpers import make_aggregation_context
+
+N_WORKERS = 12
+DIMENSION = 27  # matches make_aggregation_context's linear model
+
+
+def make_uploads(seed: int = 5, n: int = N_WORKERS) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, DIMENSION))
+
+
+def blocks_of(matrix: np.ndarray, shard_size: int):
+    """Contiguous blocks, yielded through one reused scratch buffer.
+
+    Reusing the buffer enforces the documented contract that a block is
+    only valid until the next one is drawn -- an implementation that
+    keeps references instead of copying fails bitwise here.
+    """
+    scratch = np.empty((min(shard_size, matrix.shape[0]), DIMENSION))
+    for start in range(0, matrix.shape[0], shard_size):
+        chunk = matrix[start : start + shard_size]
+        view = scratch[: chunk.shape[0]]
+        view[...] = chunk
+        yield view
+
+
+class TestStreamEqualsInMemory:
+    @pytest.mark.parametrize("shard_size", [1, 3, 5, N_WORKERS])
+    @pytest.mark.parametrize("name", DEFENSES.names())
+    def test_full_cohort_bitwise(self, name, shard_size):
+        uploads = make_uploads()
+        reference = build_defense(name).aggregate(
+            uploads, make_aggregation_context(seed=1)
+        )
+        streamed = build_defense(name).aggregate_stream(
+            blocks_of(uploads, shard_size), make_aggregation_context(seed=1)
+        )
+        np.testing.assert_array_equal(streamed, reference)
+
+    @pytest.mark.parametrize("shard_size", [2, 4, 7])
+    @pytest.mark.parametrize("name", DEFENSES.names())
+    def test_partial_cohort_bitwise(self, name, shard_size):
+        # 9 survivors of an expected 12-worker cohort (a faulty round's
+        # survivor rows), identified by their worker ids.
+        survivor_ids = np.array([0, 1, 3, 4, 5, 7, 8, 10, 11], dtype=np.int64)
+        rows = make_uploads(seed=7)[survivor_ids]
+
+        def context():
+            built = make_aggregation_context(seed=2)
+            built.worker_ids = survivor_ids
+            built.population = N_WORKERS
+            return built
+
+        reference = build_defense(name).aggregate(rows, context())
+        streamed = build_defense(name).aggregate_stream(
+            blocks_of(rows, shard_size), context()
+        )
+        np.testing.assert_array_equal(streamed, reference)
+
+    def test_two_stage_declares_streaming_support(self):
+        for name in ("two_stage", "first_stage_only", "second_stage_only"):
+            assert build_defense(name).accepts_streaming
+        assert not build_defense("mean").accepts_streaming
+        assert not Aggregator.accepts_streaming
+
+    def test_two_stage_stream_repeats_bitwise(self):
+        """Two streamed rounds over the same blocks agree exactly."""
+        uploads = make_uploads(seed=9)
+        first = build_defense("two_stage").aggregate_stream(
+            blocks_of(uploads, 5), make_aggregation_context(seed=3)
+        )
+        second = build_defense("two_stage").aggregate_stream(
+            blocks_of(uploads, 5), make_aggregation_context(seed=3)
+        )
+        np.testing.assert_array_equal(first, second)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            build_defense("mean").aggregate_stream(
+                iter(()), make_aggregation_context(seed=4)
+            )
+        with pytest.raises(ValueError):
+            build_defense("two_stage").aggregate_stream(
+                iter(()), make_aggregation_context(seed=4)
+            )

@@ -194,7 +194,8 @@ class TestCommands:
         rows = json.loads(capsys.readouterr().out)
         kinds = {row["kind"] for row in rows}
         assert kinds == {
-            "dataset", "attack", "defense", "model", "engine", "backend", "fault",
+            "dataset", "attack", "defense", "model", "engine", "backend",
+            "fault", "sampler",
         }
         by_name = {row["name"]: row for row in rows}
         assert by_name["two_stage"]["summary"]

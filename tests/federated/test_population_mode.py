@@ -1,0 +1,222 @@
+"""End-to-end cross-device (population/cohort) mode.
+
+The guarantees under test:
+
+- a population-mode run is deterministic and bitwise-identical across
+  execution backends (serial / threaded / remote), because every stream
+  -- sampler plans, worker data, per-round noise -- is keyed by stable
+  identifiers, never execution order;
+- the out-of-core streaming aggregation path engages on clean protocol
+  rounds and is bitwise-identical to the in-memory path;
+- a full-state snapshot restores the sampler mid-schedule, so a resumed
+  run replays the identical participation trace;
+- faults compose: partial cohorts under fault injection stay
+  backend-invariant, with per-worker server state keyed by global ids.
+
+Cross-backend comparisons pin ``shard_size`` so serial and parallel
+pools share the same shard partition (the documented sharding caveat:
+degenerate small-row GEMMs may hit different BLAS micro-kernels when the
+partitions differ).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.presets import benchmark_preset
+from repro.experiments.runner import prepare_experiment, run_experiment
+from repro.federated.pipeline import Checkpoint, RoundPipeline
+from repro.federated.state import load_round_state
+
+BASE = dict(
+    dataset="usps_like",
+    scale=0.2,
+    epochs=1,
+    population=300,
+    cohort=8,
+    shard_size=4,  # identical shard partition on every backend
+    seed=13,
+)
+
+
+def population_config(**overrides):
+    merged = {**BASE, **overrides}
+    return benchmark_preset(**merged)
+
+
+def run_params(config, tmp_path=None, resume_from=None):
+    """History dict plus final flat parameters of one run."""
+    callbacks = []
+    if tmp_path is not None:
+        callbacks.append(Checkpoint(every=1, directory=tmp_path, full_state=True))
+    setup = prepare_experiment(config, resume_from=resume_from)
+    try:
+        history = setup.simulation.run(callbacks)
+        parameters = setup.simulation.model.get_flat_parameters().copy()
+    finally:
+        setup.simulation.close()
+    return history.as_dict(), parameters
+
+
+class TestPopulationRuns:
+    def test_run_completes_with_metadata(self):
+        result = run_experiment(population_config())
+        assert result.metadata["population"] == 300
+        assert result.metadata["cohort"] == 8
+        assert np.isfinite(result.final_accuracy)
+
+    def test_repeat_run_bitwise_deterministic(self):
+        config = population_config(byzantine_fraction=0.25, attack="label_flip")
+        _, first = run_params(config)
+        _, second = run_params(config)
+        np.testing.assert_array_equal(first, second)
+
+    def test_serial_vs_threaded_bitwise(self):
+        config = population_config(byzantine_fraction=0.25, attack="label_flip")
+        _, serial = run_params(config)
+        _, threaded = run_params(
+            config.replace(backend="threaded", backend_kwargs={"max_workers": 2})
+        )
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_cohort_changes_the_trace(self):
+        _, small = run_params(population_config())
+        _, large = run_params(population_config(cohort=12))
+        assert not np.array_equal(small, large)
+
+    def test_fixed_sampler_selects_prefix(self):
+        config = population_config(sampling="fixed")
+        setup = prepare_experiment(config)
+        try:
+            setup.simulation.prepare_round(0)
+            ids = setup.simulation.global_worker_ids()
+            np.testing.assert_array_equal(ids[: setup.simulation.cohort],
+                                          np.arange(setup.simulation.cohort))
+        finally:
+            setup.simulation.close()
+
+
+class TestStreamingPath:
+    def test_streaming_engages_and_matches_in_memory(self, monkeypatch):
+        config = population_config()
+        _, streamed = run_params(config)
+
+        # Same config with the streaming path force-disabled: the classic
+        # stacked in-memory path must produce bitwise-identical parameters.
+        streaming_rounds = []
+        original = RoundPipeline._run_streaming_round
+
+        def counting(self, round_index):
+            streaming_rounds.append(round_index)
+            return original(self, round_index)
+
+        monkeypatch.setattr(RoundPipeline, "_run_streaming_round", counting)
+        _, streamed_again = run_params(config)
+        assert streaming_rounds, "streaming path never engaged"
+
+        monkeypatch.setattr(
+            RoundPipeline, "_streaming_eligible", lambda self, round_index: False
+        )
+        _, in_memory = run_params(config)
+        np.testing.assert_array_equal(streamed, streamed_again)
+        np.testing.assert_array_equal(streamed, in_memory)
+
+    def test_streaming_matches_in_memory_with_protocol_attack(self, monkeypatch):
+        # A protocol-following (data poisoning) attack keeps the streaming
+        # path eligible: the Byzantine pool streams its blocks too.
+        config = population_config(
+            byzantine_fraction=0.25, attack="label_flip", cohort=10
+        )
+        _, streamed = run_params(config)
+        monkeypatch.setattr(
+            RoundPipeline, "_streaming_eligible", lambda self, round_index: False
+        )
+        _, in_memory = run_params(config)
+        np.testing.assert_array_equal(streamed, in_memory)
+
+
+class TestSamplerResume:
+    def test_snapshot_records_sampler_state(self, tmp_path):
+        config = population_config()
+        run_params(config, tmp_path=tmp_path)
+        snapshots = sorted(tmp_path.glob("round_*.state.npz"))
+        assert snapshots
+        state = load_round_state(snapshots[-1])
+        assert state.sampler_state is not None
+        assert state.sampler_state["rounds_drawn"] > 0
+
+    def test_resume_mid_schedule_is_bitwise_identical(self, tmp_path):
+        config = population_config(byzantine_fraction=0.25, attack="label_flip")
+        history, parameters = run_params(config, tmp_path=tmp_path)
+        snapshots = sorted(tmp_path.glob("round_*.state.npz"))
+        assert len(snapshots) >= 3
+        middle = snapshots[len(snapshots) // 2]
+        resumed_history, resumed = run_params(config, resume_from=middle)
+        np.testing.assert_array_equal(parameters, resumed)
+        # The resumed tail of the history matches the uninterrupted run.
+        state = load_round_state(middle)
+        for key, series in resumed_history.items():
+            full = history[key]
+            assert series == full[len(full) - len(series):], key
+        assert state.sampler_state["rounds_drawn"] == state.round_index + 1
+
+
+class TestFaultyPopulationRounds:
+    CONFIG = dict(
+        byzantine_fraction=0.25,
+        attack="label_flip",
+        faults="chaos",
+        faults_kwargs={"seed": 11},
+        min_quorum=1,
+    )
+
+    def test_faults_compose_with_population_mode(self):
+        result = run_experiment(population_config(**self.CONFIG))
+        assert np.isfinite(result.final_accuracy)
+
+    def test_faulty_serial_vs_threaded_bitwise(self):
+        config = population_config(**self.CONFIG)
+        _, serial = run_params(config)
+        _, threaded = run_params(
+            config.replace(backend="threaded", backend_kwargs={"max_workers": 2})
+        )
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_faulty_resume_replays_identical_trace(self, tmp_path):
+        config = population_config(**self.CONFIG)
+        _, parameters = run_params(config, tmp_path=tmp_path)
+        snapshots = sorted(tmp_path.glob("round_*.state.npz"))
+        middle = snapshots[len(snapshots) // 2]
+        _, resumed = run_params(config, resume_from=middle)
+        np.testing.assert_array_equal(parameters, resumed)
+
+
+class TestRemoteTrace:
+    def test_subsampling_trace_serial_vs_remote_bitwise(self):
+        from tests.federated.test_service import start_worker_thread
+
+        config = population_config(byzantine_fraction=0.25, attack="label_flip")
+        serial_history, serial_params = run_params(config)
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        threads = [
+            start_worker_thread(port, name=f"w{i}", reconnect_timeout=30.0)
+            for i in range(2)
+        ]
+        remote_history, remote_params = run_params(config.replace(
+            backend="remote",
+            backend_kwargs={
+                "port": port, "max_workers": 2, "worker_timeout": 30.0,
+            },
+        ))
+        for thread, codes in threads:
+            thread.join(timeout=15.0)
+            assert codes == [0]
+        np.testing.assert_array_equal(serial_params, remote_params)
+        assert serial_history == remote_history

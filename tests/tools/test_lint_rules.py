@@ -1,4 +1,4 @@
-"""Fixture-driven tests of the built-in lint rules (REP001-REP006).
+"""Fixture-driven tests of the built-in lint rules (REP001-REP007).
 
 Each rule gets at least one *bad* fixture that must produce the expected
 finding and one *good* fixture that must stay clean; the fixtures are
@@ -453,11 +453,113 @@ class TestRep006:
 
 
 # --------------------------------------------------------------------- #
+# REP007 -- RNG streams keyed by loop position
+# --------------------------------------------------------------------- #
+class TestRep007:
+    PATH = "src/repro/federated/sampling.py"
+
+    BAD = """
+    import numpy as np
+    from repro.federated.sampling import derive_rng
+
+    def worker_rngs(seed, cohort):
+        rngs = []
+        for index, worker_id in enumerate(cohort):
+            rngs.append(derive_rng(seed, "worker", index))
+        return rngs
+
+    def noise_streams(seed, cohort):
+        streams = []
+        for position, worker in enumerate(cohort):
+            key = np.random.SeedSequence((seed, position))
+            streams.append(np.random.default_rng(key))
+        return streams
+    """
+
+    GOOD = """
+    import numpy as np
+    from repro.federated.sampling import derive_rng
+
+    def worker_rngs(seed, cohort):
+        rngs = []
+        for index, worker_id in enumerate(cohort):
+            rngs.append(derive_rng(seed, "worker", worker_id))
+        return rngs
+
+    def noise_streams(seed, cohort):
+        return [
+            np.random.default_rng(np.random.SeedSequence((seed, worker_id)))
+            for worker_id in cohort
+        ]
+    """
+
+    def test_bad_fixture_flagged_once_per_misuse(self):
+        findings = lint(self.BAD, self.PATH, select=["REP007"])
+        # One finding per misused sink call: the derive_rng call, and the
+        # SeedSequence (not double-counted by the wrapping default_rng).
+        assert symbols(findings) == ["order-keyed-rng", "order-keyed-rng"]
+        assert "'index'" in findings[0].message
+        assert "'position'" in findings[1].message
+
+    def test_good_fixture_stable_ids_clean(self):
+        assert lint(self.GOOD, self.PATH, select=["REP007"]) == []
+
+    def test_bare_enumerate_target_flagged(self):
+        # ``for pair in enumerate(...)`` binds (index, item): keying on the
+        # pair embeds the position too.
+        source = """
+        import numpy as np
+        for pair in enumerate(items):
+            rng = np.random.default_rng(np.random.SeedSequence(pair))
+        """
+        findings = lint(source, self.PATH, select=["REP007"])
+        assert symbols(findings) == ["order-keyed-rng"]
+
+    def test_range_loop_over_stable_ids_clean(self):
+        # ``for worker_id in range(n)`` iterates the ids themselves (the
+        # fixed Byzantine pool does exactly this); only enumerate positions
+        # are execution-order artifacts.
+        source = """
+        from repro.federated.sampling import derive_rng
+        def pool_rngs(seed, n):
+            return [derive_rng(seed, "byzantine", j) for j in range(n)]
+        """
+        assert lint(source, self.PATH, select=["REP007"]) == []
+
+    def test_out_of_scope_path_ignored(self):
+        findings = lint(self.BAD, "src/repro/analysis/tables.py", select=["REP007"])
+        assert findings == []
+
+    def test_baseline_round_trip(self, tmp_path):
+        from repro.tools.lint import load_baseline, partition
+        from repro.tools.lint.baseline import write_baseline
+
+        findings = lint(self.BAD, self.PATH, select=["REP007"])
+        assert findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        new, known = partition(findings, load_baseline(baseline_path))
+        assert new == [] and len(known) == len(findings)
+        # A third misuse of an already-baselined shape is still new.
+        extra = lint(
+            self.BAD + "\n    for index, w in enumerate(cohort):\n"
+            "        r = derive_rng(seed, 'worker', index)\n",
+            self.PATH,
+            select=["REP007"],
+        )
+        new, _ = partition(extra, load_baseline(baseline_path))
+        assert len(new) == 1
+
+
+# --------------------------------------------------------------------- #
 # rule registration / extension API
 # --------------------------------------------------------------------- #
 class TestRuleRegistry:
     def test_builtin_rules_registered(self):
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for code in (
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007",
+        ):
             assert code in LINT_RULES
 
     def test_slug_aliases_resolve(self):
