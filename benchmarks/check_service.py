@@ -17,12 +17,19 @@ real ``kill -9``:
   restarted coordinator auto-resumes from its ``--state-dir`` snapshot,
   the surviving workers re-register, and the final model is **bitwise
   identical** to an uninterrupted in-process run.
+- ``observability``: enabling ``--trace-out`` leaves the CLI output and
+  metrics byte-identical; a ``--status-port`` endpoint serves live
+  ``/healthz``/``/status``/``/metrics`` mid-run, ``repro admin`` drains
+  a worker (which stops receiving new tasks) and pauses/resumes the
+  dispatch loop, and the drained run still prints output byte-identical
+  to the serial reference.
 
 Run::
 
     python benchmarks/check_service.py identity
     python benchmarks/check_service.py worker-kill
     python benchmarks/check_service.py coordinator-restart
+    python benchmarks/check_service.py observability
 """
 
 from __future__ import annotations
@@ -103,11 +110,18 @@ def reap(workers: list[subprocess.Popen]) -> None:
         sys.stdout.write(output)
 
 
+VOLATILE_MARKERS = (
+    "per-round metrics written to",  # echoes the caller-chosen path
+    "coordinator listening on",      # serve-only banner with a random port
+    "status endpoint on",            # serve-only banner with a random port
+)
+
+
 def strip_volatile(output: str) -> str:
     """Drop the lines that legitimately differ between invocations."""
     return "\n".join(
         line for line in output.splitlines()
-        if "per-round metrics written to" not in line
+        if not any(marker in line for marker in VOLATILE_MARKERS)
     )
 
 
@@ -338,11 +352,155 @@ def command_coordinator_restart(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def command_observability(arguments: argparse.Namespace) -> int:
+    workdir = Path(arguments.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # --- trace neutrality: --trace-out must not change a single byte. ---
+    plain_metrics = workdir / "plain.jsonl"
+    traced_metrics = workdir / "traced.jsonl"
+    trace = workdir / "trace.jsonl"
+    plain = finish(spawn(
+        "run", *ACCEPTANCE_FLAGS, "--metrics-out", str(plain_metrics)
+    ))
+    traced = finish(spawn(
+        "run", *ACCEPTANCE_FLAGS, "--metrics-out", str(traced_metrics),
+        "--trace-out", str(trace),
+    ))
+    assert_identical(
+        "traced run", strip_volatile(plain), strip_volatile(traced)
+    )
+    if plain_metrics.read_bytes() != traced_metrics.read_bytes():
+        raise SystemExit("tracing changed the metrics stream")
+    spans = [json.loads(line) for line in trace.read_text().splitlines()]
+    if not spans:
+        raise SystemExit("trace file is empty")
+    print(f"trace neutrality: {len(spans)} spans recorded, output unchanged")
+
+    # --- live endpoint + admin verbs against a real serve run. ---------
+    sys.path.insert(0, str(SRC))
+    from repro.federated.observability import fetch_json, post_admin
+
+    port = free_port()
+    status_port = free_port()
+    serve_trace = workdir / "serve-trace.jsonl"
+    serve_metrics = workdir / "serve-metrics.jsonl"
+    coordinator = spawn(
+        "serve", *ACCEPTANCE_FLAGS, "--port", str(port), "--workers", "4",
+        "--status-port", str(status_port), "--trace-out", str(serve_trace),
+        "--metrics-out", str(serve_metrics),
+    )
+    # Throttled workers keep the run alive long enough to probe it.
+    workers = start_workers(port, 4, **{"--throttle": "0.1"})
+
+    def status() -> dict:
+        return fetch_json("127.0.0.1", status_port, "/status")
+
+    deadline = time.monotonic() + 180.0
+    while True:
+        if coordinator.poll() is not None:
+            raise SystemExit(
+                "coordinator exited before the endpoint could be probed:\n"
+                + coordinator.communicate()[0]
+            )
+        if time.monotonic() > deadline:
+            coordinator.kill()
+            raise SystemExit("status endpoint never reported a live round")
+        try:
+            payload = status()
+        except ConnectionError:
+            time.sleep(0.1)
+            continue
+        if (len(payload.get("workers", [])) == 4
+                and payload.get("rounds_completed", 0) >= 1):
+            break
+        time.sleep(0.1)
+    if fetch_json("127.0.0.1", status_port, "/healthz") != {"status": "ok"}:
+        raise SystemExit("/healthz did not answer ok")
+    print(f"status endpoint live at round {payload['round']}: "
+          f"{len(payload['workers'])} workers connected")
+
+    record = fetch_json("127.0.0.1", status_port, "/metrics")["record"]
+    if record is None or "accuracy" not in record:
+        raise SystemExit(f"/metrics has no per-round record: {record}")
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{status_port}/metrics?format=prometheus",
+        timeout=5.0,
+    ) as reply:
+        prometheus = reply.read().decode()
+    # repro_accuracy only appears on evaluation rounds; the liveness and
+    # round gauges are unconditional.
+    if ("repro_up 1" not in prometheus
+            or "repro_rounds_completed_total" not in prometheus
+            or "repro_round " not in prometheus):
+        raise SystemExit(f"prometheus rendering incomplete:\n{prometheus}")
+    print("metrics endpoint: JSON and prometheus formats both live")
+
+    # Pause suspends dispatch; resume lets the run continue.
+    post_admin("127.0.0.1", status_port, "pause")
+    if status()["paused"] is not True:
+        raise SystemExit("pause verb did not stick")
+    post_admin("127.0.0.1", status_port, "resume")
+    if status()["paused"] is not False:
+        raise SystemExit("resume verb did not stick")
+    print("admin: pause/resume round-trip confirmed")
+
+    # Drain one worker through the CLI; it must stop receiving new tasks.
+    finish(spawn("admin", "drain", "smoke-3", "--port", str(status_port)))
+    payload = status()
+    if payload["draining"] != ["smoke-3"]:
+        raise SystemExit(f"drain not visible in /status: {payload}")
+    drained = [row for row in payload["workers"] if row["name"] == "smoke-3"]
+    if not drained or not drained[0]["draining"]:
+        raise SystemExit(f"worker table does not show the drain: {payload}")
+    frozen = drained[0]["dispatched"]
+    print(f"admin: smoke-3 draining with {frozen} tasks dispatched")
+
+    # Draining an unknown worker must fail loudly (and non-zero).
+    ghost = spawn("admin", "drain", "ghost", "--port", str(status_port))
+    ghost_output, _ = ghost.communicate(timeout=60.0)
+    if ghost.returncode == 0:
+        raise SystemExit("draining an unknown worker exited 0")
+    print(f"admin: unknown worker rejected (rc={ghost.returncode})")
+
+    # The human-facing status CLI renders the same snapshot.
+    rendered = finish(spawn("status", "--port", str(status_port)))
+    if "Coordinator status" not in rendered or "smoke-3" not in rendered:
+        raise SystemExit(f"repro status output incomplete:\n{rendered}")
+    print("repro status: table rendered with live worker rows")
+
+    output = finish(coordinator)
+    sys.stdout.write(output)
+    reap(workers)
+    rows = {
+        row["name"]: row
+        for line in serve_trace.read_text().splitlines()
+        for row in [json.loads(line)]
+        if row["kind"] == "wire"
+    }
+    if not rows:
+        raise SystemExit("serve trace recorded no wire round-trips")
+
+    # The drain reshuffled dispatch, not results: output and per-round
+    # metrics still match the serial reference byte for byte.
+    assert_identical(
+        "drained serve run", strip_volatile(plain), strip_volatile(output)
+    )
+    assert_identical(
+        "drained serve metrics",
+        plain_metrics.read_text(), serve_metrics.read_text(),
+    )
+    print("observability: endpoint, admin verbs and tracing all verified")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("mode",
                         choices=["identity", "worker-kill",
-                                 "coordinator-restart"])
+                                 "coordinator-restart", "observability"])
     parser.add_argument("--workdir", default="service-smoke",
                         help="scratch directory for configs, metrics, state")
     arguments = parser.parse_args(argv)
@@ -350,6 +508,7 @@ def main(argv: list[str] | None = None) -> int:
         "identity": command_identity,
         "worker-kill": command_worker_kill,
         "coordinator-restart": command_coordinator_restart,
+        "observability": command_observability,
     }[arguments.mode]
     return command(arguments)
 

@@ -11,6 +11,11 @@ Five subcommands cover the common workflows:
   bitwise-exact restart after a coordinator crash;
 - ``worker``  -- join a coordinator as a worker process (reconnects
   through coordinator restarts);
+- ``status``  -- query a serving coordinator's observability endpoint
+  (``repro serve --status-port``) and print round progress, connected
+  workers and quorum margin;
+- ``admin``   -- send an admin verb (``pause`` / ``resume`` /
+  ``drain <worker>`` / ``undrain <worker>``) to that endpoint;
 - ``list``    -- show every registered component (datasets, attacks,
   defenses, models, engines, backends, fault models, cohort samplers)
   straight from the registries' ``describe()`` API;
@@ -21,8 +26,9 @@ Five subcommands cover the common workflows:
 
 Operational failures exit with dedicated codes and one-line messages
 instead of tracebacks: ``2`` for a quorum violation (``QuorumError``),
-``3`` for a connection failure (the coordinator lost every worker, or a
-worker could not reach its coordinator).
+``3`` for a connection failure (the coordinator lost every worker, a
+worker could not reach its coordinator, or ``status``/``admin`` could
+not reach the observability endpoint).
 
 ``run`` and ``compare`` accept either individual flags or a full
 :class:`~repro.experiments.configs.ExperimentConfig` serialised to JSON
@@ -64,6 +70,7 @@ from repro.experiments.runner import run_experiment
 from repro.federated.backends import BACKENDS
 from repro.federated.engines import ENGINES
 from repro.federated.faults import FAULTS
+from repro.federated.observability import ADMIN_VERBS, DEFAULT_STATUS_PORT
 from repro.federated.sampling import SAMPLERS
 from repro.nn.models import MODELS, available_models
 
@@ -169,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "when resuming)")
     run_parser.add_argument("--metrics-fsync", action="store_true",
                             help="fsync the metrics file after every line")
+    run_parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                            help="record span/event traces (rounds, stages, "
+                                 "shard tasks, retries) to this JSONL file; "
+                                 "bitwise-neutral: results and output are "
+                                 "identical with or without it")
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -210,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    "file (appended to when resuming)")
     serve_parser.add_argument("--metrics-fsync", action="store_true",
                               help="fsync the metrics file after every line")
+    serve_parser.add_argument("--status-port", type=int, default=None,
+                              metavar="PORT",
+                              help="serve /healthz, /status, /metrics and the "
+                                   "POST /admin verbs on this port (binds the "
+                                   f"--host address; {DEFAULT_STATUS_PORT} by "
+                                   "convention, 0 picks a free port)")
+    serve_parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                              help="record span/event traces (rounds, stages, "
+                                   "wire round-trips, retries) to this JSONL "
+                                   "file; bitwise-neutral when enabled")
 
     worker_parser = subparsers.add_parser(
         "worker", help="join a service-mode coordinator as a worker process"
@@ -231,6 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(testing aid)")
     worker_parser.add_argument("--verbose", action="store_true",
                                help="log each task as it starts and finishes")
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="query a serving coordinator's status endpoint "
+             "(`repro serve --status-port`)",
+    )
+    status_parser.add_argument("--host", default="127.0.0.1",
+                               help="status endpoint address")
+    status_parser.add_argument("--port", type=int, default=DEFAULT_STATUS_PORT,
+                               help="status endpoint port")
+    status_parser.add_argument("--json", action="store_true",
+                               help="emit the raw /status document as JSON")
+
+    admin_parser = subparsers.add_parser(
+        "admin",
+        help="send an admin verb (pause/resume/drain/undrain) to a "
+             "serving coordinator's status endpoint",
+    )
+    admin_parser.add_argument("verb", choices=ADMIN_VERBS,
+                              help="pause/resume dispatch globally, or "
+                                   "drain/undrain one worker by name")
+    admin_parser.add_argument("worker", nargs="?", default=None,
+                              help="worker name (required by drain/undrain)")
+    admin_parser.add_argument("--host", default="127.0.0.1",
+                              help="status endpoint address")
+    admin_parser.add_argument("--port", type=int, default=DEFAULT_STATUS_PORT,
+                              help="status endpoint port")
 
     compare_parser = subparsers.add_parser(
         "compare", help="run protocol vs undefended vs Reference Accuracy"
@@ -367,6 +416,12 @@ def _command_run(arguments: argparse.Namespace) -> int:
             append=arguments.resume_from is not None,
             fsync=getattr(arguments, "metrics_fsync", False),
         ))
+    if getattr(arguments, "trace_out", None) is not None:
+        from repro.federated.observability import TraceRecorder
+
+        # No stdout line for the trace file: enabling tracing must keep
+        # the CLI output byte-identical (the asserted neutrality gate).
+        callbacks.append(TraceRecorder(arguments.trace_out))
     try:
         result = run_experiment(
             config,
@@ -433,13 +488,52 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         ))
     if state_dir is not None:
         callbacks.append(Checkpoint(every=1, directory=state_dir, full_state=True))
+    if arguments.trace_out is not None:
+        from repro.federated.observability import TraceRecorder
+
+        callbacks.append(TraceRecorder(arguments.trace_out))
+    board = None
+    status_servers = []
+    on_prepared = None
+    if arguments.status_port is not None:
+        from repro.federated.observability import (
+            StatusBoard,
+            StatusReporter,
+            StatusServer,
+        )
+
+        board = StatusBoard()
+        callbacks.append(StatusReporter(board))
+
+        def on_prepared(setup) -> None:
+            # The remote backend's coordinator exists once the experiment
+            # is prepared; attach the endpoint to it so /status sees the
+            # worker table and the admin verbs reach the dispatch loop.
+            backend = setup.simulation.backend
+            coordinator = getattr(backend, "server", None)
+            status_servers.append(StatusServer(
+                board,
+                coordinator,
+                host=arguments.host,
+                port=arguments.status_port,
+            ))
+            print(f"status endpoint on {arguments.host}:"
+                  f"{status_servers[-1].port}", flush=True)
+
     print(f"coordinator listening on {arguments.host}:{arguments.port}, "
           f"expecting {arguments.workers} worker(s)")
     try:
-        result = run_experiment(config, callbacks=callbacks, resume_from=resume_from)
+        result = run_experiment(
+            config,
+            callbacks=callbacks,
+            resume_from=resume_from,
+            on_prepared=on_prepared,
+        )
     except CheckpointMismatchError as error:
         raise SystemExit(f"repro: cannot resume from {state_dir}: {error}")
     finally:
+        for server in status_servers:
+            server.close()
         for callback in callbacks:
             close = getattr(callback, "close", None)
             if callable(close):
@@ -459,6 +553,43 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     if arguments.save:
         save_results({"run": result}, arguments.save)
         print(f"\nresults written to {arguments.save}")
+    return 0
+
+
+def _command_status(arguments: argparse.Namespace) -> int:
+    from repro.federated.observability import fetch_json
+
+    payload = fetch_json(arguments.host, arguments.port, "/status")
+    if arguments.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    workers = payload.pop("workers", [])
+    rows = [[key, payload[key]] for key in sorted(payload)]
+    print(format_table(["field", "value"], rows, title="Coordinator status"))
+    if workers:
+        print()
+        print(format_table(
+            ["worker", "heartbeat age", "busy", "draining", "dispatched"],
+            [
+                [row["name"], row["last_heartbeat_age"], row["busy"],
+                 row["draining"], row["dispatched"]]
+                for row in workers
+            ],
+            title="Workers",
+        ))
+    return 0
+
+
+def _command_admin(arguments: argparse.Namespace) -> int:
+    from repro.federated.observability import AdminError, post_admin
+
+    try:
+        reply = post_admin(
+            arguments.host, arguments.port, arguments.verb, arguments.worker
+        )
+    except AdminError as error:
+        raise SystemExit(f"repro: admin {arguments.verb}: {error}")
+    print(json.dumps(reply, default=str))
     return 0
 
 
@@ -519,6 +650,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _command_run,
         "serve": _command_serve,
         "worker": _command_worker,
+        "status": _command_status,
+        "admin": _command_admin,
         "compare": _command_compare,
         "lint": _command_lint,
     }

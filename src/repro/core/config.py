@@ -10,6 +10,7 @@ __all__ = [
     "DPConfig",
     "EngineConfig",
     "FaultsConfig",
+    "ObservabilityConfig",
     "ProtocolConfig",
     "SamplingConfig",
     "ServiceConfig",
@@ -290,6 +291,49 @@ class ServiceConfig:
             raise ValueError("transport_attempts must be positive")
         if self.worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Coordinator observability settings (status endpoint + tracing).
+
+    Observability is strictly read-only with respect to the training
+    numerics: enabling any of it never changes a seeded run's output (the
+    bitwise-neutrality gate asserted by the observability tests and the
+    ``service-smoke`` CI job).  Like :class:`ServiceConfig` this is pure
+    data -- ``repro serve`` maps its flags onto it, and
+    :class:`repro.federated.observability.StatusServer` /
+    :class:`repro.federated.observability.TraceRecorder` consume it.
+
+    Attributes
+    ----------
+    status_host:
+        Address the HTTP status/admin endpoint binds to.
+    status_port:
+        Port of the endpoint; ``None`` disables it entirely (the
+        default), ``0`` binds an ephemeral port (tests).
+    trace_path:
+        JSONL file for :class:`~repro.federated.observability
+        .TraceRecorder` span records; ``None`` disables tracing (the
+        default).
+    """
+
+    status_host: str = "127.0.0.1"
+    status_port: int | None = None
+    trace_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.status_host:
+            raise ValueError("status_host must be a non-empty string")
+        if self.status_port is not None and not 0 <= self.status_port <= 65535:
+            raise ValueError("status_port must be in [0, 65535] when set")
+        if self.trace_path is not None and not str(self.trace_path):
+            raise ValueError("trace_path must be a non-empty path when set")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any observability feature is switched on."""
+        return self.status_port is not None or self.trace_path is not None
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import re
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -333,6 +333,7 @@ def run_experiment(
     seed: int | None = None,
     callbacks: Iterable[RoundCallback] = (),
     resume_from: str | Path | tuple[int, np.ndarray] | None = None,
+    on_prepared: Callable[[ExperimentSetup], None] | None = None,
 ) -> RunResult:
     """Run one federated training experiment.
 
@@ -349,8 +350,15 @@ def run_experiment(
     resume_from:
         Optional :class:`~repro.federated.pipeline.Checkpoint` snapshot to
         restore before running (see :func:`prepare_experiment`).
+    on_prepared:
+        Called with the built :class:`ExperimentSetup` after preparation
+        and before the first round.  Gives service-mode callers access to
+        the live simulation (e.g. the remote backend's coordinator, for
+        the status/admin endpoint) without re-implementing preparation.
     """
     setup = prepare_experiment(config, seed=seed, resume_from=resume_from)
+    if on_prepared is not None:
+        on_prepared(setup)
     try:
         history = setup.simulation.run(callbacks)
     finally:

@@ -43,6 +43,13 @@
 - :mod:`repro.federated.state` -- atomic full-round-state snapshots
   (:class:`~repro.federated.state.RoundState`) enabling bitwise-exact
   resume of an interrupted run.
+- :mod:`repro.federated.observability` -- the coordinator's operator
+  surface: a lock-free-read status/metrics HTTP endpoint
+  (:class:`~repro.federated.observability.StatusServer` over a
+  :class:`~repro.federated.observability.StatusBoard` of versioned
+  immutable snapshots), admin verbs (pause/resume/drain/undrain) wired
+  into the dispatch loop, and bitwise-neutral JSONL tracing
+  (:class:`~repro.federated.observability.TraceRecorder`).
 """
 
 from repro.federated.backends import (
@@ -82,6 +89,14 @@ from repro.federated.engines import (
     build_engine,
 )
 from repro.federated.history import TrainingHistory
+from repro.federated.observability import (
+    DEFAULT_STATUS_PORT,
+    StatusBoard,
+    StatusReporter,
+    StatusServer,
+    StatusSnapshot,
+    TraceRecorder,
+)
 from repro.federated.pipeline import (
     Checkpoint,
     EarlyStopping,
@@ -169,6 +184,12 @@ __all__ = [
     "RemoteBackend",
     "RemoteTaskError",
     "run_worker",
+    "DEFAULT_STATUS_PORT",
+    "StatusBoard",
+    "StatusReporter",
+    "StatusServer",
+    "StatusSnapshot",
+    "TraceRecorder",
     "WireError",
     "STATE_SUFFIX",
     "RoundState",

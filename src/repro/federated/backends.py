@@ -178,9 +178,19 @@ class _ResilientRunner:
     out-of-process worker.
     """
 
-    def __init__(self, fn: Callable, policy: RetryPolicy) -> None:
+    def __init__(
+        self,
+        fn: Callable,
+        policy: RetryPolicy,
+        on_retry: Callable[[int, int, str], None] | None = None,
+    ) -> None:
         self.fn = fn
         self.policy = policy
+        self.on_retry = on_retry  # observation hook; must stay side-effect-free
+
+    def _note(self, index: int, attempt: int, error: str) -> None:
+        if self.on_retry is not None:
+            self.on_retry(index, attempt, error)
 
     def _attempt(self, call: Callable, index: int):
         policy = self.policy
@@ -189,6 +199,7 @@ class _ResilientRunner:
             try:
                 result = call()
             except TransientTaskError as error:
+                self._note(index, attempt, str(error))
                 if attempt == policy.max_attempts:
                     return TaskFailure(index=index, attempts=attempt, error=str(error))
                 delay = policy.delay(index, attempt)
@@ -201,6 +212,10 @@ class _ResilientRunner:
             ):
                 # Past the advisory deadline: the round treats this
                 # attempt as a straggler and discards its result.
+                self._note(
+                    index, attempt,
+                    f"task exceeded the {policy.timeout}s deadline",
+                )
                 if attempt == policy.max_attempts:
                     return TaskFailure(
                         index=index,
@@ -216,6 +231,7 @@ class _ResilientRunner:
         return self._attempt(lambda: self.fn(item), index)
 
     def leased(self, resource, pair: tuple[int, object]):
+        """Run one attempt of ``fn(resource, item)`` under the retry policy."""
         index, item = pair
         return self._attempt(lambda: self.fn(resource, item), index)
 
@@ -237,10 +253,41 @@ class ExecutionBackend:
     #: callers with unpicklable tasks fall back to serial execution.
     in_process: bool = True
 
+    #: Attached trace recorder (``None`` = tracing off, the default).
+    _tracer = None
+
     @property
     def max_workers(self) -> int:
         """Upper bound on concurrently running tasks (1 = serial)."""
         return 1
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a trace recorder.
+
+        The recorder only needs callable ``trace_span`` / ``trace_event``
+        attributes (duck-typed -- see :class:`repro.federated
+        .observability.TraceRecorder`).  Tracing is observation-only:
+        per-task spans wrap existing calls and never change scheduling,
+        ordering, or any numeric result.
+        """
+        self._tracer = tracer
+
+    def _traced(self, fn: Callable) -> Callable:
+        """Wrap ``fn`` in a per-task span when tracing is on.
+
+        Only in-process backends wrap (a closure over the recorder does
+        not pickle); out-of-process backends record coarser dispatch
+        events instead.
+        """
+        tracer = self._tracer
+        if tracer is None or not self.in_process:
+            return fn
+
+        def traced(item):
+            with tracer.trace_span("task", type(self).__name__):
+                return fn(item)
+
+        return traced
 
     def map_ordered(self, fn: Callable, items: Iterable) -> list:
         """Apply ``fn`` to every item; results in **submission order**.
@@ -305,7 +352,20 @@ class ExecutionBackend:
         tasks lease per-slot resources exactly like :meth:`map_leased`
         (``fn`` is then called as ``fn(resource, item)``).
         """
-        runner = _ResilientRunner(fn, policy if policy is not None else RetryPolicy())
+        tracer = self._tracer
+        on_retry = None
+        if tracer is not None and self.in_process:
+            # Out-of-process runners must stay picklable, so only the
+            # in-process path hooks per-attempt retry events.
+            def on_retry(index: int, attempt: int, error: str) -> None:
+                tracer.trace_event(
+                    "retry", "task_attempt",
+                    index=index, attempt=attempt, error=error,
+                )
+        runner = _ResilientRunner(
+            fn, policy if policy is not None else RetryPolicy(),
+            on_retry=on_retry,
+        )
         pairs = list(enumerate(items))
         if resources is None:
             return self.map_ordered(runner, pairs)
@@ -341,6 +401,8 @@ class SerialBackend(ExecutionBackend):
             raise ValueError("max_workers must be positive when set")
 
     def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Run tasks in submission order on the calling thread."""
+        fn = self._traced(fn)
         return [fn(item) for item in items]
 
 
@@ -358,6 +420,7 @@ class _PooledBackend(ExecutionBackend):
 
     @property
     def max_workers(self) -> int:
+        """The pool size used once the executor is created."""
         return self._max_workers
 
     def _create_executor(self):
@@ -369,28 +432,42 @@ class _PooledBackend(ExecutionBackend):
                 self._executor = self._create_executor()
             return self._executor
 
+    def _trace_dispatch(self, count: int) -> None:
+        """Record one coarse dispatch event for an out-of-process map."""
+        if self._tracer is not None and not self.in_process:
+            self._tracer.trace_event(
+                "dispatch", type(self).__name__, tasks=count
+            )
+
     def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Dispatch tasks to the pool; results return in submission order."""
         items = list(items)
         if not items:
             return []
+        fn = self._traced(fn)
         if self.in_process and (len(items) == 1 or self._max_workers == 1):
             # Nothing to overlap; skip the dispatch overhead entirely.
             return [fn(item) for item in items]
+        self._trace_dispatch(len(items))
         # Executor.map yields results in submission order by construction
         # and re-raises the first task exception at its position.
         return list(self._ensure_executor().map(fn, items))
 
     def map_streamed(self, fn: Callable, items: Iterable) -> Iterable:
+        """Lazily yield results in submission order while tasks overlap."""
         items = list(items)
         if not items:
             return iter(())
+        fn = self._traced(fn)
         if self.in_process and (len(items) == 1 or self._max_workers == 1):
             return (fn(item) for item in items)
+        self._trace_dispatch(len(items))
         # Executor.map is already an ordered lazy iterator; tasks overlap
         # while the consumer drains results one at a time.
         return self._ensure_executor().map(fn, items)
 
     def shutdown(self) -> None:
+        """Stop the lazy executor (a later map creates a fresh one)."""
         with self._lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
@@ -498,6 +575,7 @@ class ProcessBackend(_PooledBackend):
         return SharedArray(path=path, shape=array.shape, dtype=array.dtype.str)
 
     def shutdown(self) -> None:
+        """Shut down the pool and release the shared-memory slots."""
         super().shutdown()
         with self._lock:
             self._shared_slots = {}

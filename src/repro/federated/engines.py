@@ -172,6 +172,7 @@ class MaterializedEngine(ClientEngine):
         config: DPConfig,
         rngs: list[np.random.Generator],
     ) -> np.ndarray:
+        """Stack per-example gradients, then finalise the DP uploads."""
         batch = config.batch_size
         dimension = model.num_parameters
         scratch = self._scratch(n_workers * batch, dimension)
@@ -180,6 +181,7 @@ class MaterializedEngine(ClientEngine):
         return local_update_batch(stacked, state, config, rngs)
 
     def release(self) -> None:
+        """Drop the gradient workspace (the next round reallocates)."""
         self._gradients = None
         self._views = {}
 
@@ -292,6 +294,9 @@ class GhostNormEngine(ClientEngine):
         config: DPConfig,
         rngs: list[np.random.Generator],
     ) -> np.ndarray:
+        """Finalise uploads from Gram-diagonal slot norms;
+        the per-example gradient tensor is never materialised.
+        """
         batch = config.batch_size
         dimension = model.num_parameters
         beta = config.momentum
@@ -371,6 +376,7 @@ class GhostNormEngine(ClientEngine):
         return finalize_uploads(bounded, state, config, rngs)
 
     def release(self) -> None:
+        """Drop the bounded-gradient workspace (the next round reallocates)."""
         self._bounded = None
         self._bounded_views = {}
 

@@ -228,6 +228,7 @@ class CrashCounter:
         self.calls = 0
 
     def tick(self) -> None:
+        """Raise ``TransientTaskError`` until the budget is spent."""
         from repro.federated.backends import TransientTaskError
 
         self.calls += 1
@@ -334,6 +335,7 @@ class DropoutFaults(FaultModel):
         self.rate = float(rate)
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:
+        """Draw the round's seeded Bernoulli dropout mask."""
         dropped = self.rng(_DROPOUT, round_index).random(n_workers) < self.rate
         return ReportFaultPlan(dropped=dropped, late=np.zeros(n_workers, dtype=bool))
 
@@ -368,6 +370,7 @@ class StragglerFaults(FaultModel):
         self.mode = mode
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:
+        """Draw the round's seeded late-report mask."""
         late = self.rng(_STRAGGLER, round_index).random(n_workers) < self.rate
         return ReportFaultPlan(
             dropped=np.zeros(n_workers, dtype=bool),
@@ -406,6 +409,7 @@ class CrashFaults(FaultModel):
     def crash_failures(
         self, round_index: int, scope: int, n_shards: int
     ) -> np.ndarray:
+        """Seeded per-shard failure budgets for this round and scope."""
         rng = self.rng(_CRASH, round_index, scope)
         crashes = rng.random(n_shards) < self.rate
         counts = rng.integers(1, self.max_failures + 1, size=n_shards)
@@ -441,6 +445,7 @@ class ChurnFaults(FaultModel):
         self.period = int(period)
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:
+        """Mark the workers scheduled away in this round's phase."""
         schedule = self.rng(_CHURN)
         churning = schedule.random(n_workers) < self.rate
         phases = schedule.integers(0, self.period, size=n_workers)
@@ -479,6 +484,7 @@ class ChaosFaults(FaultModel):
         self._crash = CrashFaults(rate=crash, max_failures=max_failures, seed=seed)
 
     def report_faults(self, round_index: int, n_workers: int) -> ReportFaultPlan:
+        """Compose the dropout and straggler masks for the round."""
         dropped = self._dropout.report_faults(round_index, n_workers).dropped
         late_plan = self._straggler.report_faults(round_index, n_workers)
         return ReportFaultPlan(
@@ -488,6 +494,7 @@ class ChaosFaults(FaultModel):
     def crash_failures(
         self, round_index: int, scope: int, n_shards: int
     ) -> np.ndarray:
+        """Delegate shard crash draws to the crash component."""
         return self._crash.crash_failures(round_index, scope, n_shards)
 
 

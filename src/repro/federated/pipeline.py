@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Callable, Iterable, Mapping
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -160,6 +161,7 @@ class HistoryRecorder(RoundCallback):
         self.history = history if history is not None else TrainingHistory()
 
     def on_evaluation(self, event: EvaluationEvent) -> None:
+        """Buffer the accuracy for the round's history record."""
         self.history.record(
             round_index=event.round_index,
             accuracy=event.accuracy,
@@ -169,6 +171,7 @@ class HistoryRecorder(RoundCallback):
         )
 
     def on_round_end(self, event: RoundEndEvent) -> None:
+        """Append the finished round to the training history."""
         counts = {
             key: value
             for key, value in event.diagnostics.items()
@@ -222,6 +225,7 @@ class EarlyStopping(RoundCallback):
         self._stop = False
 
     def on_evaluation(self, event: EvaluationEvent) -> None:
+        """Track the best accuracy and the patience counter."""
         if event.accuracy > self.best_accuracy + self.min_delta:
             self.best_accuracy = event.accuracy
             self.evaluations_without_improvement = 0
@@ -237,6 +241,7 @@ class EarlyStopping(RoundCallback):
             self._stop = True
 
     def should_stop(self, event: RoundEndEvent) -> bool:
+        """True once patience is exhausted past ``min_rounds``."""
         if self._stop and self.stopped_round is None:
             self.stopped_round = event.round_index
         return self._stop
@@ -261,6 +266,7 @@ class RoundLogger(RoundCallback):
         self.every = every
 
     def on_round_end(self, event: RoundEndEvent) -> None:
+        """Print one progress line per ``every`` rounds."""
         due = (event.round_index + 1) % self.every == 0
         if not due and event.accuracy is None:
             return
@@ -338,9 +344,11 @@ class Checkpoint(RoundCallback):
         self._pipeline: RoundPipeline | None = None
 
     def bind(self, pipeline: RoundPipeline) -> None:
+        """Remember the pipeline so snapshots can capture state."""
         self._pipeline = pipeline
 
     def on_round_end(self, event: RoundEndEvent) -> None:
+        """Write a snapshot on the cadence and the final round."""
         due = (event.round_index + 1) % self.every == 0
         is_last = event.round_index == event.total_rounds - 1
         if not due and not is_last:
@@ -430,6 +438,7 @@ class MetricsWriter(RoundCallback):
         self._file = None
 
     def on_round_end(self, event: RoundEndEvent) -> None:
+        """Append the round's JSON record (optionally fsynced)."""
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             mode = "a" if self.append else "w"
@@ -538,6 +547,7 @@ class StreamingEvaluation(RoundCallback):
         return self._subset_cache[1]
 
     def evaluate_model(self, simulation: "FederatedSimulation") -> float:
+        """Evaluate the (subsampled) test set in streaming chunks."""
         dataset = self._evaluation_dataset(simulation.test_dataset)
         return simulation.server.evaluate(dataset, batch_size=self.batch_size)
 
@@ -575,10 +585,31 @@ class RoundPipeline:
         self._pending = getattr(simulation, "_restored_pending", None)
         if self._pending is not None:
             simulation._restored_pending = None
+        # Tracing seam: a callback exposing a callable ``trace_span``
+        # (e.g. :class:`repro.federated.observability.TraceRecorder`) is
+        # discovered here -- the last one wins -- and forwarded to the
+        # execution backend so shard tasks, wire round-trips and retry
+        # attempts land in the same trace as the pipeline stages.
+        # Tracing observes wall-clock time around existing calls only;
+        # it never changes results.
+        self._tracer = None
+        for callback in self.callbacks:
+            if callable(getattr(callback, "trace_span", None)):
+                self._tracer = callback
+        if self._tracer is not None:
+            backend = getattr(simulation, "backend", None)
+            if backend is not None and callable(getattr(backend, "set_tracer", None)):
+                backend.set_tracer(self._tracer)
         for callback in self.callbacks:
             bind = getattr(callback, "bind", None)
             if callable(bind):
                 bind(self)
+
+    def _span(self, kind: str, name: str | None = None, **fields):
+        """A trace span context (no-op without an attached tracer)."""
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.trace_span(kind, name, **fields)
 
     # ------------------------------------------------------------------ #
     # stages
@@ -593,13 +624,15 @@ class RoundPipeline:
 
     def honest_uploads(self) -> np.ndarray:
         """Stage 2: the honest pool computes its DP uploads, ``(n_honest, d)``."""
-        return self.simulation.honest_uploads()
+        with self._span("stage", "honest_uploads"):
+            return self.simulation.honest_uploads()
 
     def byzantine_uploads(
         self, honest_uploads: np.ndarray, round_index: int
     ) -> np.ndarray:
         """Stage 3: the attacker produces its uploads, ``(n_byzantine, d)``."""
-        return self.simulation.byzantine_uploads(honest_uploads, round_index)
+        with self._span("stage", "byzantine_uploads"):
+            return self.simulation.byzantine_uploads(honest_uploads, round_index)
 
     def aggregate_and_update(
         self,
@@ -623,19 +656,20 @@ class RoundPipeline:
         population_mode = getattr(simulation, "population_source", None) is not None
         if population_mode and worker_ids is None:
             worker_ids = simulation.global_worker_ids()
-        if worker_ids is None:
-            simulation.server.update(uploads)
-        elif population_mode:
-            simulation.server.update(
-                uploads,
-                worker_ids=worker_ids,
-                population=simulation.total_population,
-                expected=simulation.n_workers,
-            )
-        else:
-            simulation.server.update(
-                uploads, worker_ids=worker_ids, population=simulation.n_workers
-            )
+        with self._span("stage", "aggregate_and_update"):
+            if worker_ids is None:
+                simulation.server.update(uploads)
+            elif population_mode:
+                simulation.server.update(
+                    uploads,
+                    worker_ids=worker_ids,
+                    population=simulation.total_population,
+                    expected=simulation.n_workers,
+                )
+            else:
+                simulation.server.update(
+                    uploads, worker_ids=worker_ids, population=simulation.n_workers
+                )
         return self._selection_diagnostics(worker_ids, fault_diagnostics)
 
     def _state_ids(self, local_ids: np.ndarray) -> np.ndarray:
@@ -678,11 +712,12 @@ class RoundPipeline:
         last such callback wins, and the default is the server's exact
         full-test-set pass.
         """
-        for callback in reversed(self.callbacks):
-            evaluate_model = getattr(callback, "evaluate_model", None)
-            if callable(evaluate_model):
-                return float(evaluate_model(self.simulation))
-        return self.simulation.server.evaluate(self.simulation.test_dataset)
+        with self._span("stage", "evaluate"):
+            for callback in reversed(self.callbacks):
+                evaluate_model = getattr(callback, "evaluate_model", None)
+                if callable(evaluate_model):
+                    return float(evaluate_model(self.simulation))
+            return self.simulation.server.evaluate(self.simulation.test_dataset)
 
     def run_round(self, round_index: int) -> dict[str, float]:
         """Run stages 1-5 of one round; returns the round diagnostics.
@@ -808,15 +843,17 @@ class RoundPipeline:
 
         if getattr(simulation, "population_source", None) is not None:
             worker_ids = simulation.global_worker_ids()
-            simulation.server.update_stream(
-                blocks(),
-                n_rows,
-                worker_ids=worker_ids,
-                population=simulation.total_population,
-                expected=n_rows,
-            )
+            with self._span("stage", "streaming_update"):
+                simulation.server.update_stream(
+                    blocks(),
+                    n_rows,
+                    worker_ids=worker_ids,
+                    population=simulation.total_population,
+                    expected=n_rows,
+                )
             return self._selection_diagnostics(worker_ids)
-        simulation.server.update_stream(blocks(), n_rows)
+        with self._span("stage", "streaming_update"):
+            simulation.server.update_stream(blocks(), n_rows)
         return self._selection_diagnostics(None)
 
     def _run_faulty_round(
@@ -847,7 +884,8 @@ class RoundPipeline:
             ),
             policy=policy,
         )
-        honest = simulation.honest_uploads(crash_plan=honest_plan)
+        with self._span("stage", "honest_uploads"):
+            honest = simulation.honest_uploads(crash_plan=honest_plan)
         crashed = np.zeros(n_workers, dtype=bool)
         retried = 0
         honest_report = simulation.honest_pool.last_fault_report
@@ -873,9 +911,10 @@ class RoundPipeline:
             # observe or mimic, so its uploads degenerate to zeros.
             byzantine = np.zeros((n_byzantine, honest.shape[1]))
         else:
-            byzantine = simulation.byzantine_uploads(
-                attacker_view, round_index, crash_plan=byzantine_plan
-            )
+            with self._span("stage", "byzantine_uploads"):
+                byzantine = simulation.byzantine_uploads(
+                    attacker_view, round_index, crash_plan=byzantine_plan
+                )
         byzantine_report = (
             simulation.byzantine_pool.last_fault_report
             if simulation.byzantine_pool is not None
@@ -997,7 +1036,8 @@ class RoundPipeline:
                 "on_round_start",
                 RoundStartEvent(round_index=round_index, total_rounds=total_rounds),
             )
-            diagnostics = self.run_round(round_index)
+            with self._span("round", None, round=round_index):
+                diagnostics = self.run_round(round_index)
 
             is_last = round_index == total_rounds - 1
             accuracy: float | None = None

@@ -121,6 +121,7 @@ class CohortSampler:
         return {"rounds_drawn": int(self.rounds_drawn)}
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore sampler state captured by :meth:`state_dict`."""
         self.rounds_drawn = int(state.get("rounds_drawn", 0))
 
 
@@ -265,6 +266,7 @@ class WorkerSource:
 
     @property
     def dim(self) -> int:
+        """Feature dimensionality, delegated to the base dataset."""
         return self.base.dim
 
     def _check_id(self, worker_id: int) -> int:

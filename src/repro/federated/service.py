@@ -84,7 +84,10 @@ class RemoteTaskError(RuntimeError):
 class _Link:
     """One connected worker, as the coordinator sees it."""
 
-    __slots__ = ("sock", "name", "alive", "last_seen", "task", "send_lock")
+    __slots__ = (
+        "sock", "name", "alive", "last_seen", "task", "send_lock",
+        "connected_at", "dispatched", "bytes_sent",
+    )
 
     def __init__(self, sock: socket.socket, name: str) -> None:
         self.sock = sock
@@ -93,6 +96,9 @@ class _Link:
         self.last_seen = time.monotonic()
         self.task: _Task | None = None
         self.send_lock = threading.Lock()
+        self.connected_at = time.monotonic()
+        self.dispatched = 0  # tasks sent to this link (lifetime)
+        self.bytes_sent = 0  # task frame bytes (guarded by send_lock)
 
 
 class _Task:
@@ -117,6 +123,7 @@ class _Task:
 
     @property
     def finished(self) -> bool:
+        """Whether the task needs no further dispatch."""
         return self.done or self.failure is not None
 
 
@@ -183,6 +190,9 @@ class CoordinatorServer:
         self._execution: _Execution | None = None
         self._closed = False
         self._next_task_id = 0
+        self._paused = False
+        self._draining: set[str] = set()
+        self._tracer = None
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-coordinator-accept", daemon=True
         )
@@ -260,14 +270,29 @@ class CoordinatorServer:
 
     def _handle_result(self, link: _Link, message: dict) -> None:
         result = decode_blob(message["blob"])  # heavy; outside the lock
+        trace_fields = None
         with self._cond:
-            link.last_seen = time.monotonic()
+            now = time.monotonic()
+            link.last_seen = now
             link.task = None
             task = self._lookup(message.get("task_id"))
+            tracer = self._tracer
             if task is not None and not task.finished:
                 task.result = result
                 task.done = True
+                if tracer is not None:
+                    trace_fields = {
+                        "worker": link.name,
+                        "task_id": task.task_id,
+                        "index": task.index,
+                        "attempts": task.attempts + 1,
+                        "result_bytes": len(message["blob"]),
+                    }
+                    if task.dispatched_at is not None:
+                        trace_fields["duration"] = now - task.dispatched_at
             self._cond.notify_all()
+        if trace_fields is not None:
+            tracer.trace_event("wire", "round_trip", **trace_fields)
 
     def _handle_error(self, link: _Link, message: dict) -> None:
         with self._cond:
@@ -318,6 +343,18 @@ class CoordinatorServer:
                 task.index, task.attempts
             )
             self._execution.queue.append(task)
+        if self._tracer is not None:
+            # The tracer's own lock never waits on ``_cond``, so emitting
+            # here (lock held) cannot deadlock.
+            self._tracer.trace_event(
+                "retry",
+                "task_lost",
+                task_id=task.task_id,
+                index=task.index,
+                attempts=task.attempts,
+                exhausted=task.failure is not None,
+                reason=reason,
+            )
 
     def _monitor_loop(self) -> None:
         """Deadline-based liveness: drop links whose heartbeats stopped."""
@@ -362,6 +399,97 @@ class CoordinatorServer:
                         break
                 self._cond.wait(remaining if remaining is not None else 0.5)
             return len(self._links)
+
+    # ------------------------------------------------------------------ #
+    # admin / observability surface
+    # ------------------------------------------------------------------ #
+    @property
+    def paused(self) -> bool:
+        """Whether task dispatch is globally paused (admin ``pause``)."""
+        with self._cond:
+            return self._paused
+
+    @property
+    def draining(self) -> set[str]:
+        """Names of workers currently draining (copy; admin ``drain``)."""
+        with self._cond:
+            return set(self._draining)
+
+    def pause(self) -> None:
+        """Stop dispatching new tasks; in-flight tasks still complete.
+
+        While paused the starvation clock is also suspended, so a long
+        pause never trips ``worker_timeout``.
+        """
+        with self._cond:
+            self._paused = True
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        """Undo :meth:`pause` and wake the dispatch loop."""
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def drain(self, name: str) -> None:
+        """Stop dispatching to the named worker; it finishes in-flight work.
+
+        Draining is keyed by worker *name*, so a drained worker that
+        reconnects under the same name stays drained until
+        :meth:`undrain`.  Raises :class:`KeyError` when no connected
+        worker bears the name (already-draining names are accepted
+        silently -- the verb is idempotent).
+        """
+        with self._cond:
+            if all(link.name != name for link in self._links):
+                raise KeyError(f"no connected worker named {name!r}")
+            self._draining.add(name)
+            self._cond.notify_all()
+
+    def undrain(self, name: str) -> None:
+        """Return a drained worker to the dispatch rotation.
+
+        Raises :class:`KeyError` when the name is not draining.
+        """
+        with self._cond:
+            if name not in self._draining:
+                raise KeyError(f"worker {name!r} is not draining")
+            self._draining.discard(name)
+            self._cond.notify_all()
+
+    def worker_status(self) -> list[dict]:
+        """A point-in-time view of every connected worker link.
+
+        Each row carries the worker name, seconds since its last
+        heartbeat, seconds connected, whether a task is in flight,
+        whether the worker is draining, and lifetime dispatch counters.
+        Rows are sorted by name for stable output.
+        """
+        now = time.monotonic()
+        with self._cond:
+            rows = [
+                {
+                    "name": link.name,
+                    "last_heartbeat_age": round(now - link.last_seen, 3),
+                    "connected_for": round(now - link.connected_at, 3),
+                    "busy": link.task is not None,
+                    "draining": link.name in self._draining,
+                    "dispatched": link.dispatched,
+                    "bytes_sent": link.bytes_sent,
+                }
+                for link in self._links
+            ]
+        return sorted(rows, key=lambda row: row["name"])
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a trace recorder.
+
+        The recorder only needs a callable ``trace_event`` attribute; it
+        receives ``wire`` round-trip and ``retry`` events.  Tracing is
+        observation-only and never changes dispatch behaviour.
+        """
+        with self._cond:
+            self._tracer = tracer
 
     def execute(self, fn: Callable, items: list, policy: RetryPolicy) -> list:
         """Run ``fn`` over ``items`` on the connected workers, in order.
@@ -418,10 +546,29 @@ class CoordinatorServer:
                     return
                 now = time.monotonic()
                 self._expire_stragglers(now, policy)
-                if not self._links:
+                # Dispatchable = alive and not draining; a paused
+                # coordinator dispatches to no one (and suspends the
+                # starvation clock -- an operator pause is not an outage).
+                dispatchable = [
+                    link for link in self._links
+                    if link.alive and link.name not in self._draining
+                ]
+                undispatched = any(
+                    not task.finished and task.dispatched_at is None
+                    for task in tasks
+                )
+                if self._paused:
+                    starved_since = None
+                elif not dispatchable and undispatched:
                     if starved_since is None:
                         starved_since = now
                     elif now - starved_since > self.worker_timeout:
+                        if self._links:
+                            raise ConnectionError(
+                                f"all {len(self._links)} connected worker(s) "
+                                f"draining for {self.worker_timeout}s "
+                                f"({len(tasks)} tasks pending)"
+                            )
                         raise ConnectionError(
                             f"no workers connected for {self.worker_timeout}s "
                             f"({len(tasks)} tasks pending)"
@@ -430,8 +577,7 @@ class CoordinatorServer:
                     starved_since = None
                     queue = self._execution.queue
                     idle = deque(
-                        link for link in self._links
-                        if link.alive and link.task is None
+                        link for link in dispatchable if link.task is None
                     )
                     deferred = []
                     while idle and queue:
@@ -443,6 +589,7 @@ class CoordinatorServer:
                             continue
                         link = idle.popleft()
                         link.task = task
+                        link.dispatched += 1
                         task.dispatched_at = now
                         assignments.append((link, task))
                     queue.extend(deferred)
@@ -453,7 +600,7 @@ class CoordinatorServer:
             for link, task in assignments:
                 try:
                     with link.send_lock:
-                        send_message(link.sock, {
+                        link.bytes_sent += send_message(link.sock, {
                             "type": "task",
                             "task_id": task.task_id,
                             "blob": task.blob,
@@ -602,6 +749,7 @@ class RemoteBackend(ExecutionBackend):
 
     @property
     def max_workers(self) -> int:
+        """The expected worker count ``execute`` shards against."""
         return self._max_workers
 
     @property
@@ -611,6 +759,7 @@ class RemoteBackend(ExecutionBackend):
 
     @property
     def host(self) -> str:
+        """The coordinator's listening host."""
         return self._host
 
     @property
@@ -623,6 +772,17 @@ class RemoteBackend(ExecutionBackend):
         """The live coordinator server (started on first use)."""
         return self._ensure_server()
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a trace recorder, forwarding it to the live server.
+
+        A server started later (lazily, or after :meth:`shutdown`)
+        inherits the recorder too.
+        """
+        with self._lock:
+            self._tracer = tracer
+            if self._server is not None:
+                self._server.set_tracer(tracer)
+
     def _ensure_server(self) -> CoordinatorServer:
         with self._lock:
             if self._server is None:
@@ -633,9 +793,12 @@ class RemoteBackend(ExecutionBackend):
                     heartbeat_timeout=self._heartbeat_timeout,
                     worker_timeout=self._worker_timeout,
                 )
+                if self._tracer is not None:
+                    self._server.set_tracer(self._tracer)
             return self._server
 
     def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Dispatch tasks to workers; ordered results."""
         items = list(items)
         if not items:
             return []

@@ -70,15 +70,22 @@ def decode_blob(text: str) -> object:
     return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
-def send_message(sock: socket.socket, message: dict) -> None:
-    """Frame ``message`` and write it to ``sock`` in one ``sendall``."""
+def send_message(sock: socket.socket, message: dict) -> int:
+    """Frame ``message`` and write it to ``sock`` in one ``sendall``.
+
+    Returns the number of bytes put on the wire (header + body), which
+    the coordinator accumulates into per-link traffic counters for the
+    status endpoint.
+    """
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_MESSAGE_BYTES:
         raise WireError(
             f"message of {len(body)} bytes exceeds the "
             f"{MAX_MESSAGE_BYTES}-byte frame limit"
         )
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    frame = _HEADER.pack(len(body)) + body
+    sock.sendall(frame)
+    return len(frame)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:

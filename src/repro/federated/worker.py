@@ -88,6 +88,7 @@ class _ShardWorkspace:
         self._labels: np.ndarray | None = None
 
     def ensure_scratch(self, batch: int, rows: int, feature_dim: int) -> None:
+        """Allocate or reuse the gather buffers for one shard."""
         if self._features is None or self._features.shape != (rows, feature_dim):
             self._indices = np.empty(batch, dtype=np.int64)
             self._features = np.empty((rows, feature_dim), dtype=np.float64)
@@ -831,6 +832,7 @@ class WorkerSlot:
 
     @state.setter
     def state(self, value: LocalDPState) -> None:
+        """Reject assignment: worker state lives in the pool."""
         raise AttributeError(
             "worker state lives in the WorkerPool; use pool.reset() (or "
             "HonestWorker.reset()) instead of assigning a LocalDPState"
@@ -897,6 +899,7 @@ class HonestWorker:
 
     @state.setter
     def state(self, value: LocalDPState) -> None:
+        """Reject assignment: the state is a read-only pool view."""
         raise AttributeError(
             "HonestWorker.state is a read-only view into its WorkerPool; "
             "call reset() instead of assigning a LocalDPState"

@@ -1,0 +1,147 @@
+"""Tests for the registry-driven docs generator (``repro.tools.docs``)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tools.docs import (
+    GENERATED_MARKER,
+    check_links,
+    collect_links,
+    main,
+    render_axes,
+    slugify_anchor,
+)
+
+
+class TestRenderAxes:
+    def test_deterministic(self):
+        assert render_axes() == render_axes()
+
+    def test_contains_every_axis_section(self):
+        page = render_axes()
+        for title in ("Datasets", "Attacks", "Defenses", "Models",
+                      "Client engines", "Execution backends",
+                      "Fault models", "Cohort samplers"):
+            assert f"## {title}" in page
+
+    def test_marker_and_known_components(self):
+        page = render_axes()
+        assert page.startswith(GENERATED_MARKER)
+        # One spot-check per axis family that registers via side effects.
+        assert "`two_stage`" in page
+        assert "`remote`" in page  # registered by importing repro.federated
+        assert "`chaos`" in page
+        assert "`uniform`" in page
+
+    def test_no_memory_addresses(self):
+        # Callables in config_defaults must render by name, never by repr.
+        assert "0x" not in render_axes()
+
+    def test_committed_page_in_sync(self):
+        # A fresh interpreter, not in-process render_axes(): other tests in
+        # the suite register demo components into the global registries,
+        # which would make the in-process page differ from the committed one.
+        root = Path(__file__).resolve().parents[2]
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.docs", "check"],
+            cwd=root, capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": str(root / "src")},
+        )
+        assert result.returncode == 0, (
+            f"docs/reference/axes.md is stale: run "
+            f"`python -m repro.tools.docs generate`\n{result.stdout}"
+        )
+
+
+class TestSlugifyAnchor:
+    @pytest.mark.parametrize("heading, slug", [
+        ("Scenario axes", "scenario-axes"),
+        ("The status endpoint", "the-status-endpoint"),
+        ("Service mode: `repro serve` / `repro worker`",
+         "service-mode-repro-serve--repro-worker"),
+        ("Parallel execution: `--backend` and `--jobs`",
+         "parallel-execution---backend-and---jobs"),
+    ])
+    def test_github_style_slugs(self, heading, slug):
+        assert slugify_anchor(heading) == slug
+
+
+class TestLinkChecker:
+    def test_collects_links_not_images(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "See [guide](guide.md) and ![figure](figure.png) "
+            "plus [section](#intro).\n", encoding="utf-8",
+        )
+        assert collect_links(page) == ["guide.md", "#intro"]
+
+    def test_broken_relative_link_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[missing](nope.md)\n", encoding="utf-8")
+        problems = check_links([page])
+        assert len(problems) == 1
+        assert "nope.md" in problems[0]
+
+    def test_missing_anchor_reported(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("# Real heading\n", encoding="utf-8")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[ok](target.md#real-heading) [bad](target.md#ghost)\n",
+            encoding="utf-8",
+        )
+        problems = check_links([page])
+        assert len(problems) == 1
+        assert "#ghost" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[site](https://example.com/missing)\n",
+                        encoding="utf-8")
+        assert check_links([page]) == []
+
+    def test_own_page_anchor(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Intro\n\n[up](#intro)\n", encoding="utf-8")
+        assert check_links([page]) == []
+
+
+class TestMainCommand:
+    def test_generate_then_check(self, tmp_path, capsys):
+        output = tmp_path / "axes.md"
+        assert main(["generate", "--output", str(output)]) == 0
+        assert output.read_text(encoding="utf-8") == render_axes()
+        assert main(["check", "--output", str(output)]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+    def test_check_detects_drift(self, tmp_path, capsys):
+        output = tmp_path / "axes.md"
+        output.write_text(render_axes() + "manual edit\n", encoding="utf-8")
+        assert main(["check", "--output", str(output)]) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out
+        assert "-manual edit" in out  # the unified diff names the drift
+
+    def test_check_missing_page_is_stale(self, tmp_path):
+        assert main(["check", "--output", str(tmp_path / "axes.md")]) == 1
+
+    def test_linkcheck_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("# Top\n[self](#top)\n", encoding="utf-8")
+        assert main(["linkcheck", str(good)]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("[gone](missing.md)\n", encoding="utf-8")
+        assert main(["linkcheck", str(bad)]) == 1
+        capsys.readouterr()
+        assert main(["linkcheck", str(tmp_path / "absent.md")]) == 2
+
+    def test_repo_docs_have_no_broken_links(self):
+        root = Path(__file__).resolve().parents[2]
+        files = [root / "README.md", *sorted((root / "docs").rglob("*.md"))]
+        assert check_links(files) == []
